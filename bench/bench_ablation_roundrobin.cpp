@@ -1,0 +1,96 @@
+// Ablation E-A1: RISA's round-robin rack selection vs a first-eligible
+// policy.  The paper motivates round-robin with "this helps to make the
+// utilization of the racks more uniform" (§4.2); this bench quantifies
+// that: rack-utilization spread (max - min across racks, sampled at the
+// placement peak) and the downstream effects.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/risa.hpp"
+#include "sim/engine.hpp"
+#include "sim/experiments.hpp"
+
+using namespace risa;
+
+namespace {
+
+struct Outcome {
+  std::uint64_t placed = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t fallbacks = 0;
+  double rack_util_spread = 0.0;  // max-min CPU utilization across racks
+};
+
+Outcome run(core::RackSelection selection, const wl::Workload& workload) {
+  topo::Cluster cluster((topo::ClusterConfig()));
+  net::Fabric fabric(topo::ClusterConfig{}, net::FabricConfig{});
+  net::Router router(fabric);
+  net::CircuitTable circuits(router);
+  core::AllocContext ctx;
+  ctx.cluster = &cluster;
+  ctx.fabric = &fabric;
+  ctx.router = &router;
+  ctx.circuits = &circuits;
+  core::RisaOptions options;
+  options.selection = selection;
+  core::RisaAllocator risa(ctx, options);
+
+  // Offline replay (arrival order, no departures) to expose the packing
+  // imbalance most clearly, sampling the spread when half the VMs landed.
+  Outcome out;
+  std::vector<core::Placement> live;
+  std::size_t i = 0;
+  for (const wl::VmRequest& vm : workload) {
+    auto placed = risa.try_place(vm);
+    if (placed.ok()) {
+      live.push_back(std::move(placed.value()));
+      ++out.placed;
+    } else {
+      ++out.dropped;
+    }
+    if (++i == workload.size() / 2) {
+      double mx = 0.0, mn = 1.0;
+      for (std::uint32_t r = 0; r < cluster.num_racks(); ++r) {
+        const auto& rack = cluster.rack(RackId{r});
+        const double cap =
+            static_cast<double>(2 * cluster.config().box_units(ResourceType::Cpu));
+        const double used =
+            cap - static_cast<double>(rack.total_available(ResourceType::Cpu));
+        const double util = used / cap;
+        mx = std::max(mx, util);
+        mn = std::min(mn, util);
+      }
+      out.rack_util_spread = mx - mn;
+    }
+  }
+  out.fallbacks = risa.fallback_count();
+  for (const auto& p : live) risa.release(p);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  // Use the first half of the synthetic workload so nothing departs.
+  wl::Workload workload = sim::synthetic_workload();
+  workload.resize(1200);
+
+  const Outcome rr = run(core::RackSelection::RoundRobin, workload);
+  const Outcome fe = run(core::RackSelection::FirstEligible, workload);
+
+  std::cout << "=== Ablation: RISA rack selection policy (1200 synthetic "
+               "VMs, no departures) ===\n";
+  TextTable t({"Policy", "Placed", "Dropped", "Fallbacks",
+               "Rack CPU-util spread @50%"});
+  t.add_row({"round-robin (paper)", std::to_string(rr.placed),
+             std::to_string(rr.dropped), std::to_string(rr.fallbacks),
+             TextTable::pct(rr.rack_util_spread, 1)});
+  t.add_row({"first-eligible", std::to_string(fe.placed),
+             std::to_string(fe.dropped), std::to_string(fe.fallbacks),
+             TextTable::pct(fe.rack_util_spread, 1)});
+  std::cout << t
+            << "Round-robin keeps rack utilization uniform (small spread); "
+               "first-eligible fills\nrack 0 first, creating the skew the "
+               "paper designed RISA to avoid.\n";
+  return 0;
+}

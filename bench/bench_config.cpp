@@ -1,0 +1,96 @@
+// Tables 1, 2 and 5: prints the resolved evaluation configuration -- the
+// disaggregated architecture, the network demand model, the photonic
+// parameters, and the host running this reproduction (the analog of the
+// paper's Table 5 system configuration).
+#include <iostream>
+#include <thread>
+
+#include "common/table.hpp"
+#include "sim/scenario.hpp"
+
+int main() {
+  using risa::TextTable;
+  const risa::sim::Scenario s = risa::sim::Scenario::paper_defaults();
+
+  std::cout << "=== Table 1: disaggregated architecture configuration ===\n";
+  TextTable t1({"Parameter", "Value", "Paper"});
+  t1.add_row({"Cluster size", std::to_string(s.cluster.racks) + " racks",
+              "18 racks"});
+  t1.add_row({"Rack size",
+              std::to_string(s.cluster.total_boxes_per_rack()) + " boxes",
+              "6 boxes"});
+  t1.add_row({"Box size", std::to_string(s.cluster.bricks_per_box) + " bricks",
+              "8 bricks"});
+  t1.add_row({"Brick size",
+              std::to_string(s.cluster.units_per_brick) + " units",
+              "16 units"});
+  t1.add_row({"CPU unit",
+              std::to_string(s.cluster.unit_scale.cores_per_cpu_unit) +
+                  " cores",
+              "4 cores"});
+  t1.add_row({"RAM unit",
+              TextTable::num(risa::to_gb(s.cluster.unit_scale.mb_per_ram_unit),
+                             0) + " GB",
+              "4 GB"});
+  t1.add_row({"Storage unit",
+              TextTable::num(
+                  risa::to_gb(s.cluster.unit_scale.mb_per_storage_unit), 0) +
+                  " GB",
+              "64 GB"});
+  std::cout << t1 << '\n';
+
+  std::cout << "=== Table 2: network requirements ===\n";
+  TextTable t2({"Flow", "Rate", "Basis", "Paper"});
+  t2.add_row({"CPU-RAM",
+              TextTable::num(risa::to_gbps(s.bandwidth.cpu_ram_per_unit), 0) +
+                  " Gb/s/unit",
+              std::string(risa::net::name(s.bandwidth.cpu_ram_basis)),
+              "5 Gb/s/unit"});
+  t2.add_row({"RAM-STO",
+              TextTable::num(risa::to_gbps(s.bandwidth.ram_sto_per_unit), 0) +
+                  " Gb/s/unit",
+              std::string(risa::net::name(s.bandwidth.ram_sto_basis)),
+              "1 Gb/s/unit"});
+  std::cout << t2 << '\n';
+
+  std::cout << "=== Fabric provisioning (calibrated; see DESIGN.md SS2.3) ===\n";
+  TextTable t3({"Parameter", "Value"});
+  t3.add_row({"Link capacity",
+              TextTable::num(risa::to_gbps(s.fabric.link_capacity), 0) +
+                  " Gb/s (8 x 25 Gb/s SiP)"});
+  t3.add_row({"Box uplinks", std::to_string(s.fabric.links_per_box)});
+  t3.add_row({"Rack uplinks", std::to_string(s.fabric.links_per_rack)});
+  t3.add_row({"Box switch ports", std::to_string(s.fabric.box_switch_ports)});
+  t3.add_row({"Rack switch ports", std::to_string(s.fabric.rack_switch_ports)});
+  t3.add_row({"Inter-rack switch ports",
+              std::to_string(s.fabric.inter_rack_switch_ports)});
+  std::cout << t3 << '\n';
+
+  std::cout << "=== Photonic parameters (SS3.2) ===\n";
+  TextTable t4({"Parameter", "Value", "Source"});
+  t4.add_row({"P_trimcell",
+              TextTable::num(s.photonics.switch_energy.mrr.trim_power_w * 1e3,
+                             2) + " mW",
+              "[13]"});
+  t4.add_row({"P_swcell",
+              TextTable::num(
+                  s.photonics.switch_energy.mrr.switch_power_w * 1e3, 2) +
+                  " mW",
+              "[13]"});
+  t4.add_row({"alpha",
+              TextTable::num(s.photonics.switch_energy.mrr.alpha, 2),
+              "paper SS3.2"});
+  t4.add_row({"Transceiver energy",
+              TextTable::num(s.photonics.transceiver.energy_per_bit_j * 1e12,
+                             1) + " pJ/bit",
+              "[20]"});
+  std::cout << t4 << '\n';
+
+  std::cout << "=== Table 5 analog: this host ===\n";
+  TextTable t5({"Component", "Specification"});
+  t5.add_row({"Hardware threads",
+              std::to_string(std::thread::hardware_concurrency())});
+  t5.add_row({"Paper testbed", "AMD Ryzen 7 2700X, 4.3 GHz, 32 GB DDR4"});
+  std::cout << t5;
+  return 0;
+}

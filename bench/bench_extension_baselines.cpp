@@ -1,0 +1,43 @@
+// Extension E-A7: RISA against classic placement disciplines (RANDOM,
+// global first-fit, worst-fit).  Separates RISA's two ingredients --
+// rack affinity and round-robin balancing -- from mere load balancing:
+// worst-fit balances load perfectly yet splits nearly every VM across
+// racks.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "sim/engine.hpp"
+#include "sim/experiments.hpp"
+
+using namespace risa;
+
+int main() {
+  auto subsets = sim::azure_workloads();
+  const auto& [label, workload] = subsets[0];  // Azure-3000
+  const wl::Workload synthetic = sim::synthetic_workload();
+
+  std::cout << "=== Extension: RISA vs classic placement disciplines ===\n";
+  TextTable t({"Workload", "Algorithm", "Placed", "Inter-rack %", "Power kW",
+               "RTT ns"});
+  const std::vector<std::pair<std::string, const wl::Workload*>> cases = {
+      {label, &workload}, {"Synthetic", &synthetic}};
+  for (const auto& [case_label, case_workload] : cases) {
+    for (const char* algo : {"RISA", "NULB", "FF", "WF", "RANDOM"}) {
+      sim::Engine engine(sim::Scenario::paper_defaults(), algo);
+      const sim::SimMetrics m = engine.run(*case_workload, case_label);
+      t.add_row({case_label, algo, std::to_string(m.placed),
+                 TextTable::pct(m.inter_rack_fraction(), 1),
+                 TextTable::num(m.avg_optical_power_w / 1000.0, 2),
+                 TextTable::num(m.cpu_ram_latency_ns.count() > 0
+                                    ? m.cpu_ram_latency_ns.mean()
+                                    : 0.0,
+                                1)});
+    }
+  }
+  std::cout << t
+            << "Load balancing without rack affinity (WF, RANDOM) maximizes "
+               "inter-rack traffic;\nfirst-fit concentrates but still splits "
+               "resource types; only RISA gets both\nutilization and "
+               "locality.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 6: CPU and RAM distributions of the Azure-like subsets, binned
+// with the paper's 10-bin histogram semantics.  The generator is built to
+// match the decoded counts exactly; this bench prints the verification.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "sim/experiments.hpp"
+#include "workload/azure.hpp"
+#include "workload/characterize.hpp"
+
+int main() {
+  using namespace risa;
+
+  // The counts decoded from the paper's Figure 6 bars (DESIGN.md §2.1).
+  const std::vector<std::int64_t> cpu_expected[3] = {
+      {1326, 1269, 0, 0, 316, 0, 0, 0, 0, 89},
+      {1931, 2514, 0, 0, 444, 0, 0, 0, 0, 111},
+      {4153, 2536, 0, 0, 507, 0, 0, 0, 0, 304}};
+  const std::vector<std::int64_t> ram_expected[3] = {
+      {2591, 299, 15, 0, 17, 0, 0, 0, 0, 78},
+      {4439, 427, 39, 0, 17, 0, 0, 0, 0, 78},
+      {6682, 488, 203, 0, 19, 0, 0, 0, 0, 108}};
+
+  int subset = 0;
+  bool all_match = true;
+  for (auto& [label, workload] : sim::azure_workloads()) {
+    const wl::Characterization ch = wl::characterize(workload, 10);
+    std::cout << "=== Figure 6 (" << label << "): CPU cores histogram ===\n";
+    TextTable cpu_table({"Bin", "Range", "Count (measured)", "Count (paper)"});
+    for (std::size_t b = 0; b < 10; ++b) {
+      cpu_table.add_row(
+          {std::to_string(b),
+           TextTable::num(ch.cpu.bin_lo(b), 2) + " - " +
+               TextTable::num(ch.cpu.bin_hi(b), 2),
+           std::to_string(ch.cpu.count(b)),
+           std::to_string(cpu_expected[subset][b])});
+      all_match &= ch.cpu.count(b) == cpu_expected[subset][b];
+    }
+    std::cout << cpu_table;
+
+    std::cout << "=== Figure 6 (" << label << "): RAM GB histogram ===\n";
+    TextTable ram_table({"Bin", "Range", "Count (measured)", "Count (paper)"});
+    for (std::size_t b = 0; b < 10; ++b) {
+      ram_table.add_row(
+          {std::to_string(b),
+           TextTable::num(ch.ram.bin_lo(b), 2) + " - " +
+               TextTable::num(ch.ram.bin_hi(b), 2),
+           std::to_string(ch.ram.count(b)),
+           std::to_string(ram_expected[subset][b])});
+      all_match &= ch.ram.count(b) == ram_expected[subset][b];
+    }
+    std::cout << ram_table << '\n';
+    ++subset;
+  }
+  std::cout << (all_match
+                    ? "All histogram counts match the paper's Figure 6.\n"
+                    : "MISMATCH against the paper's Figure 6 counts!\n");
+  return all_match ? 0 : 1;
+}

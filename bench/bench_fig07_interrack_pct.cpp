@@ -1,0 +1,22 @@
+// Figure 7: percentage of inter-rack VM assignments on the Azure subsets.
+//   paper: NULB up to 52%, NALB up to 48%; RISA and RISA-BF exactly 0%.
+#include <iostream>
+
+#include "sim/engine.hpp"
+#include "sim/experiments.hpp"
+#include "sim/report.hpp"
+
+int main() {
+  using namespace risa;
+  std::vector<sim::SimMetrics> runs;
+  for (auto& [label, workload] : sim::azure_workloads()) {
+    auto batch = sim::run_all_algorithms(sim::Scenario::paper_defaults(),
+                                         workload, label);
+    runs.insert(runs.end(), std::make_move_iterator(batch.begin()),
+                std::make_move_iterator(batch.end()));
+  }
+  std::cout << "=== Figure 7: % inter-rack VM assignments (Azure subsets) "
+               "===\n"
+            << sim::figure7_table(runs);
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Figure 8: intra- and inter-rack network utilization on the Azure subsets.
+//   paper shape: intra identical across algorithms (30.4 / 35.4 / 42.6 %
+//   against the authors' unstated provisioning); inter exactly 0 for RISA
+//   and RISA-BF.  Our absolute intra level differs because utilization is
+//   reported against this repo's calibrated link provisioning
+//   (see EXPERIMENTS.md); equality-across-algorithms and the zero rows are
+//   the reproduced claims.
+#include <iostream>
+
+#include "sim/engine.hpp"
+#include "sim/experiments.hpp"
+#include "sim/report.hpp"
+
+int main() {
+  using namespace risa;
+  std::vector<sim::SimMetrics> runs;
+  for (auto& [label, workload] : sim::azure_workloads()) {
+    auto batch = sim::run_all_algorithms(sim::Scenario::paper_defaults(),
+                                         workload, label);
+    runs.insert(runs.end(), std::make_move_iterator(batch.begin()),
+                std::make_move_iterator(batch.end()));
+  }
+  std::cout << "=== Figure 8: network utilization (Azure subsets) ===\n"
+            << sim::figure8_table(runs);
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 10: average CPU-RAM round-trip latency on the Azure subsets
+// (110 ns intra-rack, 330 ns inter-rack, from [20]).
+//   paper: Azure-3000 NULB 226 / NALB 216 / RISA(-BF) 110 ns -- RISA halves
+//   the baseline latency.
+#include <iostream>
+
+#include "sim/engine.hpp"
+#include "sim/experiments.hpp"
+#include "sim/report.hpp"
+
+int main() {
+  using namespace risa;
+  std::vector<sim::SimMetrics> runs;
+  for (auto& [label, workload] : sim::azure_workloads()) {
+    auto batch = sim::run_all_algorithms(sim::Scenario::paper_defaults(),
+                                         workload, label);
+    runs.insert(runs.end(), std::make_move_iterator(batch.begin()),
+                std::make_move_iterator(batch.end()));
+  }
+  std::cout << "=== Figure 10: average CPU-RAM round-trip latency ===\n"
+            << sim::figure10_table(runs);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 12: scheduler execution time on the Azure subsets
+// (google-benchmark harness).
+//
+//   paper (Azure-7500): NULB 10361 s, NALB 15929 s, RISA 3679 s,
+//   RISA-BF 4013 s -- RISA 2.81x faster than NULB, 4.33x faster than NALB.
+//   reproduced claim: the ordering NALB > NULB > RISA-BF ~ RISA and the
+//   growth with subset size.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "sim/engine.hpp"
+#include "sim/experiments.hpp"
+#include "sim/report.hpp"
+
+namespace {
+
+const std::vector<std::pair<std::string, risa::wl::Workload>>& subsets() {
+  static const auto w = risa::sim::azure_workloads();
+  return w;
+}
+
+void run_case(benchmark::State& state, const char* algo, std::size_t subset) {
+  const auto& [label, workload] = subsets()[subset];
+  risa::sim::Engine engine(risa::sim::Scenario::paper_defaults(), algo);
+  double sched_seconds = 0.0;
+  for (auto _ : state) {
+    const risa::sim::SimMetrics m = engine.run(workload, label);
+    sched_seconds += m.scheduler_exec_seconds;
+    benchmark::DoNotOptimize(m.placed);
+  }
+  state.counters["sched_s"] = benchmark::Counter(
+      sched_seconds, benchmark::Counter::kAvgIterations);
+  state.SetLabel(label);
+}
+
+void BM_Exec(benchmark::State& state) {
+  static const char* kAlgos[] = {"NULB", "NALB", "RISA", "RISA-BF"};
+  run_case(state, kAlgos[state.range(0)],
+           static_cast<std::size_t>(state.range(1)));
+}
+
+BENCHMARK(BM_Exec)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1, 2}})
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::vector<risa::sim::SimMetrics> runs;
+  for (const auto& [label, workload] : subsets()) {
+    auto batch = risa::sim::run_all_algorithms(
+        risa::sim::Scenario::paper_defaults(), workload, label);
+    runs.insert(runs.end(), std::make_move_iterator(batch.begin()),
+                std::make_move_iterator(batch.end()));
+  }
+  std::cout << "\n=== Figure 12: scheduler execution time, practical ===\n"
+            << risa::sim::exec_time_table(runs, "fig12");
+  return 0;
+}

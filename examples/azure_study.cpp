@@ -1,0 +1,54 @@
+// Practical-workload study (paper §5.2): runs all four schedulers over the
+// Azure-like subsets (3000/5000/7500 VMs) and prints the Figure 7-10 series:
+// inter-rack percentage, network utilization, optical power and CPU-RAM
+// round-trip latency.
+//
+//   $ ./azure_study [--seed=20231112] [--subset=all|3000|5000|7500]
+#include <iostream>
+
+#include "common/flags.hpp"
+#include "sim/engine.hpp"
+#include "sim/experiments.hpp"
+#include "sim/report.hpp"
+
+int main(int argc, char** argv) {
+  risa::Flags flags;
+  flags.define("seed", std::to_string(risa::sim::kDefaultSeed),
+               "Workload RNG seed");
+  flags.define("subset", "all", "Which subset to run: all | 3000 | 5000 | 7500");
+  try {
+    flags.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 1;
+  }
+
+  const auto seed = static_cast<std::uint64_t>(flags.i64("seed"));
+  const std::string subset = flags.str("subset");
+
+  const auto scenario = risa::sim::Scenario::paper_defaults();
+  std::vector<risa::sim::SimMetrics> runs;
+  for (auto& [label, workload] : risa::sim::azure_workloads(seed)) {
+    if (subset != "all" && label.find(subset) == std::string::npos) continue;
+    std::cout << "Running " << label << " (" << workload.size()
+              << " VMs) x 4 algorithms...\n";
+    auto batch = risa::sim::run_all_algorithms(scenario, workload, label);
+    runs.insert(runs.end(), std::make_move_iterator(batch.begin()),
+                std::make_move_iterator(batch.end()));
+  }
+  std::cout << '\n';
+
+  std::cout << "Figure 7 -- % inter-rack VM assignments:\n"
+            << risa::sim::figure7_table(runs) << '\n'
+            << "Figure 8 -- network utilization:\n"
+            << risa::sim::figure8_table(runs) << '\n'
+            << "Figure 9 -- optical component power:\n"
+            << risa::sim::figure9_table(runs) << '\n'
+            << "Figure 10 -- average CPU-RAM round-trip latency:\n"
+            << risa::sim::figure10_table(runs) << '\n'
+            << "Figure 12 -- scheduler execution time shape:\n"
+            << risa::sim::exec_time_table(runs, "fig12") << '\n'
+            << "Full metrics:\n"
+            << risa::sim::full_metrics_table(runs);
+  return 0;
+}

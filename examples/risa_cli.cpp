@@ -1,0 +1,118 @@
+// risa_cli: the full-featured simulation CLI.
+//
+// Drives any scheduler over any workload with optional scenario overrides
+// from a config file, CSV trace input/output, and time-series export --
+// the tool a datacenter researcher would actually run.
+//
+// Examples:
+//   risa_cli --algorithm=RISA --workload=azure-5000
+//   risa_cli --algorithm=NALB --workload=synthetic --timeline-csv=run.csv
+//   risa_cli --scenario=my.conf --trace-in=recorded.csv
+//   risa_cli --workload=synthetic --trace-out=synthetic.csv --dry-run
+#include <iostream>
+
+#include "common/flags.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "sim/engine.hpp"
+#include "sim/experiments.hpp"
+#include "sim/report.hpp"
+#include "sim/scenario_io.hpp"
+#include "sim/timeline.hpp"
+#include "workload/characterize.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/trace_io.hpp"
+
+using namespace risa;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define("algorithm", "RISA",
+               "NULB | NALB | RISA | RISA-BF | RANDOM | FF | WF");
+  flags.define("workload", "synthetic",
+               "synthetic | azure-3000 | azure-5000 | azure-7500");
+  flags.define("seed", std::to_string(sim::kDefaultSeed), "Workload RNG seed");
+  flags.define("scenario", "", "Scenario config file (see sim/scenario_io.hpp)");
+  flags.define("dump-scenario", "", "Write the resolved scenario to this file");
+  flags.define("trace-in", "", "Load the workload from this CSV trace instead");
+  flags.define("trace-out", "", "Save the generated workload to this CSV trace");
+  flags.define("timeline-csv", "", "Export a per-event time series to this CSV");
+  flags.define("dry-run", "false", "Generate/convert workloads without simulating");
+  try {
+    flags.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 1;
+  }
+
+  try {
+    // 1. Scenario.
+    sim::Scenario scenario = flags.str("scenario").empty()
+                                 ? sim::Scenario::paper_defaults()
+                                 : sim::load_scenario_file(flags.str("scenario"));
+    if (!flags.str("dump-scenario").empty()) {
+      sim::save_scenario_file(flags.str("dump-scenario"), scenario);
+      std::cout << "scenario written to " << flags.str("dump-scenario") << '\n';
+    }
+
+    // 2. Workload.
+    const auto seed = static_cast<std::uint64_t>(flags.i64("seed"));
+    wl::Workload workload;
+    std::string label = flags.str("workload");
+    if (!flags.str("trace-in").empty()) {
+      workload = wl::load_trace(flags.str("trace-in"));
+      label = flags.str("trace-in");
+    } else if (label == "synthetic") {
+      workload = sim::synthetic_workload(seed);
+    } else {
+      for (auto& [name, w] : sim::azure_workloads(seed)) {
+        if (to_lower(name) == to_lower(label)) workload = std::move(w);
+      }
+      if (workload.empty()) {
+        std::cerr << "unknown workload '" << label << "'\n";
+        return 1;
+      }
+    }
+    if (!flags.str("trace-out").empty()) {
+      wl::save_trace(flags.str("trace-out"), workload);
+      std::cout << "trace written to " << flags.str("trace-out") << " ("
+                << workload.size() << " VMs)\n";
+    }
+
+    const auto summary = wl::summarize(workload);
+    std::cout << "workload: " << label << " -- " << summary.count
+              << " VMs, mean " << TextTable::num(summary.mean_cores, 2)
+              << " cores / " << TextTable::num(summary.mean_ram_gb, 2)
+              << " GB RAM / " << TextTable::num(summary.mean_storage_gb, 0)
+              << " GB storage\n";
+    if (flags.b("dry-run")) return 0;
+
+    // 3. Simulate.
+    sim::Engine engine(scenario, flags.str("algorithm"));
+    sim::Timeline timeline;
+    if (!flags.str("timeline-csv").empty()) {
+      engine.set_timeline(&timeline);
+    }
+    const sim::SimMetrics m = engine.run(workload, label);
+
+    std::cout << '\n' << sim::full_metrics_table({m});
+    if (m.dropped > 0) {
+      std::cout << "drops by reason:";
+      for (const auto& [reason, count] : m.drops_by_reason.items()) {
+        std::cout << "  " << reason << "=" << count;
+      }
+      std::cout << '\n';
+    }
+
+    if (!flags.str("timeline-csv").empty()) {
+      timeline.save_csv(flags.str("timeline-csv"));
+      std::cout << "timeline (" << timeline.size() << " points, peak "
+                << timeline.peak_active_vms() << " active VMs) written to "
+                << flags.str("timeline-csv") << '\n';
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

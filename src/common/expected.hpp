@@ -1,0 +1,83 @@
+// Minimal Result<T, E> used for fallible operations where exceptions would
+// be noise (allocation attempts fail constantly by design: a failed
+// placement is a *drop*, not a program error).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace risa {
+
+/// Wrapper that marks a value as the error alternative of Result.
+template <typename E>
+struct Err {
+  E error;
+};
+
+template <typename E>
+Err(E) -> Err<E>;
+
+/// A tiny std::expected stand-in (the toolchain's libstdc++ 12 lacks it).
+/// Holds either a value T or an error E.
+template <typename T, typename E = std::string>
+class Result {
+ public:
+  Result(T value) : data_(std::in_place_index<0>, std::move(value)) {}
+  Result(Err<E> err) : data_(std::in_place_index<1>, std::move(err.error)) {}
+
+  [[nodiscard]] bool ok() const noexcept { return data_.index() == 0; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] T& value() & {
+    check_ok();
+    return std::get<0>(data_);
+  }
+  [[nodiscard]] const T& value() const& {
+    check_ok();
+    return std::get<0>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    check_ok();
+    return std::get<0>(std::move(data_));
+  }
+
+  [[nodiscard]] const E& error() const& {
+    if (ok()) throw std::logic_error("Result::error() on ok result");
+    return std::get<1>(data_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<0>(data_) : std::move(fallback);
+  }
+
+  T* operator->() {
+    check_ok();
+    return &std::get<0>(data_);
+  }
+  const T* operator->() const {
+    check_ok();
+    return &std::get<0>(data_);
+  }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  void check_ok() const {
+    if (!ok()) {
+      if constexpr (std::is_convertible_v<E, std::string>) {
+        throw std::runtime_error("Result::value() on error: " +
+                                 std::string(std::get<1>(data_)));
+      } else {
+        throw std::runtime_error("Result::value() on error result");
+      }
+    }
+  }
+
+  std::variant<T, E> data_;
+};
+
+}  // namespace risa

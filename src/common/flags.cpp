@@ -1,0 +1,90 @@
+#include "common/flags.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace risa {
+
+void Flags::define(const std::string& name, const std::string& default_value,
+                   const std::string& help) {
+  if (find(name) != nullptr) {
+    throw std::logic_error("Flags: duplicate flag --" + name);
+  }
+  entries_.push_back({name, default_value, default_value, help});
+}
+
+Flags::Entry* Flags::find(const std::string& name) {
+  for (auto& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+const Flags::Entry* Flags::find(const std::string& name) const {
+  for (const auto& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Flags::parse(int argc, const char* const* argv) {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg.erase(eq);
+      has_value = true;
+    }
+    Entry* e = find(arg);
+    if (e == nullptr) throw std::runtime_error("Flags: unknown flag --" + arg);
+    if (!has_value) {
+      // Boolean presence form, or take the next argv as value.
+      if (e->default_value == "false" || e->default_value == "true") {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        throw std::runtime_error("Flags: missing value for --" + arg);
+      }
+    }
+    e->value = std::move(value);
+  }
+  return positional;
+}
+
+std::string Flags::str(const std::string& name) const {
+  const Entry* e = find(name);
+  if (e == nullptr) throw std::logic_error("Flags: undefined flag --" + name);
+  return e->value;
+}
+
+std::int64_t Flags::i64(const std::string& name) const {
+  return std::stoll(str(name));
+}
+
+double Flags::f64(const std::string& name) const { return std::stod(str(name)); }
+
+bool Flags::b(const std::string& name) const {
+  const std::string v = str(name);
+  return v == "true" || v == "1" || v == "yes";
+}
+
+std::string Flags::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "Usage: " << program << " [flags]\n";
+  for (const auto& e : entries_) {
+    os << "  --" << e.name << " (default: " << e.default_value << ")\n      "
+       << e.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace risa

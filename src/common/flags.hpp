@@ -1,0 +1,43 @@
+// Tiny command-line flag parser for the examples and bench binaries.
+// Syntax: --name=value | --name value | --bool-flag.  Unknown flags are an
+// error so typos surface immediately.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace risa {
+
+class Flags {
+ public:
+  /// Register flags before parse().  `help` is printed by usage().
+  void define(const std::string& name, const std::string& default_value,
+              const std::string& help);
+
+  /// Parse argv; throws std::runtime_error on unknown flag or missing value.
+  /// Returns positional (non-flag) arguments.
+  std::vector<std::string> parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string str(const std::string& name) const;
+  [[nodiscard]] std::int64_t i64(const std::string& name) const;
+  [[nodiscard]] double f64(const std::string& name) const;
+  [[nodiscard]] bool b(const std::string& name) const;
+
+  [[nodiscard]] std::string usage(const std::string& program) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+
+  Entry* find(const std::string& name);
+  [[nodiscard]] const Entry* find(const std::string& name) const;
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace risa

@@ -1,0 +1,80 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace risa {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: zero bins");
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: lo must be < hi");
+}
+
+Histogram Histogram::from_data(const std::vector<double>& data, std::size_t bins) {
+  if (data.empty()) throw std::invalid_argument("Histogram::from_data: empty");
+  const auto [mn, mx] = std::minmax_element(data.begin(), data.end());
+  double lo = *mn;
+  double hi = *mx;
+  if (lo == hi) hi = lo + 1.0;  // degenerate range: widen like matplotlib
+  Histogram h(lo, hi, bins);
+  for (double x : data) h.add(x);
+  return h;
+}
+
+std::size_t Histogram::bin_of(double x) const {
+  if (x < lo_ || x > hi_) {
+    throw std::out_of_range("Histogram: sample outside [lo, hi]");
+  }
+  // matplotlib: last bin is closed ([lo_k, hi] rather than [lo_k, hi_k)).
+  if (x == hi_) return counts_.size() - 1;
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<std::size_t>((x - lo_) / width);
+  return std::min(bin, counts_.size() - 1);
+}
+
+void Histogram::add(double x) {
+  ++counts_[bin_of(x)];
+  ++total_;
+}
+
+std::int64_t Histogram::count(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("Histogram: bad bin");
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("Histogram: bad bin");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("Histogram: bad bin");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin + 1);
+}
+
+std::string Histogram::to_string(int bar_width) const {
+  std::ostringstream os;
+  const std::int64_t peak = counts_.empty()
+      ? 0
+      : *std::max_element(counts_.begin(), counts_.end());
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    os.setf(std::ios::fixed);
+    os.precision(2);
+    os << "[" << bin_lo(b) << ", " << bin_hi(b)
+       << (b + 1 == counts_.size() ? "]" : ")") << "  " << counts_[b] << "  ";
+    if (peak > 0) {
+      const auto len = static_cast<int>(
+          static_cast<double>(counts_[b]) / static_cast<double>(peak) *
+          bar_width);
+      for (int i = 0; i < len; ++i) os << '#';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace risa

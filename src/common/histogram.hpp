@@ -1,0 +1,49 @@
+// Equal-width histogram matching matplotlib's `hist(x, bins=N)` semantics.
+//
+// Figure 6 of the paper characterizes the Azure workloads with 10-bin
+// histograms over [min, max]; reproducing its exact counts requires the same
+// binning rule: N equal-width bins spanning [min, max], where the final bin
+// is closed on both sides.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace risa {
+
+class Histogram {
+ public:
+  /// Fixed-range histogram with `bins` equal-width bins over [lo, hi].
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Build with matplotlib auto-range: lo = min(data), hi = max(data).
+  static Histogram from_data(const std::vector<double>& data, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bin_of(double x) const;
+  [[nodiscard]] std::int64_t count(std::size_t bin) const;
+  [[nodiscard]] const std::vector<std::int64_t>& counts() const noexcept {
+    return counts_;
+  }
+  [[nodiscard]] std::int64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+
+  /// Text rendering: one `[lo, hi) count` row per bin plus a bar.
+  [[nodiscard]] std::string to_string(int bar_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace risa

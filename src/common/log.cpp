@@ -1,0 +1,31 @@
+#include "common/log.hpp"
+
+#include <iostream>
+
+namespace risa {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::write(LogLevel level, const std::string& message) {
+  if (!enabled(level)) return;
+  std::ostream& os = sink_ ? *sink_ : std::cerr;
+  os << "[" << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace risa

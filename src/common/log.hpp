@@ -1,0 +1,60 @@
+// Lightweight leveled logger.  The simulator is hot-path sensitive (the
+// paper's Figure 11/12 reproduce *scheduler execution time*), so logging is
+// compiled around an early level check and disabled entirely inside the
+// timed regions.
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+namespace risa {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+class Logger {
+ public:
+  /// Process-wide logger.  Defaults to Info on stderr.
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return static_cast<int>(level) >= static_cast<int>(level_);
+  }
+
+  /// Redirect output (tests use this to capture messages). Pass nullptr to
+  /// restore stderr.
+  void set_sink(std::ostream* sink) noexcept { sink_ = sink; }
+
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::Info;
+  std::ostream* sink_ = nullptr;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().write(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace risa
+
+#define RISA_LOG(level)                                        \
+  if (!::risa::Logger::instance().enabled(::risa::LogLevel::level)) { \
+  } else                                                       \
+    ::risa::detail::LogLine(::risa::LogLevel::level)

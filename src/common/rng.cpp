@@ -1,0 +1,104 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace risa {
+
+void Xoshiro256::jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+      0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (std::uint64_t{1} << b)) {
+        s0 ^= state_[0];
+        s1 ^= state_[1];
+        s2 ^= state_[2];
+        s3 ^= state_[3];
+      }
+      (void)(*this)();
+    }
+  }
+  state_ = {s0, s1, s2, s3};
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("uniform_int: lo > hi");
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(gen_());
+  }
+  // Lemire's multiply-shift rejection method: unbiased and fast.
+  std::uint64_t x = gen_();
+  __uint128_t m = static_cast<__uint128_t>(x) * range;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < range) {
+    const std::uint64_t threshold = (0 - range) % range;
+    while (l < threshold) {
+      x = gen_();
+      m = static_cast<__uint128_t>(x) * range;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return lo + static_cast<std::int64_t>(m >> 64);
+}
+
+double Rng::uniform01() {
+  // 53 high-quality bits -> double in [0, 1).
+  return static_cast<double>(gen_() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  if (lo > hi) throw std::invalid_argument("uniform: lo > hi");
+  return lo + (hi - lo) * uniform01();
+}
+
+double Rng::exponential(double mean) {
+  if (mean <= 0) throw std::invalid_argument("exponential: non-positive mean");
+  double u = uniform01();
+  // Guard against log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+std::int64_t Rng::poisson(double mean) {
+  if (mean < 0) throw std::invalid_argument("poisson: negative mean");
+  if (mean == 0) return 0;
+  if (mean < 60.0) {
+    // Knuth's product-of-uniforms method.
+    const double limit = std::exp(-mean);
+    double prod = uniform01();
+    std::int64_t n = 0;
+    while (prod > limit) {
+      prod *= uniform01();
+      ++n;
+    }
+    return n;
+  }
+  // Normal approximation with continuity correction for large means.
+  const double u1 = uniform01();
+  const double u2 = uniform01();
+  const double z = std::sqrt(-2.0 * std::log(u1 <= 0 ? 0x1.0p-53 : u1)) *
+                   std::cos(2.0 * 3.14159265358979323846 * u2);
+  const double v = mean + std::sqrt(mean) * z + 0.5;
+  return v < 0 ? 0 : static_cast<std::int64_t>(v);
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) {
+    if (w < 0) throw std::invalid_argument("weighted_index: negative weight");
+    total += w;
+  }
+  if (total <= 0) throw std::invalid_argument("weighted_index: zero total weight");
+  double r = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0) return i;
+  }
+  return weights.size() - 1;  // numeric edge: attribute to the last bucket
+}
+
+}  // namespace risa

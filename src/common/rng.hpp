@@ -1,0 +1,116 @@
+// Deterministic pseudo-random infrastructure.
+//
+// Every stochastic element of the reproduction (synthetic workload sizes,
+// Poisson arrivals, shuffles) draws from a seeded xoshiro256** generator so
+// that experiments are bit-reproducible across runs and platforms.  We do
+// not use std::mt19937/std::uniform_int_distribution because their outputs
+// are not guaranteed identical across standard-library implementations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace risa {
+
+/// SplitMix64: used to expand a single 64-bit seed into xoshiro state.
+/// Reference: Sebastiano Vigna, public domain.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG (Blackman & Vigna).
+/// Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9271e6c0de5eedULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Advance 2^128 steps; yields an independent stream for parallel use.
+  void jump() noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Deterministic distributions built on Xoshiro256.  Algorithms are fixed
+/// here (not delegated to <random>) for cross-platform reproducibility.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9271e6c0de5eedULL) : gen_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive (Lemire's unbiased method).
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01();
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi);
+
+  /// Exponential with the given mean (inter-arrival times of a Poisson
+  /// process with rate 1/mean, as in the paper's arrival model).
+  [[nodiscard]] double exponential(double mean);
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 60).
+  [[nodiscard]] std::int64_t poisson(double mean);
+
+  /// Pick an index in [0, weights.size()) proportionally to weights.
+  [[nodiscard]] std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  [[nodiscard]] Xoshiro256& generator() noexcept { return gen_; }
+
+ private:
+  Xoshiro256 gen_;
+};
+
+}  // namespace risa

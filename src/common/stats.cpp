@@ -1,0 +1,93 @@
+#include "common/stats.hpp"
+
+#include <string>
+
+namespace risa {
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void TimeWeightedMean::update(double t, double value) {
+  if (!started_) {
+    started_ = true;
+    t_first_ = t;
+    t_last_ = t;
+    value_ = value;
+    peak_ = value;
+    return;
+  }
+  if (t < t_last_) {
+    throw std::invalid_argument("TimeWeightedMean: time went backwards");
+  }
+  area_ += value_ * (t - t_last_);
+  t_last_ = t;
+  value_ = value;
+  peak_ = std::max(peak_, value);
+}
+
+double TimeWeightedMean::integral(double t_end) const {
+  if (!started_) return 0.0;
+  if (t_end < t_last_) {
+    throw std::invalid_argument("TimeWeightedMean: t_end before last update");
+  }
+  return area_ + value_ * (t_end - t_last_);
+}
+
+double TimeWeightedMean::mean(double t_end) const {
+  if (!started_) return 0.0;
+  const double span = t_end - t_first_;
+  if (span <= 0.0) return value_;
+  return integral(t_end) / span;
+}
+
+double Percentiles::percentile(double p) const {
+  if (samples_.empty()) {
+    throw std::logic_error("Percentiles: no samples");
+  }
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("Percentiles: p out of [0,100]");
+  }
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  if (p == 0.0) return samples_.front();
+  const auto n = static_cast<double>(samples_.size());
+  auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  if (rank == 0) rank = 1;
+  return samples_[rank - 1];
+}
+
+void CounterSet::increment(const std::string& key, std::int64_t by) {
+  for (auto& [k, v] : items_) {
+    if (k == key) {
+      v += by;
+      return;
+    }
+  }
+  items_.emplace_back(key, by);
+}
+
+std::int64_t CounterSet::get(const std::string& key) const {
+  for (const auto& [k, v] : items_) {
+    if (k == key) return v;
+  }
+  return 0;
+}
+
+}  // namespace risa

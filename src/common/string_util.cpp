@@ -1,0 +1,93 @@
+#include "common/string_util.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <stdexcept>
+
+namespace risa {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const auto pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(s.substr(start));
+      break;
+    }
+    parts.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string_view trim(std::string_view s) {
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+  };
+  while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
+  while (!s.empty() && is_space(s.back())) s.remove_suffix(1);
+  return s;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::int64_t parse_i64(std::string_view s) {
+  try {
+    std::size_t pos = 0;
+    const std::string str(trim(s));
+    const std::int64_t v = std::stoll(str, &pos);
+    if (pos != str.size()) throw std::invalid_argument("trailing chars");
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error("parse_i64: bad integer '" + std::string(s) + "'");
+  }
+}
+
+double parse_f64(std::string_view s) {
+  try {
+    std::size_t pos = 0;
+    const std::string str(trim(s));
+    const double v = std::stod(str, &pos);
+    if (pos != str.size()) throw std::invalid_argument("trailing chars");
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error("parse_f64: bad number '" + std::string(s) + "'");
+  }
+}
+
+bool parse_bool(std::string_view s) {
+  const std::string v = to_lower(trim(s));
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::runtime_error("parse_bool: bad boolean '" + std::string(s) + "'");
+}
+
+std::string strformat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    throw std::runtime_error("strformat: formatting error");
+  }
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace risa

@@ -1,0 +1,131 @@
+// Core vocabulary types shared by every RISA module.
+//
+// The paper's disaggregated datacenter (DDC) pools three resource kinds --
+// CPU, RAM and storage -- into single-type "boxes".  Almost every subsystem
+// (topology, allocation, metrics) is indexed by ResourceType, so it lives
+// here together with the strongly-typed integer-id helper used for rack/box/
+// brick/link identifiers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <string_view>
+
+namespace risa {
+
+/// The three disaggregated resource kinds of the dReDBox-style architecture
+/// (paper §3.1).  Values are dense so they can index std::array directly.
+enum class ResourceType : std::uint8_t {
+  Cpu = 0,
+  Ram = 1,
+  Storage = 2,
+};
+
+/// Number of resource kinds; the paper's scheduling problem is fixed at 3.
+inline constexpr std::size_t kNumResourceTypes = 3;
+
+/// All resource kinds in canonical order, for range-for iteration.
+inline constexpr std::array<ResourceType, kNumResourceTypes> kAllResources = {
+    ResourceType::Cpu, ResourceType::Ram, ResourceType::Storage};
+
+/// Dense index of a resource type (0..2).
+[[nodiscard]] constexpr std::size_t index(ResourceType t) noexcept {
+  return static_cast<std::size_t>(t);
+}
+
+/// Human-readable name ("CPU", "RAM", "STO").
+[[nodiscard]] constexpr std::string_view name(ResourceType t) noexcept {
+  switch (t) {
+    case ResourceType::Cpu: return "CPU";
+    case ResourceType::Ram: return "RAM";
+    case ResourceType::Storage: return "STO";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, ResourceType t);
+
+/// A std::array keyed by ResourceType.  Used pervasively for per-type
+/// capacities, availabilities and requirements.
+template <typename T>
+class PerResource {
+ public:
+  constexpr PerResource() = default;
+  constexpr explicit PerResource(const T& fill) { values_.fill(fill); }
+  constexpr PerResource(T cpu, T ram, T sto) : values_{cpu, ram, sto} {}
+
+  [[nodiscard]] constexpr T& operator[](ResourceType t) noexcept {
+    return values_[index(t)];
+  }
+  [[nodiscard]] constexpr const T& operator[](ResourceType t) const noexcept {
+    return values_[index(t)];
+  }
+
+  [[nodiscard]] constexpr T& cpu() noexcept { return values_[0]; }
+  [[nodiscard]] constexpr T& ram() noexcept { return values_[1]; }
+  [[nodiscard]] constexpr T& storage() noexcept { return values_[2]; }
+  [[nodiscard]] constexpr const T& cpu() const noexcept { return values_[0]; }
+  [[nodiscard]] constexpr const T& ram() const noexcept { return values_[1]; }
+  [[nodiscard]] constexpr const T& storage() const noexcept { return values_[2]; }
+
+  [[nodiscard]] constexpr auto begin() noexcept { return values_.begin(); }
+  [[nodiscard]] constexpr auto end() noexcept { return values_.end(); }
+  [[nodiscard]] constexpr auto begin() const noexcept { return values_.begin(); }
+  [[nodiscard]] constexpr auto end() const noexcept { return values_.end(); }
+
+  friend constexpr bool operator==(const PerResource&, const PerResource&) = default;
+
+ private:
+  std::array<T, kNumResourceTypes> values_{};
+};
+
+/// CRTP-free strongly typed integer identifier.  `Tag` disambiguates id
+/// spaces (RackTag, BoxTag, ...) so a BoxId cannot be passed where a RackId
+/// is expected.  Ids are dense indices assigned by the owning container.
+template <typename Tag>
+class Id {
+ public:
+  using underlying_type = std::uint32_t;
+  static constexpr underlying_type kInvalid = ~underlying_type{0};
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying_type v) noexcept : value_(v) {}
+
+  [[nodiscard]] constexpr underlying_type value() const noexcept { return value_; }
+  [[nodiscard]] constexpr bool valid() const noexcept { return value_ != kInvalid; }
+  [[nodiscard]] static constexpr Id invalid() noexcept { return Id{kInvalid}; }
+
+  friend constexpr bool operator==(Id, Id) = default;
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+ private:
+  underlying_type value_ = kInvalid;
+};
+
+struct RackTag {};
+struct BoxTag {};
+struct BrickTag {};
+struct LinkTag {};
+struct SwitchTag {};
+struct VmTag {};
+struct CircuitTag {};
+
+using RackId = Id<RackTag>;
+using BoxId = Id<BoxTag>;        ///< Global (cluster-wide) box index.
+using BrickId = Id<BrickTag>;    ///< Global brick index.
+using LinkId = Id<LinkTag>;
+using SwitchId = Id<SwitchTag>;
+using VmId = Id<VmTag>;
+using CircuitId = Id<CircuitTag>;
+
+}  // namespace risa
+
+template <typename Tag>
+struct std::hash<risa::Id<Tag>> {
+  std::size_t operator()(risa::Id<Tag> id) const noexcept {
+    return std::hash<typename risa::Id<Tag>::underlying_type>{}(id.value());
+  }
+};

@@ -1,0 +1,20 @@
+#include "common/units.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/types.hpp"
+
+namespace risa {
+
+std::ostream& operator<<(std::ostream& os, ResourceType t) {
+  return os << name(t);
+}
+
+std::string to_string(const UnitVector& v) {
+  std::ostringstream os;
+  os << "cpu=" << v.cpu() << ",ram=" << v.ram() << ",sto=" << v.storage();
+  return os.str();
+}
+
+}  // namespace risa

@@ -1,0 +1,116 @@
+// Unit arithmetic for the disaggregated architecture of Table 1.
+//
+// Physical resource amounts (cores, GB, Gb/s) are carried as exact integers:
+// RAM/storage in MiB-like "megabytes" (the paper's Azure RAM sizes include
+// 0.75 GB, so GB alone is not integral), bandwidth in Mb/s.  Boxes allocate
+// in discrete *units*: 1 CPU unit = 4 cores, 1 RAM unit = 4 GB, 1 storage
+// unit = 64 GB (Table 1); requests are ceil-divided into units.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace risa {
+
+/// Integer count of allocation units (bricks are 16 units each).
+using Units = std::int64_t;
+
+/// Megabytes (10^6-ish granularity is irrelevant; it is an exact integer
+/// carrier for fractional-GB sizes such as Azure's 0.75 GB = 768 MB).
+using Megabytes = std::int64_t;
+
+/// Mb/s carrier for bandwidth (1 Gb/s = 1000 Mb/s).
+using MbitsPerSec = std::int64_t;
+
+/// Simulated time in abstract "time units" (paper §5.1).  The photonic
+/// energy model converts to seconds via PhotonicConfig::seconds_per_time_unit.
+using SimTime = double;
+
+[[nodiscard]] constexpr Megabytes gb(double gigabytes) noexcept {
+  return static_cast<Megabytes>(gigabytes * 1024.0 + 0.5);
+}
+
+[[nodiscard]] constexpr MbitsPerSec gbps(double gigabits_per_sec) noexcept {
+  return static_cast<MbitsPerSec>(gigabits_per_sec * 1000.0 + 0.5);
+}
+
+[[nodiscard]] constexpr double to_gb(Megabytes mb) noexcept {
+  return static_cast<double>(mb) / 1024.0;
+}
+
+[[nodiscard]] constexpr double to_gbps(MbitsPerSec mbps) noexcept {
+  return static_cast<double>(mbps) / 1000.0;
+}
+
+/// Ceiling division for non-negative integers.
+template <typename T>
+[[nodiscard]] constexpr T ceil_div(T num, T den) {
+  if (den <= 0) throw std::invalid_argument("ceil_div: non-positive divisor");
+  if (num < 0) throw std::invalid_argument("ceil_div: negative numerator");
+  return (num + den - 1) / den;
+}
+
+/// Unit granularity of the disaggregated architecture (Table 1).
+struct UnitScale {
+  std::int64_t cores_per_cpu_unit = 4;     ///< "CPU unit: 4 cores"
+  Megabytes mb_per_ram_unit = gb(4.0);     ///< "RAM unit: 4 GB"
+  Megabytes mb_per_storage_unit = gb(64.0);///< "Storage unit: 64 GB"
+
+  /// Units needed for a raw demand of the given type.  CPU demand is in
+  /// cores; RAM/storage demand is in megabytes.
+  [[nodiscard]] Units to_units(ResourceType t, std::int64_t raw) const {
+    switch (t) {
+      case ResourceType::Cpu: return ceil_div<std::int64_t>(raw, cores_per_cpu_unit);
+      case ResourceType::Ram: return ceil_div<std::int64_t>(raw, mb_per_ram_unit);
+      case ResourceType::Storage: return ceil_div<std::int64_t>(raw, mb_per_storage_unit);
+    }
+    throw std::logic_error("to_units: bad resource type");
+  }
+
+  friend constexpr bool operator==(const UnitScale&, const UnitScale&) = default;
+};
+
+/// A per-type vector of unit counts; the currency of all allocation code.
+using UnitVector = PerResource<Units>;
+
+/// Component-wise helpers for UnitVector.
+[[nodiscard]] constexpr UnitVector operator+(UnitVector a, const UnitVector& b) noexcept {
+  for (ResourceType t : kAllResources) a[t] += b[t];
+  return a;
+}
+
+[[nodiscard]] constexpr UnitVector operator-(UnitVector a, const UnitVector& b) noexcept {
+  for (ResourceType t : kAllResources) a[t] -= b[t];
+  return a;
+}
+
+/// True when every component of `a` is <= the matching component of `b`
+/// (i.e. demand `a` fits within availability `b`).
+[[nodiscard]] constexpr bool fits_within(const UnitVector& a, const UnitVector& b) noexcept {
+  for (ResourceType t : kAllResources) {
+    if (a[t] > b[t]) return false;
+  }
+  return true;
+}
+
+[[nodiscard]] constexpr bool all_zero(const UnitVector& v) noexcept {
+  for (ResourceType t : kAllResources) {
+    if (v[t] != 0) return false;
+  }
+  return true;
+}
+
+[[nodiscard]] constexpr bool any_negative(const UnitVector& v) noexcept {
+  for (ResourceType t : kAllResources) {
+    if (v[t] < 0) return true;
+  }
+  return false;
+}
+
+/// Pretty "cpu=4,ram=2,sto=2" rendering used in logs and error messages.
+[[nodiscard]] std::string to_string(const UnitVector& v);
+
+}  // namespace risa

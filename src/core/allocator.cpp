@@ -1,0 +1,90 @@
+#include "core/allocator.hpp"
+
+#include <stdexcept>
+
+namespace risa::core {
+
+Result<Placement, DropReason> Allocator::commit(const wl::VmRequest& vm,
+                                                const UnitVector& units,
+                                                const PerResource<BoxId>& boxes,
+                                                net::LinkSelectPolicy policy,
+                                                bool used_fallback) {
+  topo::Cluster& cluster = *ctx_.cluster;
+
+  Placement placement;
+  placement.vm = vm.id;
+  placement.units = units;
+  placement.demand = ctx_.bandwidth.demand(units);
+  placement.used_fallback = used_fallback;
+
+  // --- Compute phase commit ---------------------------------------------
+  std::size_t committed = 0;
+  for (ResourceType t : kAllResources) {
+    auto alloc = cluster.allocate(boxes[t], units[t]);
+    if (!alloc.ok()) {
+      // The caller checked availability before committing, so this is only
+      // reachable if the caller's search is buggy; unwind and report.
+      for (std::size_t j = 0; j < committed; ++j) {
+        cluster.release(placement.compute[j]);
+      }
+      return Err{DropReason::NoComputeResources};
+    }
+    placement.compute[index(t)] = std::move(alloc.value());
+    placement.racks[index(t)] = cluster.box(boxes[t]).rack();
+    ++committed;
+  }
+
+  placement.inter_rack =
+      placement.rack(ResourceType::Cpu) != placement.rack(ResourceType::Ram) ||
+      placement.rack(ResourceType::Ram) != placement.rack(ResourceType::Storage);
+
+  // --- Network phase ------------------------------------------------------
+  auto rollback_compute = [&] {
+    for (ResourceType t : kAllResources) {
+      cluster.release(placement.compute[index(t)]);
+    }
+  };
+
+  auto establish = [&](net::FlowKind flow, BoxId src, RackId src_rack,
+                       BoxId dst, RackId dst_rack,
+                       MbitsPerSec bw) -> Result<bool, std::string> {
+    if (bw <= 0) return true;  // zero-rate flow holds no circuit
+    auto path = ctx_.router->find_path(src, src_rack, dst, dst_rack, bw, policy);
+    if (!path.ok()) return Err<std::string>{path.error()};
+    auto cid = ctx_.circuits->establish(vm.id, flow, bw, std::move(path.value()));
+    if (!cid.ok()) return Err<std::string>{cid.error()};
+    return true;
+  };
+
+  auto cpu_ram = establish(net::FlowKind::CpuRam, placement.box(ResourceType::Cpu),
+                           placement.rack(ResourceType::Cpu),
+                           placement.box(ResourceType::Ram),
+                           placement.rack(ResourceType::Ram),
+                           placement.demand.cpu_ram);
+  if (!cpu_ram.ok()) {
+    rollback_compute();
+    return Err{DropReason::NoNetworkResources};
+  }
+  auto ram_sto = establish(net::FlowKind::RamStorage,
+                           placement.box(ResourceType::Ram),
+                           placement.rack(ResourceType::Ram),
+                           placement.box(ResourceType::Storage),
+                           placement.rack(ResourceType::Storage),
+                           placement.demand.ram_sto);
+  if (!ram_sto.ok()) {
+    ctx_.circuits->teardown_vm(vm.id);  // undo the CPU-RAM circuit
+    rollback_compute();
+    return Err{DropReason::NoNetworkResources};
+  }
+
+  return placement;
+}
+
+void Allocator::release(const Placement& placement) {
+  ctx_.circuits->teardown_vm(placement.vm);
+  for (ResourceType t : kAllResources) {
+    ctx_.cluster->release(placement.compute[index(t)]);
+  }
+}
+
+}  // namespace risa::core

@@ -1,0 +1,83 @@
+// The allocator interface shared by NULB, NALB, RISA and RISA-BF, plus the
+// base class implementing the common two-phase commit:
+//   compute phase  -- pick one box per resource type (algorithm-specific),
+//   network phase  -- reserve the CPU-RAM and RAM-storage circuits.
+// Either phase failing drops the VM with no residual state (§4.1: "If
+// either the compute allocation or network allocation fails, the VM to be
+// assigned is dropped").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/expected.hpp"
+#include "core/placement.hpp"
+#include "network/bandwidth.hpp"
+#include "network/circuit.hpp"
+#include "network/fabric.hpp"
+#include "network/routing.hpp"
+#include "topology/cluster.hpp"
+#include "workload/vm.hpp"
+
+namespace risa::core {
+
+/// Shared mutable state every allocator operates on.  The context outlives
+/// the allocator; references are non-owning.
+struct AllocContext {
+  topo::Cluster* cluster = nullptr;
+  net::Fabric* fabric = nullptr;
+  net::Router* router = nullptr;
+  net::CircuitTable* circuits = nullptr;
+  net::BandwidthModel bandwidth{};
+
+  void validate() const {
+    if (cluster == nullptr || fabric == nullptr || router == nullptr ||
+        circuits == nullptr) {
+      throw std::invalid_argument("AllocContext: null component");
+    }
+  }
+};
+
+class Allocator {
+ public:
+  explicit Allocator(AllocContext ctx) : ctx_(ctx) { ctx_.validate(); }
+  virtual ~Allocator() = default;
+
+  Allocator(const Allocator&) = delete;
+  Allocator& operator=(const Allocator&) = delete;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Attempt to place `vm`.  On success all compute units and circuit
+  /// bandwidth are reserved; on failure the cluster and fabric are
+  /// untouched and the reason is returned.
+  [[nodiscard]] virtual Result<Placement, DropReason> try_place(
+      const wl::VmRequest& vm) = 0;
+
+  /// Release a placement made by this allocator family: tears down the
+  /// VM's circuits and returns compute units.  Subclasses extend this to
+  /// refresh their internal bookkeeping.
+  virtual void release(const Placement& placement);
+
+ protected:
+  /// Commits boxes + circuits.  `policy` is the link-selection policy of
+  /// the network phase.  Rolls everything back on failure.
+  [[nodiscard]] Result<Placement, DropReason> commit(
+      const wl::VmRequest& vm, const UnitVector& units,
+      const PerResource<BoxId>& boxes, net::LinkSelectPolicy policy,
+      bool used_fallback);
+
+  [[nodiscard]] AllocContext& ctx() noexcept { return ctx_; }
+  [[nodiscard]] const AllocContext& ctx() const noexcept { return ctx_; }
+
+  /// Units-of-demand conversion via the cluster's unit scale.
+  [[nodiscard]] UnitVector demand_units(const wl::VmRequest& vm) const {
+    return vm.units(ctx_.cluster->config().unit_scale);
+  }
+
+ private:
+  AllocContext ctx_;
+};
+
+}  // namespace risa::core

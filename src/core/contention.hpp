@@ -1,0 +1,67 @@
+// Contention ratio (CR): "the amount of a resource required by a VM over
+// the total amount of that available resource" (§4.1).  NULB/NALB start
+// their compute phase at the resource with the highest CR; RISA's fallback
+// computes CR over the SUPER_RACK-restricted availability.
+#pragma once
+
+#include <limits>
+#include <span>
+
+#include "common/types.hpp"
+#include "common/units.hpp"
+#include "topology/cluster.hpp"
+
+namespace risa::core {
+
+/// Per-type contention ratios.  A type with zero availability but non-zero
+/// demand gets +infinity (it is maximally contended); zero demand gives 0.
+[[nodiscard]] inline PerResource<double> contention_ratios(
+    const UnitVector& demand, const PerResource<Units>& available) {
+  PerResource<double> cr{0.0, 0.0, 0.0};
+  for (ResourceType t : kAllResources) {
+    if (demand[t] <= 0) {
+      cr[t] = 0.0;
+    } else if (available[t] <= 0) {
+      cr[t] = std::numeric_limits<double>::infinity();
+    } else {
+      cr[t] = static_cast<double>(demand[t]) / static_cast<double>(available[t]);
+    }
+  }
+  return cr;
+}
+
+/// Cluster-wide availability (NULB/NALB standalone scope).
+[[nodiscard]] inline PerResource<Units> cluster_availability(
+    const topo::Cluster& cluster) {
+  PerResource<Units> avail{0, 0, 0};
+  for (ResourceType t : kAllResources) {
+    avail[t] = cluster.total_available(t);
+  }
+  return avail;
+}
+
+/// Availability restricted to a per-type rack set (the SUPER_RACK scope of
+/// RISA's fallback).  `racks[t]` lists the racks eligible for type t.
+[[nodiscard]] inline PerResource<Units> restricted_availability(
+    const topo::Cluster& cluster,
+    const PerResource<std::vector<RackId>>& racks) {
+  PerResource<Units> avail{0, 0, 0};
+  for (ResourceType t : kAllResources) {
+    for (RackId r : racks[t]) {
+      avail[t] += cluster.rack(r).total_available(t);
+    }
+  }
+  return avail;
+}
+
+/// argmax over CRs with a deterministic tie-break (canonical CPU, RAM,
+/// storage order -- first maximum wins).
+[[nodiscard]] inline ResourceType most_contended(const PerResource<double>& cr) {
+  ResourceType best = ResourceType::Cpu;
+  for (ResourceType t : kAllResources) {
+    if (cr[t] > cr[best]) best = t;
+  }
+  return best;
+}
+
+}  // namespace risa::core

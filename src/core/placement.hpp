@@ -1,0 +1,47 @@
+// Placement record: everything needed to account for and later release one
+// scheduled VM (compute slices in three boxes + two network circuits).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "common/units.hpp"
+#include "network/bandwidth.hpp"
+#include "topology/box.hpp"
+
+namespace risa::core {
+
+/// Why a VM was dropped (the paper's scheduling failure modes: compute
+/// allocation failure or network allocation failure, §4.1).
+enum class DropReason : std::uint8_t {
+  NoComputeResources = 0,
+  NoNetworkResources = 1,
+};
+
+[[nodiscard]] constexpr std::string_view name(DropReason r) noexcept {
+  switch (r) {
+    case DropReason::NoComputeResources: return "no-compute";
+    case DropReason::NoNetworkResources: return "no-network";
+  }
+  return "?";
+}
+
+struct Placement {
+  VmId vm;
+  UnitVector units;                       ///< demand in allocation units
+  std::array<topo::BoxAllocation, kNumResourceTypes> compute;  ///< by type
+  std::array<RackId, kNumResourceTypes> racks;                 ///< by type
+  net::BandwidthDemand demand;            ///< circuit bandwidths
+  bool inter_rack = false;   ///< any resource pair spans racks
+  bool used_fallback = false;///< RISA/RISA-BF: placed via SUPER_RACK + NULB
+
+  [[nodiscard]] BoxId box(ResourceType t) const noexcept {
+    return compute[index(t)].box;
+  }
+  [[nodiscard]] RackId rack(ResourceType t) const noexcept {
+    return racks[index(t)];
+  }
+};
+
+}  // namespace risa::core

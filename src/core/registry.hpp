@@ -1,0 +1,29 @@
+// Allocator factory: builds any of the paper's four algorithms by name.
+// The canonical names ("NULB", "NALB", "RISA", "RISA-BF") match the paper's
+// figures; lookup is case-insensitive.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/allocator.hpp"
+#include "core/search.hpp"
+
+namespace risa::core {
+
+/// Cross-algorithm construction options.
+struct AllocatorOptions {
+  /// Companion-search interpretation for NULB/NALB (and RISA's fallback);
+  /// see CompanionSearch.  GlobalOrder reproduces the paper's results.
+  CompanionSearch companion = CompanionSearch::GlobalOrder;
+};
+
+/// All algorithm names in the paper's presentation order.
+[[nodiscard]] std::vector<std::string> algorithm_names();
+
+/// Construct by name; throws std::invalid_argument for unknown names.
+[[nodiscard]] std::unique_ptr<Allocator> make_allocator(
+    const std::string& name, AllocContext ctx, AllocatorOptions options = {});
+
+}  // namespace risa::core

@@ -1,0 +1,180 @@
+#include "core/risa.hpp"
+
+#include <stdexcept>
+
+#include "core/nulb.hpp"
+
+namespace risa::core {
+
+RisaAllocator::RisaAllocator(AllocContext ctx, RisaOptions options)
+    : Allocator(ctx), options_(std::move(options)) {
+  if (options_.display_name.empty()) {
+    switch (options_.packing) {
+      case RackPacking::NextFit: name_ = "RISA"; break;
+      case RackPacking::BestFit: name_ = "RISA-BF"; break;
+      case RackPacking::FirstFit: name_ = "RISA-FF"; break;
+    }
+  } else {
+    name_ = options_.display_name;
+  }
+  cursors_.assign(this->ctx().cluster->num_racks(),
+                  PerResource<std::uint32_t>{0, 0, 0});
+}
+
+std::vector<RackId> RisaAllocator::intra_rack_pool(const UnitVector& units) const {
+  const topo::Cluster& cluster = *ctx().cluster;
+  std::vector<RackId> pool;
+  for (std::uint32_t r = 0; r < cluster.num_racks(); ++r) {
+    const topo::Rack& rack = cluster.rack(RackId{r});
+    bool fits = true;
+    for (ResourceType t : kAllResources) {
+      if (rack.max_available(t) < units[t]) {
+        fits = false;
+        break;
+      }
+    }
+    if (fits) pool.push_back(RackId{r});
+  }
+  return pool;
+}
+
+PerResource<std::vector<RackId>> RisaAllocator::super_rack(
+    const UnitVector& units) const {
+  const topo::Cluster& cluster = *ctx().cluster;
+  PerResource<std::vector<RackId>> lists;
+  for (std::uint32_t r = 0; r < cluster.num_racks(); ++r) {
+    const topo::Rack& rack = cluster.rack(RackId{r});
+    for (ResourceType t : kAllResources) {
+      if (rack.max_available(t) >= units[t]) {
+        lists[t].push_back(RackId{r});
+      }
+    }
+  }
+  return lists;
+}
+
+BoxId RisaAllocator::pick_box_in_rack(RackId rack, ResourceType type,
+                                      Units units) {
+  const topo::Cluster& cluster = *ctx().cluster;
+  const auto& boxes = cluster.boxes_of_type_in_rack(rack, type);
+  const auto count = static_cast<std::uint32_t>(boxes.size());
+  if (count == 0) return BoxId::invalid();
+
+  switch (options_.packing) {
+    case RackPacking::NextFit: {
+      // First-fit with a roving pointer: scan from the cursor, wrapping;
+      // the cursor stays on the chosen box (Table 4 semantics).
+      auto& cursor = cursors_[rack.value()][type];
+      const std::uint32_t start = cursor % count;
+      for (std::uint32_t k = 0; k < count; ++k) {
+        const std::uint32_t idx = (start + k) % count;
+        if (cluster.box(boxes[idx]).available_units() >= units) {
+          cursor = idx;
+          return boxes[idx];
+        }
+      }
+      return BoxId::invalid();
+    }
+    case RackPacking::BestFit: {
+      BoxId best = BoxId::invalid();
+      Units best_avail = 0;
+      for (BoxId id : boxes) {
+        const Units avail = cluster.box(id).available_units();
+        if (avail < units) continue;
+        if (!best.valid() || avail < best_avail) {
+          best = id;
+          best_avail = avail;
+        }
+      }
+      return best;
+    }
+    case RackPacking::FirstFit: {
+      for (BoxId id : boxes) {
+        if (cluster.box(id).available_units() >= units) return id;
+      }
+      return BoxId::invalid();
+    }
+  }
+  return BoxId::invalid();
+}
+
+Result<Placement, DropReason> RisaAllocator::try_place(const wl::VmRequest& vm) {
+  const UnitVector units = demand_units(vm);
+  const net::BandwidthDemand demand = ctx().bandwidth.demand(units);
+  // An intra-rack placement consumes each flow on two box uplinks of the
+  // rack (source box -> rack switch -> destination box).
+  const MbitsPerSec intra_bw_needed = 2 * demand.cpu_ram + 2 * demand.ram_sto;
+
+  const std::vector<RackId> pool = intra_rack_pool(units);
+  if (!pool.empty()) {
+    // Round-robin rotation: start from the first pool rack at or after the
+    // cursor, wrapping; the cursor then moves past the chosen rack.
+    std::size_t start = 0;
+    if (options_.selection == RackSelection::RoundRobin) {
+      while (start < pool.size() && pool[start].value() < rr_next_rack_) {
+        ++start;
+      }
+      if (start == pool.size()) start = 0;
+    }
+    for (std::size_t k = 0; k < pool.size(); ++k) {
+      const RackId rack = pool[(start + k) % pool.size()];
+      if (ctx().fabric->rack_intra_available(rack) < intra_bw_needed) {
+        continue;  // AVAIL_INTRA_RACK_NET check failed for this rack
+      }
+      PerResource<BoxId> boxes{BoxId::invalid(), BoxId::invalid(),
+                               BoxId::invalid()};
+      bool found = true;
+      for (ResourceType t : kAllResources) {
+        boxes[t] = pick_box_in_rack(rack, t, units[t]);
+        if (!boxes[t].valid()) {
+          found = false;
+          break;
+        }
+      }
+      if (!found) continue;  // unreachable given pool membership; defensive
+      auto placed = commit(vm, units, boxes, net::LinkSelectPolicy::FirstFit,
+                           /*used_fallback=*/false);
+      if (placed.ok()) {
+        if (options_.selection == RackSelection::RoundRobin) {
+          rr_next_rack_ =
+              (rack.value() + 1) % ctx().cluster->num_racks();
+        }
+        return placed;
+      }
+      // Per-link granularity can reject a rack that passed the aggregate
+      // check; commit() rolled back, so the next pool rack can be tried.
+    }
+  }
+
+  // SUPER_RACK fallback: NULB restricted to racks that can host each
+  // resource individually (inter-rack assignment is now unavoidable).
+  PerResource<std::vector<RackId>> lists = super_rack(units);
+  for (ResourceType t : kAllResources) {
+    if (lists[t].empty()) {
+      return Err{DropReason::NoComputeResources};
+    }
+  }
+  auto boxes = nulb_find_boxes(*ctx().cluster, *ctx().fabric, units,
+                               NeighborOrder::BoxIdOrder,
+                               CompanionSearch::GlobalOrder,
+                               RackFilter{std::move(lists)});
+  if (!boxes.ok()) {
+    return Err{boxes.error()};
+  }
+  auto placed = commit(vm, units, boxes.value(),
+                       net::LinkSelectPolicy::FirstFit, /*used_fallback=*/true);
+  if (placed.ok()) ++fallbacks_;
+  return placed;
+}
+
+std::unique_ptr<RisaAllocator> make_risa(AllocContext ctx) {
+  return std::make_unique<RisaAllocator>(ctx, RisaOptions{});
+}
+
+std::unique_ptr<RisaAllocator> make_risa_bf(AllocContext ctx) {
+  RisaOptions options;
+  options.packing = RackPacking::BestFit;
+  return std::make_unique<RisaAllocator>(ctx, std::move(options));
+}
+
+}  // namespace risa::core

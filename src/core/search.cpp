@@ -1,0 +1,146 @@
+#include "core/search.hpp"
+
+#include <algorithm>
+
+namespace risa::core {
+
+bool rack_allowed(const RackFilter& filter, ResourceType type, RackId rack) {
+  if (!filter.has_value()) return true;
+  const auto& racks = (*filter)[type];
+  return std::find(racks.begin(), racks.end(), rack) != racks.end();
+}
+
+BoxId first_fit_box(const topo::Cluster& cluster, ResourceType type,
+                    Units units, const RackFilter& filter) {
+  for (BoxId id : cluster.boxes_of_type(type)) {
+    const topo::Box& box = cluster.box(id);
+    if (!rack_allowed(filter, type, box.rack())) continue;
+    if (box.available_units() >= units) return id;
+  }
+  return BoxId::invalid();
+}
+
+namespace {
+
+/// Best free uplink capacity of a box.
+[[nodiscard]] MbitsPerSec best_uplink(const net::Fabric& fabric, BoxId box) {
+  MbitsPerSec best = 0;
+  for (LinkId id : fabric.box_uplinks(box)) {
+    best = std::max(best, fabric.link(id).available());
+  }
+  return best;
+}
+
+/// Best free rack-uplink capacity of a rack.
+[[nodiscard]] MbitsPerSec best_rack_uplink(const net::Fabric& fabric,
+                                           RackId rack) {
+  MbitsPerSec best = 0;
+  for (LinkId id : fabric.rack_uplinks(rack)) {
+    best = std::max(best, fabric.link(id).available());
+  }
+  return best;
+}
+
+/// NALB's bandwidth keys: the bottleneck free bandwidth of the path that
+/// would connect the anchor's rack to each candidate (candidate's best box
+/// uplink; for inter-rack candidates additionally the two rack uplinks
+/// involved), quantized to whole spatial channels because the OCS reserves
+/// channel-granular circuits.  On a lightly loaded fabric every candidate
+/// ties, so the stable sort preserves NULB's order -- which is why the
+/// paper's NALB makes the same placements as NULB (Figure 5: 255 = 255)
+/// until links genuinely congest.  Rack-uplink bests are computed once per
+/// search rather than per candidate.
+class PathHeadroom {
+ public:
+  PathHeadroom(const net::Fabric& fabric, RackId anchor_rack,
+               std::uint32_t num_racks)
+      : fabric_(&fabric), anchor_rack_(anchor_rack),
+        channel_rate_(fabric.config().channel_rate) {
+    rack_best_.reserve(num_racks);
+    for (std::uint32_t r = 0; r < num_racks; ++r) {
+      rack_best_.push_back(best_rack_uplink(fabric, RackId{r}));
+    }
+  }
+
+  /// Free channels on the candidate's bottleneck hop.
+  [[nodiscard]] MbitsPerSec of(BoxId box) const {
+    const RackId box_rack = fabric_->switch_node(fabric_->box_switch(box)).rack;
+    MbitsPerSec headroom = best_uplink(*fabric_, box);
+    if (box_rack != anchor_rack_) {
+      headroom = std::min(headroom, rack_best_[anchor_rack_.value()]);
+      headroom = std::min(headroom, rack_best_[box_rack.value()]);
+    }
+    return headroom / channel_rate_;
+  }
+
+ private:
+  const net::Fabric* fabric_;
+  RackId anchor_rack_;
+  MbitsPerSec channel_rate_;
+  std::vector<MbitsPerSec> rack_best_;
+};
+
+/// Scan `candidates` (already ordered) for the first fit.
+[[nodiscard]] BoxId scan(const topo::Cluster& cluster,
+                         const std::vector<BoxId>& candidates, Units units) {
+  for (BoxId id : candidates) {
+    if (cluster.box(id).available_units() >= units) return id;
+  }
+  return BoxId::invalid();
+}
+
+}  // namespace
+
+BoxId bfs_search(const topo::Cluster& cluster, const net::Fabric& fabric,
+                 RackId anchor_rack, ResourceType type, Units units,
+                 NeighborOrder order, CompanionSearch companion,
+                 const RackFilter& filter) {
+  std::optional<PathHeadroom> headroom;
+  if (order == NeighborOrder::BandwidthDescending) {
+    headroom.emplace(fabric, anchor_rack, cluster.num_racks());
+  }
+  const auto by_bandwidth = [&](BoxId a, BoxId b) {
+    return headroom->of(a) > headroom->of(b);
+  };
+
+  if (companion == CompanionSearch::GlobalOrder) {
+    // Single tier: every eligible box in per-type id order (the ordering
+    // that reproduces the paper's measured inter-rack behavior).
+    std::vector<BoxId> candidates;
+    for (BoxId id : cluster.boxes_of_type(type)) {
+      if (!rack_allowed(filter, type, cluster.box(id).rack())) continue;
+      candidates.push_back(id);
+    }
+    if (order == NeighborOrder::BandwidthDescending) {
+      std::stable_sort(candidates.begin(), candidates.end(), by_bandwidth);
+    }
+    return scan(cluster, candidates, units);
+  }
+
+  // AnchorRackFirst -- the literal Algorithm 2 tiering.
+  // Tier 1: boxes of the anchor rack, local order.
+  std::vector<BoxId> same_rack;
+  if (rack_allowed(filter, type, anchor_rack)) {
+    const auto& local = cluster.boxes_of_type_in_rack(anchor_rack, type);
+    same_rack.assign(local.begin(), local.end());
+  }
+  // Tier 2: every other eligible box, per-type id order.
+  std::vector<BoxId> other_racks;
+  for (BoxId id : cluster.boxes_of_type(type)) {
+    const topo::Box& box = cluster.box(id);
+    if (box.rack() == anchor_rack) continue;
+    if (!rack_allowed(filter, type, box.rack())) continue;
+    other_racks.push_back(id);
+  }
+
+  if (order == NeighborOrder::BandwidthDescending) {
+    std::stable_sort(same_rack.begin(), same_rack.end(), by_bandwidth);
+    std::stable_sort(other_racks.begin(), other_racks.end(), by_bandwidth);
+  }
+
+  const BoxId local_hit = scan(cluster, same_rack, units);
+  if (local_hit.valid()) return local_hit;
+  return scan(cluster, other_racks, units);
+}
+
+}  // namespace risa::core

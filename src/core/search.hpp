@@ -1,0 +1,70 @@
+// Box search primitives shared by NULB and NALB (§4.1).
+//
+// NULB's compute phase is a first-fit scan in per-type box-id order for the
+// most contended resource, then a BFS from the chosen box's rack for the
+// remaining types: same-rack boxes first, then boxes of other racks in rack
+// id order.  NALB runs the same BFS but "reorders neighbors ... in
+// descending order of their available bandwidth" -- here, each tier's
+// candidates are stably re-sorted by the box's best free uplink capacity.
+//
+// Searches optionally restrict to a per-type rack set (SUPER_RACK): RISA's
+// fallback path funnels through the same code with a filter installed.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "common/units.hpp"
+#include "network/fabric.hpp"
+#include "network/routing.hpp"
+#include "topology/cluster.hpp"
+
+namespace risa::core {
+
+/// Per-type rack filter.  An empty optional means "no restriction"; an
+/// engaged optional restricts candidate boxes of type t to racks[t].
+using RackFilter = std::optional<PerResource<std::vector<RackId>>>;
+
+/// True when `rack` is eligible for `type` under `filter`.
+[[nodiscard]] bool rack_allowed(const RackFilter& filter, ResourceType type,
+                                RackId rack);
+
+/// First box of `type` with at least `units` available, scanning cluster-
+/// wide in per-type (rack-major) id order -- NULB's anchor search.
+[[nodiscard]] BoxId first_fit_box(const topo::Cluster& cluster,
+                                  ResourceType type, Units units,
+                                  const RackFilter& filter);
+
+/// Candidate ordering of the BFS second phase.
+enum class NeighborOrder : std::uint8_t {
+  BoxIdOrder = 0,        ///< NULB: rack-major box-id order
+  BandwidthDescending = 1,  ///< NALB: best free uplink first (stable)
+};
+
+/// How the companion (non-anchor) resources are searched.
+///
+/// Algorithm 2's prose says "first looks for other requested resources ...
+/// in the same rack", but the paper's own measured results (Figures 7/10:
+/// up to 52% inter-rack assignments on the Azure subsets) are only
+/// reproducible when the companion search scans boxes in global id order
+/// without anchoring to the scarce resource's rack -- which is also what
+/// §4.1's critique of NULB/NALB describes.  Both readings are implemented;
+/// GlobalOrder is the default because it reproduces the published numbers.
+/// See DESIGN.md §2 and the search-interpretation ablation bench.
+enum class CompanionSearch : std::uint8_t {
+  GlobalOrder = 0,      ///< first fit over all boxes in id order (default)
+  AnchorRackFirst = 1,  ///< literal Algorithm 2: anchor rack, then the rest
+};
+
+/// BFS search for `type`: candidates ordered per `companion` tiering and
+/// `order` within each tier.  Returns the first candidate with `units`
+/// available, or an invalid id.
+[[nodiscard]] BoxId bfs_search(const topo::Cluster& cluster,
+                               const net::Fabric& fabric, RackId anchor_rack,
+                               ResourceType type, Units units,
+                               NeighborOrder order, CompanionSearch companion,
+                               const RackFilter& filter);
+
+}  // namespace risa::core

@@ -1,0 +1,38 @@
+// The event calendar: a binary min-heap keyed on (time, seq).
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "des/event.hpp"
+
+namespace risa::des {
+
+class Calendar {
+ public:
+  void push(SimTime time, EventFn fn) {
+    heap_.push(Event{time, next_seq_++, std::move(fn)});
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] SimTime next_time() const { return heap_.top().time; }
+
+  /// Remove and return the earliest event.
+  [[nodiscard]] Event pop() {
+    // std::priority_queue::top() is const&; move out via const_cast is UB,
+    // so copy the small struct (fn is a shared-state function object; the
+    // copy is cheap relative to event handling).
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+
+  [[nodiscard]] std::uint64_t scheduled_total() const noexcept { return next_seq_; }
+
+ private:
+  std::priority_queue<Event, std::vector<Event>, EventAfter> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace risa::des

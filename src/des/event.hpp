@@ -1,0 +1,33 @@
+// Discrete-event primitives.
+//
+// Events are (time, sequence) ordered: the sequence number is a global
+// monotonically increasing counter so simultaneous events execute in
+// scheduling (FIFO) order -- determinism the reproduction depends on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/units.hpp"
+
+namespace risa::des {
+
+class Simulator;
+
+using EventFn = std::function<void(Simulator&)>;
+
+struct Event {
+  SimTime time = 0.0;
+  std::uint64_t seq = 0;
+  EventFn fn;
+};
+
+/// Min-heap ordering: earliest time first, FIFO within equal times.
+struct EventAfter {
+  [[nodiscard]] bool operator()(const Event& a, const Event& b) const noexcept {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace risa::des

@@ -1,0 +1,46 @@
+// Reusable stochastic processes on top of the simulator kernel.
+#pragma once
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "des/simulator.hpp"
+
+namespace risa::des {
+
+/// A Poisson arrival process: fires `on_arrival(index)` N times with
+/// exponential inter-arrival gaps of the given mean, matching the paper's
+/// "requests are produced dynamically based on a Poisson distribution with
+/// a mean interarrival period of 10 time units".
+class PoissonArrivals {
+ public:
+  PoissonArrivals(double mean_interarrival, std::size_t count,
+                  std::function<void(Simulator&, std::size_t)> on_arrival)
+      : mean_(mean_interarrival), count_(count),
+        on_arrival_(std::move(on_arrival)) {
+    if (mean_ <= 0) {
+      throw std::invalid_argument("PoissonArrivals: non-positive mean");
+    }
+  }
+
+  /// Schedules the first arrival; subsequent arrivals self-schedule.
+  void start(Simulator& sim, Rng& rng) {
+    if (count_ == 0) return;
+    schedule_next(sim, rng, 0);
+  }
+
+ private:
+  void schedule_next(Simulator& sim, Rng& rng, std::size_t index) {
+    const double gap = rng.exponential(mean_);
+    sim.schedule_after(gap, [this, &rng, index](Simulator& s) {
+      on_arrival_(s, index);
+      if (index + 1 < count_) schedule_next(s, rng, index + 1);
+    });
+  }
+
+  double mean_;
+  std::size_t count_;
+  std::function<void(Simulator&, std::size_t)> on_arrival_;
+};
+
+}  // namespace risa::des

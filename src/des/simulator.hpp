@@ -1,0 +1,68 @@
+// The discrete-event simulator: a clock plus a calendar.
+//
+// Handlers receive the simulator and may schedule further events.  Time
+// never goes backwards; scheduling into the past throws.  `run()` drains
+// the calendar (optionally up to a horizon) and returns the final clock.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+#include "des/calendar.hpp"
+
+namespace risa::des {
+
+class Simulator {
+ public:
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedule `fn` at absolute time `when` (>= now).
+  void schedule_at(SimTime when, EventFn fn) {
+    if (when < now_) {
+      throw std::invalid_argument("Simulator: scheduling into the past");
+    }
+    calendar_.push(when, std::move(fn));
+  }
+
+  /// Schedule `fn` after a non-negative delay.
+  void schedule_after(SimTime delay, EventFn fn) {
+    if (delay < 0) {
+      throw std::invalid_argument("Simulator: negative delay");
+    }
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Run until the calendar drains or the next event exceeds `until`.
+  /// Returns the clock value after the last executed event.
+  SimTime run(SimTime until = std::numeric_limits<SimTime>::infinity()) {
+    while (!calendar_.empty() && calendar_.next_time() <= until) {
+      Event e = calendar_.pop();
+      now_ = e.time;
+      ++executed_;
+      e.fn(*this);
+    }
+    return now_;
+  }
+
+  /// Execute exactly one event; returns false when the calendar is empty.
+  bool step() {
+    if (calendar_.empty()) return false;
+    Event e = calendar_.pop();
+    now_ = e.time;
+    ++executed_;
+    e.fn(*this);
+    return true;
+  }
+
+  [[nodiscard]] bool idle() const noexcept { return calendar_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return calendar_.size(); }
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  SimTime now_ = 0.0;
+  Calendar calendar_;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace risa::des

@@ -1,0 +1,46 @@
+#include "network/circuit.hpp"
+
+namespace risa::net {
+
+Result<CircuitId, std::string> CircuitTable::establish(VmId vm, FlowKind flow,
+                                                       MbitsPerSec bw,
+                                                       CircuitPath path) {
+  auto reserved = router_->reserve(path, bw);
+  if (!reserved.ok()) {
+    return Err<std::string>{reserved.error()};
+  }
+  const CircuitId id{next_id_++};
+  Circuit circuit{id, vm, flow, bw, std::move(path)};
+  circuits_.emplace(id.value(), std::move(circuit));
+  by_vm_[vm.value()].push_back(id);
+  return id;
+}
+
+std::size_t CircuitTable::teardown_vm(VmId vm) {
+  const auto it = by_vm_.find(vm.value());
+  if (it == by_vm_.end()) return 0;
+  std::size_t removed = 0;
+  for (CircuitId cid : it->second) {
+    const auto cit = circuits_.find(cid.value());
+    if (cit == circuits_.end()) continue;
+    router_->release(cit->second.path, cit->second.bandwidth);
+    circuits_.erase(cit);
+    ++removed;
+  }
+  by_vm_.erase(it);
+  return removed;
+}
+
+std::vector<const Circuit*> CircuitTable::circuits_of(VmId vm) const {
+  std::vector<const Circuit*> out;
+  const auto it = by_vm_.find(vm.value());
+  if (it == by_vm_.end()) return out;
+  out.reserve(it->second.size());
+  for (CircuitId cid : it->second) {
+    const auto cit = circuits_.find(cid.value());
+    if (cit != circuits_.end()) out.push_back(&cit->second);
+  }
+  return out;
+}
+
+}  // namespace risa::net

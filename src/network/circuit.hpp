@@ -1,0 +1,74 @@
+// Circuits: live bandwidth reservations belonging to a placed VM.
+//
+// Each placed VM holds two circuits (Figure 2): CPU<->RAM and RAM<->storage.
+// CircuitTable owns their life cycle: establish reserves bandwidth along the
+// path; teardown releases every hop.  The table is the source of truth for
+// "which optical resources does VM x hold", which the photonic power model
+// and the departure path of the simulator both consume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "common/types.hpp"
+#include "common/units.hpp"
+#include "network/path.hpp"
+#include "network/routing.hpp"
+
+namespace risa::net {
+
+/// Which resource pair a circuit connects.
+enum class FlowKind : std::uint8_t { CpuRam = 0, RamStorage = 1 };
+
+[[nodiscard]] constexpr std::string_view name(FlowKind f) noexcept {
+  switch (f) {
+    case FlowKind::CpuRam: return "cpu-ram";
+    case FlowKind::RamStorage: return "ram-sto";
+  }
+  return "?";
+}
+
+struct Circuit {
+  CircuitId id;
+  VmId vm;
+  FlowKind flow = FlowKind::CpuRam;
+  MbitsPerSec bandwidth = 0;
+  CircuitPath path;
+};
+
+class CircuitTable {
+ public:
+  explicit CircuitTable(Router& router) : router_(&router) {}
+
+  /// Reserve bandwidth along `path` and record the circuit.  On failure the
+  /// fabric is unchanged.
+  [[nodiscard]] Result<CircuitId, std::string> establish(VmId vm, FlowKind flow,
+                                                         MbitsPerSec bw,
+                                                         CircuitPath path);
+
+  /// Tear down every circuit of `vm`, releasing bandwidth.  Returns the
+  /// number of circuits removed (0 when the VM holds none).
+  std::size_t teardown_vm(VmId vm);
+
+  [[nodiscard]] std::size_t active_count() const noexcept { return circuits_.size(); }
+
+  /// Circuits held by one VM (empty when none).
+  [[nodiscard]] std::vector<const Circuit*> circuits_of(VmId vm) const;
+
+  /// Iterate all active circuits.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [id, c] : circuits_) fn(c);
+  }
+
+ private:
+  Router* router_;
+  std::unordered_map<std::uint32_t, Circuit> circuits_;  // by circuit id
+  std::unordered_map<std::uint32_t, std::vector<CircuitId>> by_vm_;
+  std::uint32_t next_id_ = 0;
+};
+
+}  // namespace risa::net

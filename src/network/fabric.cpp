@@ -1,0 +1,256 @@
+#include "network/fabric.hpp"
+
+#include <stdexcept>
+
+#include "common/string_util.hpp"
+
+namespace risa::net {
+
+Fabric::Fabric(const topo::ClusterConfig& cluster, FabricConfig config)
+    : config_(config) {
+  config_.validate();
+  cluster.validate();
+
+  const std::uint32_t racks = cluster.racks;
+  const std::uint32_t boxes_per_rack = cluster.total_boxes_per_rack();
+  const std::uint32_t total_boxes = cluster.total_boxes();
+
+  box_switches_.resize(total_boxes);
+  rack_switches_.resize(racks);
+  box_uplinks_.resize(total_boxes);
+  rack_uplinks_.resize(racks);
+  rack_intra_available_.assign(racks, 0);
+
+  auto add_switch = [&](SwitchKind kind, std::uint32_t ports, RackId rack,
+                        BoxId box) {
+    const SwitchId id{static_cast<std::uint32_t>(switches_.size())};
+    switches_.push_back(SwitchNode{id, kind, ports, rack, box});
+    return id;
+  };
+
+  // Box ids are assigned by the Cluster in rack-major order; mirror that.
+  for (std::uint32_t r = 0; r < racks; ++r) {
+    const RackId rack_id{r};
+    rack_switches_[r] =
+        add_switch(SwitchKind::RackSwitch, config_.rack_switch_ports, rack_id,
+                   BoxId::invalid());
+    for (std::uint32_t b = 0; b < boxes_per_rack; ++b) {
+      const BoxId box_id{r * boxes_per_rack + b};
+      box_switches_[box_id.value()] =
+          add_switch(SwitchKind::BoxSwitch, config_.box_switch_ports, rack_id,
+                     box_id);
+    }
+  }
+  // Optional pod tier (three-tier extension): ceil(racks / racks_per_pod)
+  // pod switches between the rack switches and the core.
+  if (config_.racks_per_pod > 0) {
+    const std::uint32_t pods =
+        (racks + config_.racks_per_pod - 1) / config_.racks_per_pod;
+    for (std::uint32_t p = 0; p < pods; ++p) {
+      pod_switches_.push_back(add_switch(SwitchKind::PodSwitch,
+                                         config_.pod_switch_ports,
+                                         RackId::invalid(), BoxId::invalid()));
+    }
+    pod_uplinks_.resize(pods);
+  }
+  core_switch_ = add_switch(SwitchKind::InterRackSwitch,
+                            config_.inter_rack_switch_ports, RackId::invalid(),
+                            BoxId::invalid());
+
+  // Links: box uplinks (intra tier), rack uplinks (to the pod switch in
+  // three-tier mode, to the core otherwise), then pod uplinks.
+  for (std::uint32_t r = 0; r < racks; ++r) {
+    const RackId rack_id{r};
+    for (std::uint32_t b = 0; b < boxes_per_rack; ++b) {
+      const BoxId box_id{r * boxes_per_rack + b};
+      for (std::uint32_t l = 0; l < config_.links_per_box; ++l) {
+        const LinkId id{static_cast<std::uint32_t>(links_.size())};
+        links_.emplace_back(id, LinkKind::BoxUplink,
+                            box_switches_[box_id.value()], rack_switches_[r],
+                            rack_id, box_id, config_.link_capacity);
+        box_uplinks_[box_id.value()].push_back(id);
+        intra_capacity_ += config_.link_capacity;
+        rack_intra_available_[r] += config_.link_capacity;
+      }
+    }
+    const SwitchId rack_parent = pod_switches_.empty()
+                                     ? core_switch_
+                                     : pod_switches_[r / config_.racks_per_pod];
+    for (std::uint32_t l = 0; l < config_.links_per_rack; ++l) {
+      const LinkId id{static_cast<std::uint32_t>(links_.size())};
+      links_.emplace_back(id, LinkKind::RackUplink, rack_switches_[r],
+                          rack_parent, rack_id, BoxId::invalid(),
+                          config_.link_capacity);
+      rack_uplinks_[r].push_back(id);
+      inter_capacity_ += config_.link_capacity;
+    }
+  }
+  for (std::uint32_t p = 0; p < pod_switches_.size(); ++p) {
+    for (std::uint32_t l = 0; l < config_.links_per_pod; ++l) {
+      const LinkId id{static_cast<std::uint32_t>(links_.size())};
+      links_.emplace_back(id, LinkKind::PodUplink, pod_switches_[p],
+                          core_switch_, RackId::invalid(), BoxId::invalid(),
+                          config_.link_capacity);
+      pod_uplinks_[p].push_back(id);
+      inter_capacity_ += config_.link_capacity;
+    }
+  }
+}
+
+std::uint32_t Fabric::pod_of_rack(RackId rack) const {
+  if (pod_switches_.empty()) {
+    throw std::logic_error("Fabric: pod_of_rack on a two-tier fabric");
+  }
+  if (!rack.valid() || rack.value() >= rack_switches_.size()) {
+    throw std::out_of_range("Fabric: bad rack id");
+  }
+  return rack.value() / config_.racks_per_pod;
+}
+
+bool Fabric::same_pod(RackId a, RackId b) const {
+  if (pod_switches_.empty()) return true;
+  return pod_of_rack(a) == pod_of_rack(b);
+}
+
+SwitchId Fabric::pod_switch(std::uint32_t pod) const {
+  if (pod >= pod_switches_.size()) {
+    throw std::out_of_range("Fabric: bad pod index");
+  }
+  return pod_switches_[pod];
+}
+
+std::span<const LinkId> Fabric::pod_uplinks(std::uint32_t pod) const {
+  if (pod >= pod_uplinks_.size()) {
+    throw std::out_of_range("Fabric: bad pod index");
+  }
+  return pod_uplinks_[pod];
+}
+
+const SwitchNode& Fabric::switch_node(SwitchId id) const {
+  if (!id.valid() || id.value() >= switches_.size()) {
+    throw std::out_of_range("Fabric: bad switch id");
+  }
+  return switches_[id.value()];
+}
+
+SwitchId Fabric::box_switch(BoxId box) const {
+  if (!box.valid() || box.value() >= box_switches_.size()) {
+    throw std::out_of_range("Fabric: bad box id");
+  }
+  return box_switches_[box.value()];
+}
+
+SwitchId Fabric::rack_switch(RackId rack) const {
+  if (!rack.valid() || rack.value() >= rack_switches_.size()) {
+    throw std::out_of_range("Fabric: bad rack id");
+  }
+  return rack_switches_[rack.value()];
+}
+
+Link& Fabric::link(LinkId id) {
+  if (!id.valid() || id.value() >= links_.size()) {
+    throw std::out_of_range("Fabric: bad link id");
+  }
+  return links_[id.value()];
+}
+
+const Link& Fabric::link(LinkId id) const {
+  if (!id.valid() || id.value() >= links_.size()) {
+    throw std::out_of_range("Fabric: bad link id");
+  }
+  return links_[id.value()];
+}
+
+std::span<const LinkId> Fabric::box_uplinks(BoxId box) const {
+  if (!box.valid() || box.value() >= box_uplinks_.size()) {
+    throw std::out_of_range("Fabric: bad box id");
+  }
+  return box_uplinks_[box.value()];
+}
+
+std::span<const LinkId> Fabric::rack_uplinks(RackId rack) const {
+  if (!rack.valid() || rack.value() >= rack_uplinks_.size()) {
+    throw std::out_of_range("Fabric: bad rack id");
+  }
+  return rack_uplinks_[rack.value()];
+}
+
+Result<bool, std::string> Fabric::allocate(LinkId id, MbitsPerSec bw) {
+  Link& l = link(id);
+  auto result = l.allocate(bw);
+  if (result.ok()) {
+    if (l.kind() == LinkKind::BoxUplink) {
+      intra_allocated_ += bw;
+      rack_intra_available_[l.rack().value()] -= bw;
+    } else {
+      inter_allocated_ += bw;
+    }
+  }
+  return result;
+}
+
+void Fabric::release(LinkId id, MbitsPerSec bw) {
+  Link& l = link(id);
+  l.release(bw);
+  if (l.kind() == LinkKind::BoxUplink) {
+    intra_allocated_ -= bw;
+    // Bandwidth released on a failed link is not available until repair.
+    if (!l.failed()) {
+      rack_intra_available_[l.rack().value()] += bw;
+    }
+  } else {
+    inter_allocated_ -= bw;
+  }
+}
+
+void Fabric::set_link_failed(LinkId id, bool failed) {
+  Link& l = link(id);
+  if (l.failed() == failed) return;
+  if (l.kind() == LinkKind::BoxUplink) {
+    if (failed) {
+      rack_intra_available_[l.rack().value()] -= l.available();
+      l.set_failed(true);
+    } else {
+      l.set_failed(false);
+      rack_intra_available_[l.rack().value()] += l.available();
+    }
+  } else {
+    l.set_failed(failed);
+  }
+}
+
+MbitsPerSec Fabric::rack_intra_available(RackId rack) const {
+  if (!rack.valid() || rack.value() >= rack_intra_available_.size()) {
+    throw std::out_of_range("Fabric: bad rack id");
+  }
+  return rack_intra_available_[rack.value()];
+}
+
+void Fabric::check_invariants() const {
+  MbitsPerSec intra_cap = 0, intra_alloc = 0, inter_cap = 0, inter_alloc = 0;
+  std::vector<MbitsPerSec> rack_avail(rack_intra_available_.size(), 0);
+  for (const Link& l : links_) {
+    if (l.allocated() < 0 || l.allocated() > l.capacity()) {
+      throw std::logic_error("Fabric invariant: link allocation out of range");
+    }
+    if (l.kind() == LinkKind::BoxUplink) {
+      intra_cap += l.capacity();
+      intra_alloc += l.allocated();
+      rack_avail[l.rack().value()] += l.available();  // 0 while failed
+    } else {
+      inter_cap += l.capacity();
+      inter_alloc += l.allocated();
+    }
+  }
+  if (intra_cap != intra_capacity_ || intra_alloc != intra_allocated_ ||
+      inter_cap != inter_capacity_ || inter_alloc != inter_allocated_) {
+    throw std::logic_error("Fabric invariant: tier aggregate mismatch");
+  }
+  for (std::size_t r = 0; r < rack_avail.size(); ++r) {
+    if (rack_avail[r] != rack_intra_available_[r]) {
+      throw std::logic_error("Fabric invariant: rack intra aggregate mismatch");
+    }
+  }
+}
+
+}  // namespace risa::net

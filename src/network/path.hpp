@@ -1,0 +1,25 @@
+// A circuit path through the two-tier fabric.
+//
+// Intra-rack:  src box switch -> rack switch -> dst box switch
+//              (2 link hops: src box uplink + dst box uplink)
+// Inter-rack:  src box switch -> rack A switch -> inter-rack switch ->
+//              rack B switch -> dst box switch
+//              (4 link hops: 2 box uplinks + 2 rack uplinks)
+// These match the "communication journey" narrated for Figure 2.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace risa::net {
+
+struct CircuitPath {
+  std::vector<LinkId> links;       ///< link hops, source to destination order
+  std::vector<SwitchId> switches;  ///< switches traversed, in order
+  bool inter_rack = false;
+
+  [[nodiscard]] std::size_t hop_count() const noexcept { return links.size(); }
+};
+
+}  // namespace risa::net

@@ -1,0 +1,134 @@
+#include "network/routing.hpp"
+
+#include <stdexcept>
+
+namespace risa::net {
+
+Result<LinkId, std::string> Router::select_link(std::span<const LinkId> group,
+                                                MbitsPerSec bw,
+                                                LinkSelectPolicy policy) const {
+  if (group.empty()) {
+    return Err<std::string>{"Router: empty link group"};
+  }
+  switch (policy) {
+    case LinkSelectPolicy::FirstFit:
+      for (LinkId id : group) {
+        if (fabric_->link(id).available() >= bw) return id;
+      }
+      break;
+    case LinkSelectPolicy::MostAvailable: {
+      LinkId best = LinkId::invalid();
+      MbitsPerSec best_avail = -1;
+      for (LinkId id : group) {
+        const MbitsPerSec avail = fabric_->link(id).available();
+        if (avail > best_avail) {
+          best_avail = avail;
+          best = id;
+        }
+      }
+      if (best.valid() && best_avail >= bw) return best;
+      break;
+    }
+  }
+  return Err<std::string>{"Router: no link with sufficient bandwidth"};
+}
+
+Result<CircuitPath, std::string> Router::find_path(BoxId src, RackId src_rack,
+                                                   BoxId dst, RackId dst_rack,
+                                                   MbitsPerSec bw,
+                                                   LinkSelectPolicy policy) const {
+  if (src == dst) {
+    return Err<std::string>{"Router: src and dst boxes are identical"};
+  }
+  CircuitPath path;
+  path.inter_rack = src_rack != dst_rack;
+
+  auto src_up = select_link(fabric_->box_uplinks(src), bw, policy);
+  if (!src_up.ok()) return Err<std::string>{"src uplink: " + src_up.error()};
+  auto dst_up = select_link(fabric_->box_uplinks(dst), bw, policy);
+  if (!dst_up.ok()) return Err<std::string>{"dst uplink: " + dst_up.error()};
+
+  path.switches.push_back(fabric_->box_switch(src));
+  path.switches.push_back(fabric_->rack_switch(src_rack));
+  path.links.push_back(src_up.value());
+
+  if (path.inter_rack) {
+    auto up_a = select_link(fabric_->rack_uplinks(src_rack), bw, policy);
+    if (!up_a.ok()) return Err<std::string>{"rack A uplink: " + up_a.error()};
+    auto up_b = select_link(fabric_->rack_uplinks(dst_rack), bw, policy);
+    if (!up_b.ok()) return Err<std::string>{"rack B uplink: " + up_b.error()};
+    path.links.push_back(up_a.value());
+
+    if (fabric_->num_pods() == 0) {
+      // Two-tier (the paper's topology): rack -> core -> rack.
+      path.switches.push_back(fabric_->core_switch());
+    } else if (fabric_->same_pod(src_rack, dst_rack)) {
+      // Three-tier, same pod: rack -> pod -> rack.
+      path.switches.push_back(
+          fabric_->pod_switch(fabric_->pod_of_rack(src_rack)));
+    } else {
+      // Three-tier, cross-pod: rack -> pod -> core -> pod -> rack.
+      const std::uint32_t pod_a = fabric_->pod_of_rack(src_rack);
+      const std::uint32_t pod_b = fabric_->pod_of_rack(dst_rack);
+      auto pod_up_a = select_link(fabric_->pod_uplinks(pod_a), bw, policy);
+      if (!pod_up_a.ok()) {
+        return Err<std::string>{"pod A uplink: " + pod_up_a.error()};
+      }
+      auto pod_up_b = select_link(fabric_->pod_uplinks(pod_b), bw, policy);
+      if (!pod_up_b.ok()) {
+        return Err<std::string>{"pod B uplink: " + pod_up_b.error()};
+      }
+      path.switches.push_back(fabric_->pod_switch(pod_a));
+      path.links.push_back(pod_up_a.value());
+      path.switches.push_back(fabric_->core_switch());
+      path.links.push_back(pod_up_b.value());
+      path.switches.push_back(fabric_->pod_switch(pod_b));
+    }
+
+    path.links.push_back(up_b.value());
+    path.switches.push_back(fabric_->rack_switch(dst_rack));
+  }
+
+  path.links.push_back(dst_up.value());
+  path.switches.push_back(fabric_->box_switch(dst));
+  return path;
+}
+
+Result<bool, std::string> Router::reserve(const CircuitPath& path,
+                                          MbitsPerSec bw) {
+  for (std::size_t i = 0; i < path.links.size(); ++i) {
+    auto result = fabric_->allocate(path.links[i], bw);
+    if (!result.ok()) {
+      // Roll back the hops reserved so far; the fabric must be unchanged
+      // after a failed reservation.
+      for (std::size_t j = 0; j < i; ++j) {
+        fabric_->release(path.links[j], bw);
+      }
+      return Err<std::string>{result.error()};
+    }
+  }
+  return true;
+}
+
+void Router::release(const CircuitPath& path, MbitsPerSec bw) {
+  for (LinkId id : path.links) {
+    fabric_->release(id, bw);
+  }
+}
+
+MbitsPerSec Router::group_available(std::span<const LinkId> group) const {
+  MbitsPerSec total = 0;
+  for (LinkId id : group) total += fabric_->link(id).available();
+  return total;
+}
+
+MbitsPerSec Router::group_max_available(std::span<const LinkId> group) const {
+  MbitsPerSec best = 0;
+  for (LinkId id : group) {
+    const MbitsPerSec avail = fabric_->link(id).available();
+    if (avail > best) best = avail;
+  }
+  return best;
+}
+
+}  // namespace risa::net

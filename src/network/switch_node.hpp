@@ -1,0 +1,41 @@
+// Optical switch nodes of the two-tier DDC fabric (§3.1, Figure 3):
+// per-box switches, per-rack (intra-rack) switches, and a cluster-level
+// inter-rack switch.  Port counts (radices) feed the Beneš energy model of
+// §3.2/§5.2: box 64, rack 256, inter-rack 512 ports.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace risa::net {
+
+enum class SwitchKind : std::uint8_t {
+  BoxSwitch = 0,
+  RackSwitch = 1,
+  InterRackSwitch = 2,
+  /// Middle tier of the optional three-tier topology (the structure of the
+  /// RL scheduler's setting [17] that §2 contrasts against; disabled in the
+  /// paper's two-tier default).
+  PodSwitch = 3,
+};
+
+[[nodiscard]] constexpr std::string_view name(SwitchKind k) noexcept {
+  switch (k) {
+    case SwitchKind::BoxSwitch: return "box";
+    case SwitchKind::RackSwitch: return "rack";
+    case SwitchKind::InterRackSwitch: return "inter-rack";
+    case SwitchKind::PodSwitch: return "pod";
+  }
+  return "?";
+}
+
+struct SwitchNode {
+  SwitchId id;
+  SwitchKind kind = SwitchKind::BoxSwitch;
+  std::uint32_t ports = 0;       ///< Beneš radix for the energy model.
+  RackId rack = RackId::invalid();  ///< owning rack (invalid for inter-rack)
+  BoxId box = BoxId::invalid();     ///< owning box (box switches only)
+};
+
+}  // namespace risa::net

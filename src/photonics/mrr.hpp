@@ -1,0 +1,29 @@
+// Microring-resonator (MRR) cell electrical parameters (§3.2).
+//
+// Values from Mirza et al., TCAD 2022 [13], as adopted by the paper:
+//   P_trim  = 22.67 mW  (holding a cell in its state)
+//   P_swcell = 13.75 mW (reconfiguring a cell)
+// and the sharing factor alpha = 0.9 (two VMs can share a cell; alpha is
+// bounded by [0.5, 1.0]).
+#pragma once
+
+#include <stdexcept>
+
+namespace risa::phot {
+
+struct MrrParams {
+  double trim_power_w = 22.67e-3;    ///< P_trimcell, watts
+  double switch_power_w = 13.75e-3;  ///< P_swcell, watts
+  double alpha = 0.9;                ///< cell-sharing factor in [0.5, 1.0]
+
+  void validate() const {
+    if (trim_power_w < 0 || switch_power_w < 0) {
+      throw std::invalid_argument("MrrParams: negative power");
+    }
+    if (alpha < 0.5 || alpha > 1.0) {
+      throw std::invalid_argument("MrrParams: alpha outside [0.5, 1.0]");
+    }
+  }
+};
+
+}  // namespace risa::phot

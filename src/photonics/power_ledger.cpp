@@ -1,0 +1,68 @@
+#include "photonics/power_ledger.hpp"
+
+#include <stdexcept>
+
+namespace risa::phot {
+
+double circuit_holding_power_w(const PhotonicConfig& config,
+                               const net::Fabric& fabric,
+                               const net::Circuit& circuit) {
+  double power = 0.0;
+  for (SwitchId sw : circuit.path.switches) {
+    const auto& node = fabric.switch_node(sw);
+    power += config.switch_energy.mrr.alpha *
+             static_cast<double>(benes_path_cells(node.ports)) *
+             config.switch_energy.mrr.trim_power_w;
+  }
+  power += transceiver_power_w(config.transceiver, circuit.bandwidth,
+                               circuit.path.hop_count());
+  return power;
+}
+
+VmEnergy PowerLedger::charge_circuit(const net::Circuit& circuit,
+                                     double lifetime_tu) {
+  VmEnergy e;
+  for (SwitchId sw : circuit.path.switches) {
+    const auto& node = fabric_->switch_node(sw);
+    const SwitchEnergy se =
+        circuit_switch_energy(config_.switch_energy, node.ports, lifetime_tu);
+    e.switch_switching_j += se.switching_j;
+    e.switch_trimming_j += se.trimming_j;
+  }
+  const double lifetime_s =
+      lifetime_tu * config_.switch_energy.seconds_per_time_unit;
+  e.transceiver_j += transceiver_energy_j(
+      config_.transceiver, circuit.bandwidth, circuit.path.hop_count(),
+      lifetime_s);
+
+  total_.switch_switching_j += e.switch_switching_j;
+  total_.switch_trimming_j += e.switch_trimming_j;
+  total_.transceiver_j += e.transceiver_j;
+  ++charged_;
+  per_circuit_energy_.add(e.total_j());
+  return e;
+}
+
+VmEnergy PowerLedger::charge_vm(
+    const std::vector<const net::Circuit*>& circuits, double lifetime_tu) {
+  VmEnergy sum;
+  for (const net::Circuit* c : circuits) {
+    if (c == nullptr) throw std::invalid_argument("charge_vm: null circuit");
+    const VmEnergy e = charge_circuit(*c, lifetime_tu);
+    sum.switch_switching_j += e.switch_switching_j;
+    sum.switch_trimming_j += e.switch_trimming_j;
+    sum.transceiver_j += e.transceiver_j;
+  }
+  return sum;
+}
+
+double PowerLedger::average_power_w(double horizon_tu) const {
+  if (horizon_tu <= 0) {
+    throw std::invalid_argument("average_power_w: non-positive horizon");
+  }
+  const double horizon_s =
+      horizon_tu * config_.switch_energy.seconds_per_time_unit;
+  return total_.total_j() / horizon_s;
+}
+
+}  // namespace risa::phot

@@ -1,0 +1,84 @@
+// Aggregates optical-component energy over a simulation run and converts it
+// to the average-power figure the paper reports (Figure 9: "power
+// consumption for optical components" = transceivers + all optical switch
+// energy, averaged over the simulated horizon).
+#pragma once
+
+#include <cstddef>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "network/circuit.hpp"
+#include "network/fabric.hpp"
+#include "photonics/switch_energy.hpp"
+#include "photonics/transceiver.hpp"
+
+namespace risa::phot {
+
+struct PhotonicConfig {
+  SwitchEnergyConfig switch_energy{};
+  TransceiverParams transceiver{};
+
+  void validate() const {
+    switch_energy.validate();
+    transceiver.validate();
+  }
+};
+
+/// Instantaneous holding power of one active circuit, watts: the trimming
+/// power of every MRR cell along its switch path (alpha * n * P_trim per
+/// switch) plus its transceiver draw.  Used by the timeline recorder; the
+/// time-integral of this quantity equals the ledger's trimming+transceiver
+/// energy.
+[[nodiscard]] double circuit_holding_power_w(const PhotonicConfig& config,
+                                             const net::Fabric& fabric,
+                                             const net::Circuit& circuit);
+
+/// Energy attributed to one VM's circuits, joules.
+struct VmEnergy {
+  double switch_switching_j = 0.0;
+  double switch_trimming_j = 0.0;
+  double transceiver_j = 0.0;
+
+  [[nodiscard]] double total_j() const noexcept {
+    return switch_switching_j + switch_trimming_j + transceiver_j;
+  }
+};
+
+class PowerLedger {
+ public:
+  PowerLedger(const PhotonicConfig& config, const net::Fabric& fabric)
+      : config_(config), fabric_(&fabric) {
+    config_.validate();
+  }
+
+  /// Charge the energy of one circuit held for `lifetime_tu` simulated time
+  /// units: Eq. (1) per switch traversed plus transceiver energy per link
+  /// hop.  Returns the decomposition for metrics.
+  VmEnergy charge_circuit(const net::Circuit& circuit, double lifetime_tu);
+
+  /// Convenience: charge both circuits of a placed VM.
+  VmEnergy charge_vm(const std::vector<const net::Circuit*>& circuits,
+                     double lifetime_tu);
+
+  [[nodiscard]] double total_energy_j() const noexcept { return total_.total_j(); }
+  [[nodiscard]] const VmEnergy& totals() const noexcept { return total_; }
+  [[nodiscard]] std::size_t circuits_charged() const noexcept { return charged_; }
+
+  /// Average power over a horizon of `horizon_tu` simulated time units.
+  [[nodiscard]] double average_power_w(double horizon_tu) const;
+
+  /// Per-VM total-energy distribution (joules).
+  [[nodiscard]] const RunningStats& per_circuit_energy() const noexcept {
+    return per_circuit_energy_;
+  }
+
+ private:
+  PhotonicConfig config_;
+  const net::Fabric* fabric_;
+  VmEnergy total_{};
+  std::size_t charged_ = 0;
+  RunningStats per_circuit_energy_;
+};
+
+}  // namespace risa::phot

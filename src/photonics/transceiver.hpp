@@ -1,0 +1,62 @@
+// SiP mid-board optical transceiver model (§3.1).
+//
+// The Luxtera commercial module [12]: 8 spatially-multiplexed channels of
+// 25 Gb/s (200 Gb/s per link), single-mode.  The paper takes its energy
+// cost as 22.5 pJ/bit [20].  A link hop engages one module per endpoint
+// (tx + rx), so a circuit of rate R crossing H links dissipates
+// 2 * H * R * 22.5 pJ/bit of power while active.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace risa::phot {
+
+struct TransceiverParams {
+  std::uint32_t channels = 8;              ///< spatial channels per module
+  MbitsPerSec channel_rate = gbps(25.0);   ///< per-channel bit rate
+  double energy_per_bit_j = 22.5e-12;      ///< 22.5 pJ/bit
+  std::uint32_t modules_per_hop = 2;       ///< tx + rx per link traversal
+
+  [[nodiscard]] MbitsPerSec link_rate() const noexcept {
+    return static_cast<MbitsPerSec>(channels) * channel_rate;
+  }
+
+  void validate() const {
+    if (channels == 0 || channel_rate <= 0) {
+      throw std::invalid_argument("TransceiverParams: bad channel config");
+    }
+    if (energy_per_bit_j < 0) {
+      throw std::invalid_argument("TransceiverParams: negative energy/bit");
+    }
+    if (modules_per_hop == 0) {
+      throw std::invalid_argument("TransceiverParams: zero modules per hop");
+    }
+  }
+};
+
+/// Power drawn by the transceivers of one circuit of rate `rate` crossing
+/// `hops` links, watts.
+[[nodiscard]] inline double transceiver_power_w(const TransceiverParams& p,
+                                                MbitsPerSec rate,
+                                                std::size_t hops) {
+  if (rate < 0) throw std::invalid_argument("transceiver_power_w: negative rate");
+  const double bits_per_s = static_cast<double>(rate) * 1e6;
+  return static_cast<double>(p.modules_per_hop) * static_cast<double>(hops) *
+         bits_per_s * p.energy_per_bit_j;
+}
+
+/// Energy over a circuit lifetime, joules.
+[[nodiscard]] inline double transceiver_energy_j(const TransceiverParams& p,
+                                                 MbitsPerSec rate,
+                                                 std::size_t hops,
+                                                 double lifetime_s) {
+  if (lifetime_s < 0) {
+    throw std::invalid_argument("transceiver_energy_j: negative lifetime");
+  }
+  return transceiver_power_w(p, rate, hops) * lifetime_s;
+}
+
+}  // namespace risa::phot

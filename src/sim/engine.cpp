@@ -1,0 +1,182 @@
+#include "sim/engine.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace risa::sim {
+
+Engine::Engine(const Scenario& scenario, const std::string& algorithm)
+    : scenario_(scenario), algorithm_(algorithm) {
+  scenario_.validate();
+  reset();
+}
+
+void Engine::reset() {
+  cluster_ = std::make_unique<topo::Cluster>(scenario_.cluster);
+  fabric_ = std::make_unique<net::Fabric>(scenario_.cluster, scenario_.fabric);
+  router_ = std::make_unique<net::Router>(*fabric_);
+  circuits_ = std::make_unique<net::CircuitTable>(*router_);
+  core::AllocContext ctx;
+  ctx.cluster = cluster_.get();
+  ctx.fabric = fabric_.get();
+  ctx.router = router_.get();
+  ctx.circuits = circuits_.get();
+  ctx.bandwidth = scenario_.bandwidth;
+  allocator_ = core::make_allocator(algorithm_, ctx, scenario_.allocator);
+}
+
+SimMetrics Engine::run(const wl::Workload& workload,
+                       const std::string& workload_label) {
+  reset();
+
+  SimMetrics m;
+  m.algorithm = std::string(allocator_->name());
+  m.workload = workload_label;
+  m.total_vms = workload.size();
+
+  phot::PowerLedger ledger(scenario_.photonics, *fabric_);
+
+  // Time-weighted signals.
+  PerResource<TimeWeightedMean> util;
+  TimeWeightedMean intra_util, inter_util;
+  auto sample_signals = [&](SimTime t) {
+    for (ResourceType ty : kAllResources) {
+      util[ty].update(t, cluster_->utilization(ty));
+    }
+    intra_util.update(t, fabric_->intra_utilization());
+    inter_util.update(t, fabric_->inter_utilization());
+  };
+
+  std::unordered_map<std::uint32_t, core::Placement> live;
+  live.reserve(workload.size());
+
+  // Instantaneous optical holding power, maintained incrementally for the
+  // timeline (per-VM deltas computed at placement/departure).
+  double holding_power_w = 0.0;
+  std::unordered_map<std::uint32_t, double> holding_power_by_vm;
+  auto record_timeline = [&](SimTime t) {
+    if (timeline_ == nullptr) return;
+    TimelinePoint p;
+    p.time = t;
+    p.active_vms = live.size();
+    p.placed_total = m.placed;
+    p.dropped_total = m.dropped;
+    for (ResourceType ty : kAllResources) {
+      p.utilization[ty] = cluster_->utilization(ty);
+    }
+    p.intra_net_utilization = fabric_->intra_utilization();
+    p.inter_net_utilization = fabric_->inter_utilization();
+    p.optical_power_w = holding_power_w;
+    timeline_->record(p);
+  };
+
+  des::Simulator sim;
+  sample_signals(0.0);
+
+  using Clock = std::chrono::steady_clock;
+  std::chrono::nanoseconds sched_time{0};
+
+  for (const wl::VmRequest& vm : workload) {
+    sim.schedule_at(vm.arrival, [&, vm](des::Simulator& s) {
+      const auto t0 = Clock::now();
+      auto placed = allocator_->try_place(vm);
+      sched_time += Clock::now() - t0;
+
+      if (!placed.ok()) {
+        ++m.dropped;
+        m.drops_by_reason.increment(std::string(core::name(placed.error())));
+        return;
+      }
+      core::Placement& p =
+          live.emplace(vm.id.value(), std::move(placed.value())).first->second;
+      ++m.placed;
+      if (p.inter_rack) ++m.any_pair_inter_rack;
+      if (p.used_fallback) ++m.fallback_placements;
+
+      // Figures 5/7/10 count a VM as inter-rack when its CPU and RAM racks
+      // differ; the same flag drives the RTT sample (pod-aware in the
+      // three-tier extension).
+      const bool cpu_ram_inter =
+          p.rack(ResourceType::Cpu) != p.rack(ResourceType::Ram);
+      if (cpu_ram_inter) ++m.inter_rack_placements;
+      const bool cross_pod =
+          cpu_ram_inter && !fabric_->same_pod(p.rack(ResourceType::Cpu),
+                                              p.rack(ResourceType::Ram));
+      m.cpu_ram_latency_ns.add(
+          scenario_.latency.rtt_ns(cpu_ram_inter, cross_pod));
+
+      // Eq. (1) charges the full lifetime at establishment (T is known).
+      ledger.charge_vm(circuits_->circuits_of(vm.id), vm.lifetime);
+
+      if (timeline_ != nullptr) {
+        double vm_power = 0.0;
+        for (const net::Circuit* c : circuits_->circuits_of(vm.id)) {
+          vm_power +=
+              phot::circuit_holding_power_w(scenario_.photonics, *fabric_, *c);
+        }
+        holding_power_w += vm_power;
+        holding_power_by_vm.emplace(vm.id.value(), vm_power);
+      }
+
+      sample_signals(s.now());
+      record_timeline(s.now());
+      s.schedule_at(vm.departure(), [&, id = vm.id](des::Simulator& s2) {
+        const auto it = live.find(id.value());
+        if (it == live.end()) {
+          throw std::logic_error("Engine: departure for unknown placement");
+        }
+        allocator_->release(it->second);
+        live.erase(it);
+        if (timeline_ != nullptr) {
+          const auto pit = holding_power_by_vm.find(id.value());
+          if (pit != holding_power_by_vm.end()) {
+            holding_power_w -= pit->second;
+            holding_power_by_vm.erase(pit);
+          }
+        }
+        sample_signals(s2.now());
+        record_timeline(s2.now());
+      });
+    });
+  }
+
+  m.horizon_tu = sim.run();
+  if (m.horizon_tu <= 0.0) m.horizon_tu = 1.0;  // degenerate empty workload
+
+  m.scheduler_exec_seconds =
+      std::chrono::duration<double>(sched_time).count();
+  for (ResourceType ty : kAllResources) {
+    m.avg_utilization[ty] = util[ty].mean(m.horizon_tu);
+    m.peak_utilization[ty] = util[ty].peak();
+  }
+  m.avg_intra_net_utilization = intra_util.mean(m.horizon_tu);
+  m.avg_inter_net_utilization = inter_util.mean(m.horizon_tu);
+  m.peak_intra_net_utilization = intra_util.peak();
+  m.peak_inter_net_utilization = inter_util.peak();
+  m.energy = ledger.totals();
+  m.avg_optical_power_w = ledger.average_power_w(m.horizon_tu);
+
+  if (m.placed + m.dropped != m.total_vms) {
+    throw std::logic_error("Engine: placement accounting mismatch");
+  }
+  if (!live.empty()) {
+    throw std::logic_error("Engine: placements leaked past their departure");
+  }
+  cluster_->check_invariants();
+  fabric_->check_invariants();
+
+  return m;
+}
+
+std::vector<SimMetrics> run_all_algorithms(const Scenario& scenario,
+                                           const wl::Workload& workload,
+                                           const std::string& workload_label) {
+  std::vector<SimMetrics> out;
+  for (const std::string& algo : core::algorithm_names()) {
+    Engine engine(scenario, algo);
+    out.push_back(engine.run(workload, workload_label));
+  }
+  return out;
+}
+
+}  // namespace risa::sim

@@ -1,0 +1,69 @@
+// The DDC simulation engine: owns one cluster + fabric + allocator stack
+// and replays a workload through the discrete-event kernel.
+//
+// Arrival event  -> Allocator::try_place (wall-clock timed: Figures 11-12)
+//                   success: record placement, charge Eq.(1)+transceiver
+//                            energy for the VM's lifetime, schedule departure
+//                   failure: count a drop (the paper's algorithms never queue)
+// Departure event-> release circuits + compute units
+// After every event the time-weighted utilization integrals advance.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "core/allocator.hpp"
+#include "core/registry.hpp"
+#include "des/simulator.hpp"
+#include "network/circuit.hpp"
+#include "photonics/power_ledger.hpp"
+#include "sim/metrics.hpp"
+#include "sim/scenario.hpp"
+#include "sim/timeline.hpp"
+#include "workload/vm.hpp"
+
+namespace risa::sim {
+
+class Engine {
+ public:
+  /// Build a fresh stack for `scenario` with the named algorithm.
+  Engine(const Scenario& scenario, const std::string& algorithm);
+
+  /// Replay `workload`; returns the collected metrics.  The engine is
+  /// single-shot per run: each call starts from a fresh cluster state.
+  [[nodiscard]] SimMetrics run(const wl::Workload& workload,
+                               const std::string& workload_label);
+
+  /// Optional time-series recording: when set, every placement/departure
+  /// appends a TimelinePoint.  The pointer must outlive run(); pass nullptr
+  /// to disable.  Recording is skipped inside the timed scheduler section,
+  /// so Figures 11/12 are unaffected.
+  void set_timeline(Timeline* timeline) noexcept { timeline_ = timeline; }
+
+  // Component access for tests and examples.
+  [[nodiscard]] topo::Cluster& cluster() noexcept { return *cluster_; }
+  [[nodiscard]] net::Fabric& fabric() noexcept { return *fabric_; }
+  [[nodiscard]] core::Allocator& allocator() noexcept { return *allocator_; }
+
+ private:
+  void reset();
+
+  Scenario scenario_;
+  std::string algorithm_;
+  std::unique_ptr<topo::Cluster> cluster_;
+  std::unique_ptr<net::Fabric> fabric_;
+  std::unique_ptr<net::Router> router_;
+  std::unique_ptr<net::CircuitTable> circuits_;
+  std::unique_ptr<core::Allocator> allocator_;
+  Timeline* timeline_ = nullptr;
+};
+
+/// Convenience: run all four paper algorithms over the same workload with
+/// identical scenario parameters; returns metrics in paper order
+/// (NULB, NALB, RISA, RISA-BF).
+[[nodiscard]] std::vector<SimMetrics> run_all_algorithms(
+    const Scenario& scenario, const wl::Workload& workload,
+    const std::string& workload_label);
+
+}  // namespace risa::sim

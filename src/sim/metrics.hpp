@@ -1,0 +1,71 @@
+// Metrics collected by one simulation run -- the union of everything the
+// paper's Figures 5 and 7-12 report, plus diagnostics (drops by reason,
+// fallback counts, peak utilizations).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "photonics/power_ledger.hpp"
+
+namespace risa::sim {
+
+struct SimMetrics {
+  std::string algorithm;
+  std::string workload;
+
+  // Placement outcomes (Figures 5 and 7).
+  std::uint64_t total_vms = 0;
+  std::uint64_t placed = 0;
+  std::uint64_t dropped = 0;
+  /// "Inter-rack VM assignments" as the paper's Figures 5/7/10 count them:
+  /// the VM's CPU and RAM land in different racks.  (Figure 10's averages
+  /// -- e.g. 226 ns = 110 + 220 * 0.527 -- tie the latency directly to this
+  /// fraction, which pins the definition; see EXPERIMENTS.md.)
+  std::uint64_t inter_rack_placements = 0;
+  /// Broader diagnostic: any resource pair (CPU-RAM or RAM-storage) spans
+  /// racks.  NULB/NALB routinely split RAM from storage even when CPU-RAM
+  /// stay together, which is what drives their Figure 9 power gap.
+  std::uint64_t any_pair_inter_rack = 0;
+  std::uint64_t fallback_placements = 0;  ///< RISA SUPER_RACK path uses
+  CounterSet drops_by_reason;
+
+  [[nodiscard]] double inter_rack_fraction() const noexcept {
+    return total_vms > 0 ? static_cast<double>(inter_rack_placements) /
+                               static_cast<double>(total_vms)
+                         : 0.0;
+  }
+  [[nodiscard]] double drop_fraction() const noexcept {
+    return total_vms > 0
+               ? static_cast<double>(dropped) / static_cast<double>(total_vms)
+               : 0.0;
+  }
+
+  // Time-weighted compute utilization over the horizon (§5.1 text).
+  PerResource<double> avg_utilization{0.0, 0.0, 0.0};
+  PerResource<double> peak_utilization{0.0, 0.0, 0.0};
+
+  // Network utilization (Figure 8).
+  double avg_intra_net_utilization = 0.0;
+  double avg_inter_net_utilization = 0.0;
+  double peak_intra_net_utilization = 0.0;
+  double peak_inter_net_utilization = 0.0;
+
+  // Optical power (Figure 9).
+  double avg_optical_power_w = 0.0;
+  phot::VmEnergy energy{};
+
+  // CPU-RAM round-trip latency (Figure 10).
+  RunningStats cpu_ram_latency_ns;
+
+  // Scheduler execution time (Figures 11-12): wall-clock seconds spent
+  // inside Allocator::try_place across the run.
+  double scheduler_exec_seconds = 0.0;
+
+  // Simulated horizon (last event time), time units.
+  double horizon_tu = 0.0;
+};
+
+}  // namespace risa::sim

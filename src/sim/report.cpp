@@ -1,0 +1,137 @@
+#include "sim/report.hpp"
+
+#include "sim/experiments.hpp"
+
+namespace risa::sim {
+
+TextTable figure5_table(const std::vector<SimMetrics>& runs) {
+  TextTable t({"Algorithm", "Inter-rack VMs (measured)", "Paper",
+               "Any-pair inter", "Placed", "Dropped"});
+  for (const SimMetrics& m : runs) {
+    t.add_row({m.algorithm,
+               std::to_string(m.inter_rack_placements),
+               paper_cell("fig5", m.workload, m.algorithm, 0),
+               std::to_string(m.any_pair_inter_rack),
+               std::to_string(m.placed), std::to_string(m.dropped)});
+  }
+  return t;
+}
+
+TextTable figure7_table(const std::vector<SimMetrics>& runs) {
+  TextTable t({"Workload", "Algorithm", "Inter-rack % (measured)", "Paper %"});
+  for (const SimMetrics& m : runs) {
+    t.add_row({m.workload, m.algorithm,
+               TextTable::num(m.inter_rack_fraction() * 100.0, 2),
+               paper_cell("fig7", m.workload, m.algorithm, 1)});
+  }
+  return t;
+}
+
+TextTable figure8_table(const std::vector<SimMetrics>& runs) {
+  TextTable t({"Workload", "Algorithm", "Intra % (measured)",
+               "Intra % (paper)", "Inter % (measured)", "Inter % (paper)"});
+  for (const SimMetrics& m : runs) {
+    t.add_row({m.workload, m.algorithm,
+               TextTable::num(m.avg_intra_net_utilization * 100.0, 2),
+               paper_cell("fig8-intra", m.workload, m.algorithm, 1),
+               TextTable::num(m.avg_inter_net_utilization * 100.0, 2),
+               paper_cell("fig8-inter", m.workload, m.algorithm, 1)});
+  }
+  return t;
+}
+
+TextTable figure9_table(const std::vector<SimMetrics>& runs) {
+  TextTable t({"Workload", "Algorithm", "Power kW (measured)",
+               "Power kW (paper)", "Transceiver kW", "Switch-trim kW"});
+  for (const SimMetrics& m : runs) {
+    const double horizon_s = m.horizon_tu;  // 1 tu = 1 s by default
+    const double txr_kw = m.energy.transceiver_j / horizon_s / 1000.0;
+    const double trim_kw = m.energy.switch_trimming_j / horizon_s / 1000.0;
+    t.add_row({m.workload, m.algorithm,
+               TextTable::num(m.avg_optical_power_w / 1000.0, 2),
+               paper_cell("fig9", m.workload, m.algorithm, 2),
+               TextTable::num(txr_kw, 2), TextTable::num(trim_kw, 2)});
+  }
+  return t;
+}
+
+TextTable figure10_table(const std::vector<SimMetrics>& runs) {
+  TextTable t({"Workload", "Algorithm", "CPU-RAM RTT ns (measured)",
+               "Paper ns"});
+  for (const SimMetrics& m : runs) {
+    t.add_row({m.workload, m.algorithm,
+               TextTable::num(m.cpu_ram_latency_ns.mean(), 1),
+               paper_cell("fig10", m.workload, m.algorithm, 0)});
+  }
+  return t;
+}
+
+TextTable exec_time_table(const std::vector<SimMetrics>& runs,
+                          const std::string& figure) {
+  TextTable t({"Workload", "Algorithm", "Sched time s (measured)",
+               "Paper s (authors' testbed)", "Relative to RISA"});
+  // Relative column: normalize to the RISA run of the same workload.
+  auto risa_time = [&](const std::string& workload) {
+    for (const SimMetrics& m : runs) {
+      if (m.workload == workload && m.algorithm == "RISA") {
+        return m.scheduler_exec_seconds;
+      }
+    }
+    return 0.0;
+  };
+  for (const SimMetrics& m : runs) {
+    const double base = risa_time(m.workload);
+    t.add_row({m.workload, m.algorithm,
+               TextTable::num(m.scheduler_exec_seconds, 4),
+               paper_cell(figure, m.workload, m.algorithm, 0),
+               base > 0 ? TextTable::num(m.scheduler_exec_seconds / base, 2) +
+                              "x"
+                        : "-"});
+  }
+  return t;
+}
+
+TextTable utilization_table(const std::vector<SimMetrics>& runs) {
+  TextTable t({"Workload", "Algorithm", "CPU % (avg)", "RAM % (avg)",
+               "STO % (avg)", "CPU/RAM/STO % (paper)"});
+  for (const SimMetrics& m : runs) {
+    std::string paper = paper_cell("text-util-cpu", m.workload, m.algorithm) +
+                        "/" +
+                        paper_cell("text-util-ram", m.workload, m.algorithm) +
+                        "/" +
+                        paper_cell("text-util-sto", m.workload, m.algorithm);
+    t.add_row({m.workload, m.algorithm,
+               TextTable::num(m.avg_utilization.cpu() * 100.0, 2),
+               TextTable::num(m.avg_utilization.ram() * 100.0, 2),
+               TextTable::num(m.avg_utilization.storage() * 100.0, 2),
+               std::move(paper)});
+  }
+  return t;
+}
+
+TextTable full_metrics_table(const std::vector<SimMetrics>& runs) {
+  TextTable t({"Workload", "Algo", "Placed", "Dropped", "CPU-RAM split",
+               "Any-pair split", "Fallbacks", "CPU%", "RAM%", "STO%",
+               "Intra%", "Inter%", "Power kW", "RTT ns", "Sched s"});
+  for (const SimMetrics& m : runs) {
+    t.add_row({m.workload, m.algorithm, std::to_string(m.placed),
+               std::to_string(m.dropped),
+               std::to_string(m.inter_rack_placements),
+               std::to_string(m.any_pair_inter_rack),
+               std::to_string(m.fallback_placements),
+               TextTable::num(m.avg_utilization.cpu() * 100.0, 1),
+               TextTable::num(m.avg_utilization.ram() * 100.0, 1),
+               TextTable::num(m.avg_utilization.storage() * 100.0, 1),
+               TextTable::num(m.avg_intra_net_utilization * 100.0, 1),
+               TextTable::num(m.avg_inter_net_utilization * 100.0, 1),
+               TextTable::num(m.avg_optical_power_w / 1000.0, 2),
+               TextTable::num(m.cpu_ram_latency_ns.count() > 0
+                                  ? m.cpu_ram_latency_ns.mean()
+                                  : 0.0,
+                              1),
+               TextTable::num(m.scheduler_exec_seconds, 4)});
+  }
+  return t;
+}
+
+}  // namespace risa::sim

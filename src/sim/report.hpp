@@ -1,0 +1,38 @@
+// Report rendering: turns SimMetrics into the paper-style tables the bench
+// harness prints ("measured" next to "paper" for every figure).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "sim/metrics.hpp"
+
+namespace risa::sim {
+
+/// Figure 5: inter-rack VM assignment counts (one workload, all algorithms).
+[[nodiscard]] TextTable figure5_table(const std::vector<SimMetrics>& runs);
+
+/// Figure 7: % inter-rack assignments (several workloads x algorithms).
+[[nodiscard]] TextTable figure7_table(const std::vector<SimMetrics>& runs);
+
+/// Figure 8: intra- and inter-rack network utilization.
+[[nodiscard]] TextTable figure8_table(const std::vector<SimMetrics>& runs);
+
+/// Figure 9: optical-component power (kW).
+[[nodiscard]] TextTable figure9_table(const std::vector<SimMetrics>& runs);
+
+/// Figure 10: average CPU-RAM round-trip latency (ns).
+[[nodiscard]] TextTable figure10_table(const std::vector<SimMetrics>& runs);
+
+/// Figures 11/12: scheduler execution time.  `figure` is "fig11"/"fig12".
+[[nodiscard]] TextTable exec_time_table(const std::vector<SimMetrics>& runs,
+                                        const std::string& figure);
+
+/// §5.1 text: average utilization per resource (one workload).
+[[nodiscard]] TextTable utilization_table(const std::vector<SimMetrics>& runs);
+
+/// Full diagnostic dump of every collected metric.
+[[nodiscard]] TextTable full_metrics_table(const std::vector<SimMetrics>& runs);
+
+}  // namespace risa::sim

@@ -1,0 +1,64 @@
+// A scenario bundles every model parameter of one simulation run: cluster
+// shape (Table 1), fabric provisioning, bandwidth demand model (Table 2),
+// photonic energy parameters (§3.2) and the CPU-RAM round-trip latency
+// constants (§5.2: 110 ns within a rack, 330 ns across racks).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "core/registry.hpp"
+#include "network/bandwidth.hpp"
+#include "network/fabric.hpp"
+#include "photonics/power_ledger.hpp"
+#include "topology/config.hpp"
+
+namespace risa::sim {
+
+/// CPU-RAM round-trip latency constants from [20] as used in Figure 10.
+/// `inter_pod_ns` applies only in the three-tier extension, reflecting the
+/// paper's caveat that "for inter-rack center switches with a larger number
+/// of ports, the inter-rack delay may be higher".
+struct LatencyModel {
+  double intra_rack_ns = 110.0;
+  double inter_rack_ns = 330.0;
+  double inter_pod_ns = 550.0;
+
+  void validate() const {
+    if (intra_rack_ns < 0 || inter_rack_ns < intra_rack_ns ||
+        inter_pod_ns < inter_rack_ns) {
+      throw std::invalid_argument("LatencyModel: bad latency values");
+    }
+  }
+
+  [[nodiscard]] double rtt_ns(bool inter_rack) const noexcept {
+    return inter_rack ? inter_rack_ns : intra_rack_ns;
+  }
+
+  /// Three-tier-aware RTT: intra-rack, inter-rack-same-pod, or cross-pod.
+  [[nodiscard]] double rtt_ns(bool inter_rack, bool cross_pod) const noexcept {
+    if (!inter_rack) return intra_rack_ns;
+    return cross_pod ? inter_pod_ns : inter_rack_ns;
+  }
+};
+
+struct Scenario {
+  topo::ClusterConfig cluster{};
+  net::FabricConfig fabric{};
+  net::BandwidthModel bandwidth{};
+  phot::PhotonicConfig photonics{};
+  LatencyModel latency{};
+  core::AllocatorOptions allocator{};
+
+  void validate() const {
+    cluster.validate();
+    fabric.validate();
+    photonics.validate();
+    latency.validate();
+  }
+
+  /// The paper's evaluation platform with all defaults.
+  [[nodiscard]] static Scenario paper_defaults() { return Scenario{}; }
+};
+
+}  // namespace risa::sim

@@ -1,0 +1,370 @@
+#include "sim/scenario_io.hpp"
+
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <vector>
+
+#include "common/string_util.hpp"
+
+namespace risa::sim {
+
+namespace {
+
+/// One registered key: how to read it from / write it into a Scenario.
+struct KeyBinding {
+  std::string key;
+  std::function<void(Scenario&, std::string_view)> set;
+  std::function<std::string(const Scenario&)> get;
+};
+
+std::string bool_str(bool v) { return v ? "true" : "false"; }
+
+const std::vector<KeyBinding>& bindings() {
+  static const std::vector<KeyBinding> kBindings = [] {
+    std::vector<KeyBinding> b;
+    auto add = [&](std::string key,
+                   std::function<void(Scenario&, std::string_view)> set,
+                   std::function<std::string(const Scenario&)> get) {
+      b.push_back({std::move(key), std::move(set), std::move(get)});
+    };
+
+    // --- cluster ----------------------------------------------------------
+    add("cluster.racks",
+        [](Scenario& s, std::string_view v) {
+          s.cluster.racks = static_cast<std::uint32_t>(parse_i64(v));
+        },
+        [](const Scenario& s) { return std::to_string(s.cluster.racks); });
+    for (ResourceType t : kAllResources) {
+      add("cluster.boxes_per_rack." + to_lower(name(t)),
+          [t](Scenario& s, std::string_view v) {
+            s.cluster.boxes_per_rack[t] =
+                static_cast<std::uint32_t>(parse_i64(v));
+          },
+          [t](const Scenario& s) {
+            return std::to_string(s.cluster.boxes_per_rack[t]);
+          });
+    }
+    add("cluster.bricks_per_box",
+        [](Scenario& s, std::string_view v) {
+          s.cluster.bricks_per_box = static_cast<std::uint32_t>(parse_i64(v));
+        },
+        [](const Scenario& s) {
+          return std::to_string(s.cluster.bricks_per_box);
+        });
+    add("cluster.units_per_brick",
+        [](Scenario& s, std::string_view v) {
+          s.cluster.units_per_brick = parse_i64(v);
+        },
+        [](const Scenario& s) {
+          return std::to_string(s.cluster.units_per_brick);
+        });
+    add("cluster.cores_per_cpu_unit",
+        [](Scenario& s, std::string_view v) {
+          s.cluster.unit_scale.cores_per_cpu_unit = parse_i64(v);
+        },
+        [](const Scenario& s) {
+          return std::to_string(s.cluster.unit_scale.cores_per_cpu_unit);
+        });
+    add("cluster.gb_per_ram_unit",
+        [](Scenario& s, std::string_view v) {
+          s.cluster.unit_scale.mb_per_ram_unit = gb(parse_f64(v));
+        },
+        [](const Scenario& s) {
+          std::ostringstream os;
+          os << to_gb(s.cluster.unit_scale.mb_per_ram_unit);
+          return os.str();
+        });
+    add("cluster.gb_per_storage_unit",
+        [](Scenario& s, std::string_view v) {
+          s.cluster.unit_scale.mb_per_storage_unit = gb(parse_f64(v));
+        },
+        [](const Scenario& s) {
+          std::ostringstream os;
+          os << to_gb(s.cluster.unit_scale.mb_per_storage_unit);
+          return os.str();
+        });
+
+    // --- fabric -------------------------------------------------------------
+    add("fabric.links_per_box",
+        [](Scenario& s, std::string_view v) {
+          s.fabric.links_per_box = static_cast<std::uint32_t>(parse_i64(v));
+        },
+        [](const Scenario& s) {
+          return std::to_string(s.fabric.links_per_box);
+        });
+    add("fabric.links_per_rack",
+        [](Scenario& s, std::string_view v) {
+          s.fabric.links_per_rack = static_cast<std::uint32_t>(parse_i64(v));
+        },
+        [](const Scenario& s) {
+          return std::to_string(s.fabric.links_per_rack);
+        });
+    add("fabric.link_capacity_gbps",
+        [](Scenario& s, std::string_view v) {
+          s.fabric.link_capacity = gbps(parse_f64(v));
+        },
+        [](const Scenario& s) {
+          std::ostringstream os;
+          os << to_gbps(s.fabric.link_capacity);
+          return os.str();
+        });
+    add("fabric.channel_rate_gbps",
+        [](Scenario& s, std::string_view v) {
+          s.fabric.channel_rate = gbps(parse_f64(v));
+        },
+        [](const Scenario& s) {
+          std::ostringstream os;
+          os << to_gbps(s.fabric.channel_rate);
+          return os.str();
+        });
+    add("fabric.box_switch_ports",
+        [](Scenario& s, std::string_view v) {
+          s.fabric.box_switch_ports = static_cast<std::uint32_t>(parse_i64(v));
+        },
+        [](const Scenario& s) {
+          return std::to_string(s.fabric.box_switch_ports);
+        });
+    add("fabric.rack_switch_ports",
+        [](Scenario& s, std::string_view v) {
+          s.fabric.rack_switch_ports =
+              static_cast<std::uint32_t>(parse_i64(v));
+        },
+        [](const Scenario& s) {
+          return std::to_string(s.fabric.rack_switch_ports);
+        });
+    add("fabric.inter_rack_switch_ports",
+        [](Scenario& s, std::string_view v) {
+          s.fabric.inter_rack_switch_ports =
+              static_cast<std::uint32_t>(parse_i64(v));
+        },
+        [](const Scenario& s) {
+          return std::to_string(s.fabric.inter_rack_switch_ports);
+        });
+    add("fabric.racks_per_pod",
+        [](Scenario& s, std::string_view v) {
+          s.fabric.racks_per_pod = static_cast<std::uint32_t>(parse_i64(v));
+        },
+        [](const Scenario& s) {
+          return std::to_string(s.fabric.racks_per_pod);
+        });
+    add("fabric.links_per_pod",
+        [](Scenario& s, std::string_view v) {
+          s.fabric.links_per_pod = static_cast<std::uint32_t>(parse_i64(v));
+        },
+        [](const Scenario& s) {
+          return std::to_string(s.fabric.links_per_pod);
+        });
+    add("fabric.pod_switch_ports",
+        [](Scenario& s, std::string_view v) {
+          s.fabric.pod_switch_ports =
+              static_cast<std::uint32_t>(parse_i64(v));
+        },
+        [](const Scenario& s) {
+          return std::to_string(s.fabric.pod_switch_ports);
+        });
+
+    // --- bandwidth (Table 2) -------------------------------------------------
+    add("bandwidth.cpu_ram_gbps_per_unit",
+        [](Scenario& s, std::string_view v) {
+          s.bandwidth.cpu_ram_per_unit = gbps(parse_f64(v));
+        },
+        [](const Scenario& s) {
+          std::ostringstream os;
+          os << to_gbps(s.bandwidth.cpu_ram_per_unit);
+          return os.str();
+        });
+    add("bandwidth.ram_sto_gbps_per_unit",
+        [](Scenario& s, std::string_view v) {
+          s.bandwidth.ram_sto_per_unit = gbps(parse_f64(v));
+        },
+        [](const Scenario& s) {
+          std::ostringstream os;
+          os << to_gbps(s.bandwidth.ram_sto_per_unit);
+          return os.str();
+        });
+    auto basis_from = [](std::string_view v) {
+      const std::string key = to_lower(trim(v));
+      if (key == "cpu-units") return net::BandwidthBasis::CpuUnits;
+      if (key == "ram-units") return net::BandwidthBasis::RamUnits;
+      if (key == "sto-units") return net::BandwidthBasis::StorageUnits;
+      throw std::runtime_error("scenario: bad bandwidth basis '" +
+                               std::string(v) + "'");
+    };
+    add("bandwidth.cpu_ram_basis",
+        [basis_from](Scenario& s, std::string_view v) {
+          s.bandwidth.cpu_ram_basis = basis_from(v);
+        },
+        [](const Scenario& s) {
+          return std::string(net::name(s.bandwidth.cpu_ram_basis));
+        });
+    add("bandwidth.ram_sto_basis",
+        [basis_from](Scenario& s, std::string_view v) {
+          s.bandwidth.ram_sto_basis = basis_from(v);
+        },
+        [](const Scenario& s) {
+          return std::string(net::name(s.bandwidth.ram_sto_basis));
+        });
+
+    // --- photonics (SS3.2) -----------------------------------------------------
+    add("photonics.alpha",
+        [](Scenario& s, std::string_view v) {
+          s.photonics.switch_energy.mrr.alpha = parse_f64(v);
+        },
+        [](const Scenario& s) {
+          std::ostringstream os;
+          os << s.photonics.switch_energy.mrr.alpha;
+          return os.str();
+        });
+    add("photonics.trim_power_mw",
+        [](Scenario& s, std::string_view v) {
+          s.photonics.switch_energy.mrr.trim_power_w = parse_f64(v) * 1e-3;
+        },
+        [](const Scenario& s) {
+          std::ostringstream os;
+          os << s.photonics.switch_energy.mrr.trim_power_w * 1e3;
+          return os.str();
+        });
+    add("photonics.switch_power_mw",
+        [](Scenario& s, std::string_view v) {
+          s.photonics.switch_energy.mrr.switch_power_w = parse_f64(v) * 1e-3;
+        },
+        [](const Scenario& s) {
+          std::ostringstream os;
+          os << s.photonics.switch_energy.mrr.switch_power_w * 1e3;
+          return os.str();
+        });
+    add("photonics.transceiver_pj_per_bit",
+        [](Scenario& s, std::string_view v) {
+          s.photonics.transceiver.energy_per_bit_j = parse_f64(v) * 1e-12;
+        },
+        [](const Scenario& s) {
+          std::ostringstream os;
+          os << s.photonics.transceiver.energy_per_bit_j * 1e12;
+          return os.str();
+        });
+    add("photonics.seconds_per_time_unit",
+        [](Scenario& s, std::string_view v) {
+          s.photonics.switch_energy.seconds_per_time_unit = parse_f64(v);
+        },
+        [](const Scenario& s) {
+          std::ostringstream os;
+          os << s.photonics.switch_energy.seconds_per_time_unit;
+          return os.str();
+        });
+
+    // --- latency (SS5.2) -------------------------------------------------------
+    add("latency.intra_rack_ns",
+        [](Scenario& s, std::string_view v) {
+          s.latency.intra_rack_ns = parse_f64(v);
+        },
+        [](const Scenario& s) {
+          std::ostringstream os;
+          os << s.latency.intra_rack_ns;
+          return os.str();
+        });
+    add("latency.inter_rack_ns",
+        [](Scenario& s, std::string_view v) {
+          s.latency.inter_rack_ns = parse_f64(v);
+        },
+        [](const Scenario& s) {
+          std::ostringstream os;
+          os << s.latency.inter_rack_ns;
+          return os.str();
+        });
+    add("latency.inter_pod_ns",
+        [](Scenario& s, std::string_view v) {
+          s.latency.inter_pod_ns = parse_f64(v);
+        },
+        [](const Scenario& s) {
+          std::ostringstream os;
+          os << s.latency.inter_pod_ns;
+          return os.str();
+        });
+
+    // --- allocator -------------------------------------------------------------
+    add("allocator.companion",
+        [](Scenario& s, std::string_view v) {
+          const std::string key = to_lower(trim(v));
+          if (key == "global-order") {
+            s.allocator.companion = core::CompanionSearch::GlobalOrder;
+          } else if (key == "anchor-rack-first") {
+            s.allocator.companion = core::CompanionSearch::AnchorRackFirst;
+          } else {
+            throw std::runtime_error("scenario: bad companion search '" +
+                                     std::string(v) + "'");
+          }
+        },
+        [](const Scenario& s) {
+          return s.allocator.companion == core::CompanionSearch::GlobalOrder
+                     ? "global-order"
+                     : "anchor-rack-first";
+        });
+    (void)bool_str;
+    return b;
+  }();
+  return kBindings;
+}
+
+}  // namespace
+
+Scenario load_scenario(std::istream& is) {
+  Scenario scenario = Scenario::paper_defaults();
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    const auto eq = trimmed.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::runtime_error("scenario line " + std::to_string(line_no) +
+                               ": expected 'key = value'");
+    }
+    const std::string key{trim(trimmed.substr(0, eq))};
+    const std::string_view value = trim(trimmed.substr(eq + 1));
+    bool found = false;
+    for (const KeyBinding& binding : bindings()) {
+      if (binding.key == key) {
+        try {
+          binding.set(scenario, value);
+        } catch (const std::exception& e) {
+          throw std::runtime_error("scenario line " + std::to_string(line_no) +
+                                   " (" + key + "): " + e.what());
+        }
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw std::runtime_error("scenario line " + std::to_string(line_no) +
+                               ": unknown key '" + key + "'");
+    }
+  }
+  scenario.validate();
+  return scenario;
+}
+
+Scenario load_scenario_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("scenario: cannot open " + path);
+  return load_scenario(is);
+}
+
+void save_scenario(std::ostream& os, const Scenario& scenario) {
+  os << "# RISA scenario (generated; see sim/scenario_io.hpp)\n";
+  for (const KeyBinding& binding : bindings()) {
+    os << binding.key << " = " << binding.get(scenario) << '\n';
+  }
+}
+
+void save_scenario_file(const std::string& path, const Scenario& scenario) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("scenario: cannot open " + path);
+  save_scenario(os, scenario);
+  if (!os) throw std::runtime_error("scenario: write failed: " + path);
+}
+
+}  // namespace risa::sim

@@ -1,0 +1,30 @@
+// Scenario (de)serialization: a flat `key = value` config format so
+// experiments can be driven from files / the risa_sim CLI without
+// recompiling.  `#` starts a comment; unknown keys are an error (typos must
+// surface); omitted keys keep their paper defaults.
+//
+// Example:
+//   # half-size cluster with generous fabric
+//   cluster.racks            = 9
+//   fabric.links_per_box     = 8
+//   photonics.alpha          = 0.75
+//   allocator.companion      = anchor-rack-first
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/scenario.hpp"
+
+namespace risa::sim {
+
+/// Parse a config stream into a Scenario (starting from paper defaults).
+/// Throws std::runtime_error with line context on malformed input.
+[[nodiscard]] Scenario load_scenario(std::istream& is);
+[[nodiscard]] Scenario load_scenario_file(const std::string& path);
+
+/// Serialize every tunable of `scenario` (inverse of load_scenario).
+void save_scenario(std::ostream& os, const Scenario& scenario);
+void save_scenario_file(const std::string& path, const Scenario& scenario);
+
+}  // namespace risa::sim

@@ -1,0 +1,101 @@
+#include "topology/box.hpp"
+
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+#include "common/string_util.hpp"
+
+namespace risa::topo {
+
+Box::Box(BoxId id, RackId rack, ResourceType type, std::uint32_t index_in_type,
+         std::vector<Units> brick_units)
+    : id_(id),
+      rack_(rack),
+      type_(type),
+      index_in_type_(index_in_type),
+      brick_capacity_(std::move(brick_units)),
+      brick_allocated_(brick_capacity_.size(), 0) {
+  if (brick_capacity_.empty()) {
+    throw std::invalid_argument("Box: no bricks");
+  }
+  for (Units u : brick_capacity_) {
+    if (u < 0) throw std::invalid_argument("Box: negative brick capacity");
+    capacity_ += u;
+  }
+}
+
+Units Box::brick_capacity(std::uint32_t brick) const {
+  if (brick >= brick_capacity_.size()) throw std::out_of_range("Box: bad brick");
+  return brick_capacity_[brick];
+}
+
+Units Box::brick_available(std::uint32_t brick) const {
+  if (brick >= brick_capacity_.size()) throw std::out_of_range("Box: bad brick");
+  return brick_capacity_[brick] - brick_allocated_[brick];
+}
+
+Result<BoxAllocation, std::string> Box::allocate(Units units) {
+  if (units <= 0) {
+    return Err<std::string>{"Box::allocate: non-positive unit count"};
+  }
+  if (units > available_units()) {
+    return Err<std::string>{strformat(
+        "box %u: requested %lld units, %lld available",
+        id_.value(), static_cast<long long>(units),
+        static_cast<long long>(available_units()))};
+  }
+  BoxAllocation alloc;
+  alloc.box = id_;
+  alloc.type = type_;
+  alloc.units = units;
+  Units remaining = units;
+  for (std::uint32_t b = 0; b < brick_capacity_.size() && remaining > 0; ++b) {
+    const Units free = brick_capacity_[b] - brick_allocated_[b];
+    if (free <= 0) continue;
+    const Units take = free < remaining ? free : remaining;
+    brick_allocated_[b] += take;
+    alloc.slices.push_back(BrickSlice{b, take});
+    remaining -= take;
+  }
+  // available_units() was checked above, so the loop must have satisfied
+  // the request; anything else is a bookkeeping bug.
+  if (remaining != 0) {
+    throw std::logic_error("Box::allocate: brick accounting out of sync");
+  }
+  allocated_ += units;
+  return alloc;
+}
+
+void Box::release(const BoxAllocation& allocation) {
+  if (allocation.box != id_) {
+    throw std::logic_error("Box::release: allocation belongs to another box");
+  }
+  Units total = 0;
+  for (const BrickSlice& s : allocation.slices) {
+    if (s.brick >= brick_capacity_.size()) {
+      throw std::logic_error("Box::release: bad brick index");
+    }
+    if (s.units <= 0 || s.units > brick_allocated_[s.brick]) {
+      throw std::logic_error("Box::release: slice exceeds allocated units");
+    }
+    total += s.units;
+  }
+  if (total != allocation.units) {
+    throw std::logic_error("Box::release: slice sum != allocation units");
+  }
+  for (const BrickSlice& s : allocation.slices) {
+    brick_allocated_[s.brick] -= s.units;
+  }
+  allocated_ -= total;
+}
+
+std::vector<Units> Box::available_by_brick() const {
+  std::vector<Units> out(brick_capacity_.size());
+  for (std::size_t b = 0; b < out.size(); ++b) {
+    out[b] = brick_capacity_[b] - brick_allocated_[b];
+  }
+  return out;
+}
+
+}  // namespace risa::topo

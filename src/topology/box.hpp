@@ -1,0 +1,102 @@
+// A box: the unit of resource pooling in the dReDBox-style architecture.
+// Each box holds a single resource type, subdivided into bricks (§3.1).
+// Allocation is unit-granular, first-fit across bricks; the brick breakdown
+// is recorded so releases restore exactly the bricks that were taken.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "common/types.hpp"
+#include "common/units.hpp"
+
+namespace risa::topo {
+
+/// Units taken from one brick of a box (local brick index within the box).
+struct BrickSlice {
+  std::uint32_t brick = 0;
+  Units units = 0;
+
+  friend bool operator==(const BrickSlice&, const BrickSlice&) = default;
+};
+
+/// Record of one allocation inside one box; the handle needed to release.
+struct BoxAllocation {
+  BoxId box;
+  ResourceType type = ResourceType::Cpu;
+  Units units = 0;
+  std::vector<BrickSlice> slices;
+
+  [[nodiscard]] bool empty() const noexcept { return units == 0; }
+};
+
+class Box {
+ public:
+  /// `brick_units` lists the capacity of each brick (the builder distributes
+  /// the box's units across bricks as evenly as possible).
+  Box(BoxId id, RackId rack, ResourceType type, std::uint32_t index_in_type,
+      std::vector<Units> brick_units);
+
+  [[nodiscard]] BoxId id() const noexcept { return id_; }
+  [[nodiscard]] RackId rack() const noexcept { return rack_; }
+  [[nodiscard]] ResourceType type() const noexcept { return type_; }
+
+  /// Dense index of this box among boxes of the same type, cluster-wide,
+  /// ordered by (rack, local position) -- the paper's per-type "id" column
+  /// in Table 3 and the NULB/NALB first-fit search order.
+  [[nodiscard]] std::uint32_t index_in_type() const noexcept { return index_in_type_; }
+
+  [[nodiscard]] Units capacity_units() const noexcept { return capacity_; }
+  [[nodiscard]] Units allocated_units() const noexcept { return allocated_; }
+
+  /// Units available for new allocations: zero while the box is offline
+  /// (failure injection), capacity - allocated otherwise.
+  [[nodiscard]] Units available_units() const noexcept {
+    return offline_ ? 0 : capacity_ - allocated_;
+  }
+
+  /// Free units ignoring the offline flag (bookkeeping/invariants).
+  [[nodiscard]] Units raw_available_units() const noexcept {
+    return capacity_ - allocated_;
+  }
+
+  /// Failure injection: an offline box accepts no new allocations; existing
+  /// allocations remain recorded and can still be released (the simulator
+  /// decides the fate of resident VMs).
+  void set_offline(bool offline) noexcept { offline_ = offline; }
+  [[nodiscard]] bool offline() const noexcept { return offline_; }
+  [[nodiscard]] double utilization() const noexcept {
+    return capacity_ > 0
+               ? static_cast<double>(allocated_) / static_cast<double>(capacity_)
+               : 0.0;
+  }
+
+  [[nodiscard]] std::size_t brick_count() const noexcept { return brick_capacity_.size(); }
+  [[nodiscard]] Units brick_capacity(std::uint32_t brick) const;
+  [[nodiscard]] Units brick_available(std::uint32_t brick) const;
+
+  /// First-fit allocation of `units` across bricks.  Fails (without side
+  /// effects) when the box lacks availability.
+  [[nodiscard]] Result<BoxAllocation, std::string> allocate(Units units);
+
+  /// Returns the previously allocated slices.  Throws std::logic_error on a
+  /// foreign or double release (these are always caller bugs).
+  void release(const BoxAllocation& allocation);
+
+  /// Test/bench hook: snapshot of per-brick availability.
+  [[nodiscard]] std::vector<Units> available_by_brick() const;
+
+ private:
+  BoxId id_;
+  RackId rack_;
+  ResourceType type_;
+  std::uint32_t index_in_type_;
+  std::vector<Units> brick_capacity_;
+  std::vector<Units> brick_allocated_;
+  Units capacity_ = 0;
+  Units allocated_ = 0;
+  bool offline_ = false;
+};
+
+}  // namespace risa::topo

@@ -1,0 +1,232 @@
+#include "topology/cluster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace risa::topo {
+
+namespace {
+
+/// Distribute `total` units across `bricks` bricks as evenly as possible
+/// (earlier bricks get the remainder), so a 16-unit box with 2 bricks has
+/// 8+8 and a 10-unit box with 3 bricks has 4+3+3.
+std::vector<Units> distribute_units(Units total, std::uint32_t bricks) {
+  std::vector<Units> out(bricks, total / bricks);
+  Units rem = total % bricks;
+  for (std::uint32_t b = 0; b < bricks && rem > 0; ++b, --rem) {
+    ++out[b];
+  }
+  return out;
+}
+
+}  // namespace
+
+Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
+  config_.validate();
+
+  racks_.reserve(config_.racks);
+  boxes_.reserve(config_.total_boxes());
+
+  PerResource<std::uint32_t> type_counter{0, 0, 0};
+  for (std::uint32_t r = 0; r < config_.racks; ++r) {
+    const RackId rack_id{r};
+    Rack rack(rack_id);
+    // Rack layout: all CPU boxes, then RAM, then storage.  The per-type
+    // "id" of Table 3 is (rack, local index) in this order.
+    for (ResourceType t : kAllResources) {
+      for (std::uint32_t b = 0; b < config_.boxes_per_rack[t]; ++b) {
+        const BoxId box_id{static_cast<std::uint32_t>(boxes_.size())};
+        boxes_.emplace_back(box_id, rack_id, t, type_counter[t]++,
+                            distribute_units(config_.box_units(t),
+                                             config_.bricks_per_box));
+        rack.boxes_[t].push_back(box_id);
+        by_type_[t].push_back(box_id);
+        total_capacity_[t] += config_.box_units(t);
+        total_available_[t] += config_.box_units(t);
+      }
+    }
+    racks_.push_back(std::move(rack));
+  }
+
+  for (std::uint32_t r = 0; r < config_.racks; ++r) {
+    for (ResourceType t : kAllResources) {
+      refresh_rack_aggregates(RackId{r}, t);
+    }
+  }
+}
+
+Box& Cluster::box(BoxId id) {
+  if (!id.valid() || id.value() >= boxes_.size()) {
+    throw std::out_of_range("Cluster: bad box id");
+  }
+  return boxes_[id.value()];
+}
+
+const Box& Cluster::box(BoxId id) const {
+  if (!id.valid() || id.value() >= boxes_.size()) {
+    throw std::out_of_range("Cluster: bad box id");
+  }
+  return boxes_[id.value()];
+}
+
+const Rack& Cluster::rack(RackId id) const {
+  if (!id.valid() || id.value() >= racks_.size()) {
+    throw std::out_of_range("Cluster: bad rack id");
+  }
+  return racks_[id.value()];
+}
+
+const std::vector<BoxId>& Cluster::boxes_of_type_in_rack(RackId rack_id,
+                                                         ResourceType t) const {
+  return rack(rack_id).boxes(t);
+}
+
+Result<BoxAllocation, std::string> Cluster::allocate(BoxId box_id, Units units) {
+  Box& b = box(box_id);
+  auto result = b.allocate(units);
+  if (result.ok()) {
+    total_available_[b.type()] -= units;
+    refresh_rack_aggregates(b.rack(), b.type());
+  }
+  return result;
+}
+
+void Cluster::release(const BoxAllocation& allocation) {
+  Box& b = box(allocation.box);
+  b.release(allocation);
+  // Units released on an offline box are not available until repair.
+  if (!b.offline()) {
+    total_available_[b.type()] += allocation.units;
+  }
+  refresh_rack_aggregates(b.rack(), b.type());
+}
+
+void Cluster::set_box_offline(BoxId box_id, bool offline) {
+  Box& b = box(box_id);
+  if (b.offline() == offline) return;
+  if (offline) {
+    total_available_[b.type()] -= b.available_units();
+    b.set_offline(true);
+  } else {
+    b.set_offline(false);
+    total_available_[b.type()] += b.available_units();
+  }
+  refresh_rack_aggregates(b.rack(), b.type());
+}
+
+void Cluster::refresh_rack_aggregates(RackId rack_id, ResourceType t) {
+  Rack& rk = racks_[rack_id.value()];
+  Units max_avail = 0;
+  Units total_avail = 0;
+  for (BoxId id : rk.boxes_[t]) {
+    const Units avail = boxes_[id.value()].available_units();
+    max_avail = std::max(max_avail, avail);
+    total_avail += avail;
+  }
+  rk.max_available_[t] = max_avail;
+  rk.total_available_[t] = total_avail;
+}
+
+ClusterSnapshot Cluster::snapshot() const {
+  ClusterSnapshot snap;
+  snap.brick_available.reserve(boxes_.size());
+  for (const Box& b : boxes_) {
+    snap.brick_available.push_back(b.available_by_brick());
+  }
+  return snap;
+}
+
+void Cluster::restore(const ClusterSnapshot& snap) {
+  if (snap.brick_available.size() != boxes_.size()) {
+    throw std::invalid_argument("Cluster::restore: snapshot shape mismatch");
+  }
+  total_available_ = PerResource<Units>{0, 0, 0};
+  for (std::size_t i = 0; i < boxes_.size(); ++i) {
+    Box& b = boxes_[i];
+    const auto& avail = snap.brick_available[i];
+    if (avail.size() != b.brick_count()) {
+      throw std::invalid_argument("Cluster::restore: brick count mismatch");
+    }
+    // Rebuild the box in place with the snapshot occupancy.
+    std::vector<Units> caps(b.brick_count());
+    for (std::uint32_t br = 0; br < b.brick_count(); ++br) {
+      caps[br] = b.brick_capacity(br);
+      if (avail[br] < 0 || avail[br] > caps[br]) {
+        throw std::invalid_argument("Cluster::restore: bad availability");
+      }
+    }
+    Box rebuilt(b.id(), b.rack(), b.type(), b.index_in_type(), caps);
+    for (std::uint32_t br = 0; br < rebuilt.brick_count(); ++br) {
+      const Units used = caps[br] - avail[br];
+      if (used > 0) {
+        // Bricks fill front-to-back; allocating per brick reconstructs the
+        // exact occupancy.
+        BoxAllocation tmp;
+        tmp.box = rebuilt.id();
+        tmp.type = rebuilt.type();
+        tmp.units = used;
+        // Direct brick targeting: allocate() is first-fit, and we walk
+        // bricks in order with exact amounts, so placement is exact.
+        auto r = rebuilt.allocate(used);
+        (void)r.value();
+      }
+    }
+    boxes_[i] = std::move(rebuilt);
+    total_available_[boxes_[i].type()] += boxes_[i].available_units();
+  }
+  for (std::uint32_t r = 0; r < config_.racks; ++r) {
+    for (ResourceType t : kAllResources) {
+      refresh_rack_aggregates(RackId{r}, t);
+    }
+  }
+}
+
+void Cluster::check_invariants() const {
+  PerResource<Units> cap{0, 0, 0};
+  PerResource<Units> avail{0, 0, 0};
+  for (const Box& b : boxes_) {
+    if (b.raw_available_units() < 0 ||
+        b.raw_available_units() > b.capacity_units()) {
+      throw std::logic_error("Cluster invariant: box availability out of range");
+    }
+    Units brick_sum = 0;
+    for (std::uint32_t br = 0; br < b.brick_count(); ++br) {
+      const Units a = b.brick_available(br);
+      if (a < 0 || a > b.brick_capacity(br)) {
+        throw std::logic_error("Cluster invariant: brick availability out of range");
+      }
+      brick_sum += a;
+    }
+    // Brick accounting tracks raw occupancy; the offline flag only masks
+    // the box from placement.
+    if (brick_sum != b.raw_available_units()) {
+      throw std::logic_error("Cluster invariant: brick sum != box availability");
+    }
+    cap[b.type()] += b.capacity_units();
+    avail[b.type()] += b.available_units();
+  }
+  for (ResourceType t : kAllResources) {
+    if (cap[t] != total_capacity_[t]) {
+      throw std::logic_error("Cluster invariant: capacity aggregate mismatch");
+    }
+    if (avail[t] != total_available_[t]) {
+      throw std::logic_error("Cluster invariant: availability aggregate mismatch");
+    }
+  }
+  for (const Rack& rk : racks_) {
+    for (ResourceType t : kAllResources) {
+      Units max_avail = 0;
+      Units total_avail = 0;
+      for (BoxId id : rk.boxes(t)) {
+        max_avail = std::max(max_avail, boxes_[id.value()].available_units());
+        total_avail += boxes_[id.value()].available_units();
+      }
+      if (max_avail != rk.max_available(t) ||
+          total_avail != rk.total_available(t)) {
+        throw std::logic_error("Cluster invariant: rack aggregate mismatch");
+      }
+    }
+  }
+}
+
+}  // namespace risa::topo

@@ -1,0 +1,129 @@
+// The disaggregated cluster: owns all boxes, maintains per-rack and
+// cluster-wide availability aggregates.
+//
+// Aggregate maintenance matters for fidelity to the paper's Figure 11/12
+// (scheduler execution time): RISA's INTRA_RACK_POOL is built from per-rack
+// per-type *maximum available box* values which this class keeps up to date
+// incrementally in O(boxes-of-type-in-rack) per mutation, while NULB/NALB
+// deliberately rescan boxes per placement, exactly as described in §4.1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "common/types.hpp"
+#include "common/units.hpp"
+#include "topology/box.hpp"
+#include "topology/config.hpp"
+
+namespace risa::topo {
+
+/// Per-rack aggregates.
+class Rack {
+ public:
+  Rack(RackId id) : id_(id) {}
+
+  [[nodiscard]] RackId id() const noexcept { return id_; }
+
+  /// Boxes of one type in this rack, in local order.
+  [[nodiscard]] const std::vector<BoxId>& boxes(ResourceType t) const noexcept {
+    return boxes_[t];
+  }
+
+  /// Largest per-box availability of the given type in this rack.  This is
+  /// the quantity RISA tracks to decide whether a rack can host an entire
+  /// VM ("RISA keeps track of the boxes with the maximum amount of each
+  /// resource for each rack", §4.2).
+  [[nodiscard]] Units max_available(ResourceType t) const noexcept {
+    return max_available_[t];
+  }
+
+  /// Sum of availabilities of the given type in this rack.
+  [[nodiscard]] Units total_available(ResourceType t) const noexcept {
+    return total_available_[t];
+  }
+
+ private:
+  friend class Cluster;
+
+  RackId id_;
+  PerResource<std::vector<BoxId>> boxes_;
+  PerResource<Units> max_available_{0, 0, 0};
+  PerResource<Units> total_available_{0, 0, 0};
+};
+
+/// Deep-copyable snapshot of cluster occupancy (tests, what-if analyses).
+struct ClusterSnapshot {
+  std::vector<std::vector<Units>> brick_available;  ///< indexed by box, brick
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+
+  [[nodiscard]] const ClusterConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::uint32_t num_racks() const noexcept { return config_.racks; }
+  [[nodiscard]] std::size_t num_boxes() const noexcept { return boxes_.size(); }
+
+  [[nodiscard]] Box& box(BoxId id);
+  [[nodiscard]] const Box& box(BoxId id) const;
+
+  [[nodiscard]] const Rack& rack(RackId id) const;
+
+  /// All boxes of a type cluster-wide, ordered by (rack, local position) --
+  /// the canonical NULB/NALB search order.
+  [[nodiscard]] const std::vector<BoxId>& boxes_of_type(ResourceType t) const noexcept {
+    return by_type_[t];
+  }
+
+  /// Boxes of a type within one rack, in local order.
+  [[nodiscard]] const std::vector<BoxId>& boxes_of_type_in_rack(
+      RackId rack, ResourceType t) const;
+
+  /// Cluster-wide capacity / availability per type, maintained incrementally.
+  [[nodiscard]] Units total_capacity(ResourceType t) const noexcept {
+    return total_capacity_[t];
+  }
+  [[nodiscard]] Units total_available(ResourceType t) const noexcept {
+    return total_available_[t];
+  }
+  [[nodiscard]] double utilization(ResourceType t) const noexcept {
+    const Units cap = total_capacity_[t];
+    return cap > 0 ? 1.0 - static_cast<double>(total_available_[t]) /
+                               static_cast<double>(cap)
+                   : 0.0;
+  }
+
+  /// Allocate `units` of the box's type from `box`.  Updates all aggregates.
+  [[nodiscard]] Result<BoxAllocation, std::string> allocate(BoxId box, Units units);
+
+  /// Return a previous allocation.  Updates all aggregates.
+  void release(const BoxAllocation& allocation);
+
+  /// Failure injection: take a box offline (it stops accepting allocations
+  /// and its free units leave every availability aggregate) or bring it
+  /// back.  Resident allocations stay recorded; the caller decides whether
+  /// resident VMs are killed.
+  void set_box_offline(BoxId box, bool offline);
+
+  [[nodiscard]] ClusterSnapshot snapshot() const;
+  void restore(const ClusterSnapshot& snap);
+
+  /// Verifies every aggregate against a from-scratch recomputation; throws
+  /// std::logic_error on divergence.  Used by tests and debug builds.
+  void check_invariants() const;
+
+ private:
+  void refresh_rack_aggregates(RackId rack, ResourceType t);
+
+  ClusterConfig config_;
+  std::vector<Box> boxes_;
+  std::vector<Rack> racks_;
+  PerResource<std::vector<BoxId>> by_type_;
+  PerResource<Units> total_capacity_{0, 0, 0};
+  PerResource<Units> total_available_{0, 0, 0};
+};
+
+}  // namespace risa::topo

@@ -1,0 +1,50 @@
+#include "workload/characterize.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace risa::wl {
+
+Characterization characterize(const Workload& vms, std::size_t bins) {
+  if (vms.empty()) throw std::invalid_argument("characterize: empty workload");
+  std::vector<double> cores;
+  std::vector<double> ram;
+  cores.reserve(vms.size());
+  ram.reserve(vms.size());
+  for (const VmRequest& vm : vms) {
+    cores.push_back(static_cast<double>(vm.cores));
+    ram.push_back(to_gb(vm.ram_mb));
+  }
+  return Characterization{Histogram::from_data(cores, bins),
+                          Histogram::from_data(ram, bins)};
+}
+
+WorkloadSummary summarize(const Workload& vms) {
+  if (vms.empty()) throw std::invalid_argument("summarize: empty workload");
+  WorkloadSummary s;
+  s.count = vms.size();
+  double min_life = vms.front().lifetime;
+  double max_life = vms.front().lifetime;
+  double first = vms.front().arrival;
+  double last = vms.front().arrival;
+  for (const VmRequest& vm : vms) {
+    s.mean_cores += static_cast<double>(vm.cores);
+    s.mean_ram_gb += to_gb(vm.ram_mb);
+    s.mean_storage_gb += to_gb(vm.storage_mb);
+    min_life = std::min(min_life, vm.lifetime);
+    max_life = std::max(max_life, vm.lifetime);
+    first = std::min(first, vm.arrival);
+    last = std::max(last, vm.arrival);
+  }
+  const auto n = static_cast<double>(vms.size());
+  s.mean_cores /= n;
+  s.mean_ram_gb /= n;
+  s.mean_storage_gb /= n;
+  s.first_arrival = first;
+  s.last_arrival = last;
+  s.min_lifetime = min_life;
+  s.max_lifetime = max_life;
+  return s;
+}
+
+}  // namespace risa::wl

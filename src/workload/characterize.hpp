@@ -1,0 +1,37 @@
+// Workload characterization reproducing Figure 6: 10-bin histograms of the
+// CPU-core and RAM-GB distributions of each workload, with matplotlib
+// binning semantics (equal-width bins over [min, max], last bin closed).
+#pragma once
+
+#include <string>
+
+#include "common/histogram.hpp"
+#include "workload/vm.hpp"
+
+namespace risa::wl {
+
+struct Characterization {
+  Histogram cpu;
+  Histogram ram;
+};
+
+/// Build the Figure 6 histograms for a workload (`bins` defaults to the
+/// paper's 10).
+[[nodiscard]] Characterization characterize(const Workload& vms,
+                                            std::size_t bins = 10);
+
+/// Summary statistics of a workload used in reports.
+struct WorkloadSummary {
+  std::size_t count = 0;
+  double mean_cores = 0.0;
+  double mean_ram_gb = 0.0;
+  double mean_storage_gb = 0.0;
+  double first_arrival = 0.0;
+  double last_arrival = 0.0;
+  double min_lifetime = 0.0;
+  double max_lifetime = 0.0;
+};
+
+[[nodiscard]] WorkloadSummary summarize(const Workload& vms);
+
+}  // namespace risa::wl

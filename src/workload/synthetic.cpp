@@ -1,0 +1,28 @@
+#include "workload/synthetic.hpp"
+
+namespace risa::wl {
+
+Workload generate_synthetic(const SyntheticConfig& config, std::uint64_t seed) {
+  config.validate();
+  Rng rng(seed);
+
+  Workload vms(config.count);
+  for (std::size_t i = 0; i < config.count; ++i) {
+    VmRequest& vm = vms[i];
+    vm.id = VmId{static_cast<std::uint32_t>(i)};
+    vm.cores = rng.uniform_int(config.min_cores, config.max_cores);
+    // "a random amount of RAM from 1 to 32 GB": integer GB, uniform.
+    vm.ram_mb = gb(static_cast<double>(rng.uniform_int(
+        static_cast<std::int64_t>(config.min_ram_gb),
+        static_cast<std::int64_t>(config.max_ram_gb))));
+    vm.storage_mb = gb(config.storage_gb);
+  }
+  stamp_arrivals(config.arrivals, config.count, rng,
+                 [&](std::size_t i, SimTime arrival, SimTime lifetime) {
+                   vms[i].arrival = arrival;
+                   vms[i].lifetime = lifetime;
+                 });
+  return vms;
+}
+
+}  // namespace risa::wl

@@ -1,0 +1,78 @@
+#include "workload/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/csv.hpp"
+#include "common/string_util.hpp"
+
+namespace risa::wl {
+
+namespace {
+constexpr const char* kHeader[] = {"vm_id",      "cores",   "ram_mb",
+                                   "storage_mb", "arrival", "lifetime"};
+constexpr std::size_t kColumns = 6;
+}  // namespace
+
+void write_trace(std::ostream& os, const Workload& vms) {
+  CsvWriter writer(os);
+  writer.write_row({kHeader[0], kHeader[1], kHeader[2], kHeader[3], kHeader[4],
+                    kHeader[5]});
+  for (const VmRequest& vm : vms) {
+    std::ostringstream arrival, lifetime;
+    arrival.precision(17);
+    lifetime.precision(17);
+    arrival << vm.arrival;
+    lifetime << vm.lifetime;
+    writer.write_row({std::to_string(vm.id.value()), std::to_string(vm.cores),
+                      std::to_string(vm.ram_mb), std::to_string(vm.storage_mb),
+                      arrival.str(), lifetime.str()});
+  }
+}
+
+Workload read_trace(std::istream& is) {
+  const auto rows = CsvReader::read_all(is);
+  if (rows.empty()) throw std::runtime_error("trace: empty file");
+  if (rows.front().size() != kColumns || rows.front()[0] != kHeader[0]) {
+    throw std::runtime_error("trace: bad header");
+  }
+  Workload vms;
+  vms.reserve(rows.size() - 1);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() != kColumns) {
+      throw std::runtime_error("trace: row " + std::to_string(i) +
+                               " has wrong column count");
+    }
+    VmRequest vm;
+    vm.id = VmId{static_cast<std::uint32_t>(parse_i64(row[0]))};
+    vm.cores = parse_i64(row[1]);
+    vm.ram_mb = parse_i64(row[2]);
+    vm.storage_mb = parse_i64(row[3]);
+    vm.arrival = parse_f64(row[4]);
+    vm.lifetime = parse_f64(row[5]);
+    if (vm.cores <= 0 || vm.ram_mb <= 0 || vm.storage_mb <= 0 ||
+        vm.arrival < 0 || vm.lifetime <= 0) {
+      throw std::runtime_error("trace: row " + std::to_string(i) +
+                               " has out-of-range values");
+    }
+    vms.push_back(vm);
+  }
+  return vms;
+}
+
+void save_trace(const std::string& path, const Workload& vms) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("trace: cannot open for write: " + path);
+  write_trace(os, vms);
+  if (!os) throw std::runtime_error("trace: write failed: " + path);
+}
+
+Workload load_trace(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("trace: cannot open for read: " + path);
+  return read_trace(is);
+}
+
+}  // namespace risa::wl

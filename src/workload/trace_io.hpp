@@ -1,0 +1,22 @@
+// CSV trace round-trip: export generated workloads for external plotting,
+// re-import recorded traces to drive the simulator.
+//
+// Format (header required):
+//   vm_id,cores,ram_mb,storage_mb,arrival,lifetime
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/vm.hpp"
+
+namespace risa::wl {
+
+void write_trace(std::ostream& os, const Workload& vms);
+[[nodiscard]] Workload read_trace(std::istream& is);
+
+/// File-path conveniences; throw std::runtime_error on IO failure.
+void save_trace(const std::string& path, const Workload& vms);
+[[nodiscard]] Workload load_trace(const std::string& path);
+
+}  // namespace risa::wl

@@ -1,0 +1,41 @@
+// VM request model.
+//
+// A VM asks for cores, RAM and storage; per the paper's problem definition
+// each requirement is always smaller than one box's capacity (§2), storage
+// is fixed at 128 GB for both workload families (§5.1-5.2), and requests
+// arrive dynamically with a lifetime after which resources are released.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "common/units.hpp"
+
+namespace risa::wl {
+
+struct VmRequest {
+  VmId id;
+  std::int64_t cores = 0;     ///< CPU demand, cores
+  Megabytes ram_mb = 0;       ///< RAM demand
+  Megabytes storage_mb = 0;   ///< storage demand
+  SimTime arrival = 0.0;      ///< arrival time, simulated time units
+  SimTime lifetime = 0.0;     ///< residency duration, simulated time units
+
+  /// Demand converted to allocation units (ceil per Table 1 granularity).
+  [[nodiscard]] UnitVector units(const UnitScale& scale) const {
+    return UnitVector{
+        scale.to_units(ResourceType::Cpu, cores),
+        scale.to_units(ResourceType::Ram, ram_mb),
+        scale.to_units(ResourceType::Storage, storage_mb),
+    };
+  }
+
+  [[nodiscard]] SimTime departure() const noexcept { return arrival + lifetime; }
+
+  friend bool operator==(const VmRequest&, const VmRequest&) = default;
+};
+
+using Workload = std::vector<VmRequest>;
+
+}  // namespace risa::wl

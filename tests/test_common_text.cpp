@@ -1,0 +1,185 @@
+// Text-layer substrates: histograms (Figure 6 binning semantics), CSV, CLI
+// flags, string utilities and table rendering.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/flags.hpp"
+#include "common/histogram.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+
+namespace risa {
+namespace {
+
+// --- Histogram (matplotlib semantics drive the Figure 6 decode) -----------
+
+TEST(Histogram, MatplotlibBinningLastBinClosed) {
+  // 10 bins over [1, 8]: width 0.7.  cores=8 must land in the last bin and
+  // cores=4 in bin 4 -- this is exactly how Figure 6's CPU panel bins.
+  Histogram h(1.0, 8.0, 10);
+  EXPECT_EQ(h.bin_of(1.0), 0u);
+  EXPECT_EQ(h.bin_of(2.0), 1u);
+  EXPECT_EQ(h.bin_of(4.0), 4u);
+  EXPECT_EQ(h.bin_of(8.0), 9u);  // hi is closed
+  EXPECT_THROW((void)h.bin_of(0.5), std::out_of_range);
+  EXPECT_THROW((void)h.bin_of(8.5), std::out_of_range);
+}
+
+TEST(Histogram, RamBinDecodeMatchesFigure6Layout) {
+  // 10 bins over [0.75, 56]: the 2017 Azure RAM sizes fall into bins
+  // {0:0.75,1.75,3.5}, {1:7}, {2:14}, {4:28}, {9:56}.
+  Histogram h(0.75, 56.0, 10);
+  EXPECT_EQ(h.bin_of(0.75), 0u);
+  EXPECT_EQ(h.bin_of(1.75), 0u);
+  EXPECT_EQ(h.bin_of(3.5), 0u);
+  EXPECT_EQ(h.bin_of(7.0), 1u);
+  EXPECT_EQ(h.bin_of(14.0), 2u);
+  EXPECT_EQ(h.bin_of(28.0), 4u);
+  EXPECT_EQ(h.bin_of(56.0), 9u);
+}
+
+TEST(Histogram, CountsAndTotal) {
+  Histogram h(0.0, 10.0, 5);
+  for (double x : {0.5, 1.5, 2.5, 2.6, 9.9, 10.0}) h.add(x);
+  EXPECT_EQ(h.total(), 6);
+  EXPECT_EQ(h.count(0), 2);  // 0.5, 1.5
+  EXPECT_EQ(h.count(1), 2);  // 2.5, 2.6
+  EXPECT_EQ(h.count(4), 2);  // 9.9, 10.0
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+  EXPECT_FALSE(h.to_string().empty());
+}
+
+TEST(Histogram, FromDataUsesMinMax) {
+  const Histogram h = Histogram::from_data({1.0, 2.0, 4.0, 8.0}, 10);
+  EXPECT_DOUBLE_EQ(h.lo(), 1.0);
+  EXPECT_DOUBLE_EQ(h.hi(), 8.0);
+  EXPECT_EQ(h.total(), 4);
+  EXPECT_THROW(Histogram::from_data({}, 10), std::invalid_argument);
+}
+
+TEST(Histogram, DegenerateConfigsThrow) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+// --- CSV -------------------------------------------------------------------
+
+TEST(Csv, EscapeQuotesAndCommas) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, RoundTrip) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({"id", "name", "note"});
+  w.write_row({"1", "a,b", "say \"hi\""});
+  std::istringstream is(os.str());
+  const auto rows = CsvReader::read_all(is);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][1], "a,b");
+  EXPECT_EQ(rows[1][2], "say \"hi\"");
+}
+
+TEST(Csv, UnbalancedQuotesThrow) {
+  EXPECT_THROW(CsvReader::parse_line("\"oops"), std::runtime_error);
+}
+
+TEST(Csv, ToleratesCrlf) {
+  const auto cells = CsvReader::parse_line("a,b\r");
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[1], "b");
+}
+
+// --- Flags -------------------------------------------------------------------
+
+TEST(Flags, ParsesAllForms) {
+  Flags f;
+  f.define("count", "5", "a count");
+  f.define("label", "x", "a label");
+  f.define("verbose", "false", "a bool");
+  const char* argv[] = {"prog", "--count=9", "--label", "hello", "--verbose",
+                        "positional"};
+  const auto positional = f.parse(6, argv);
+  EXPECT_EQ(f.i64("count"), 9);
+  EXPECT_EQ(f.str("label"), "hello");
+  EXPECT_TRUE(f.b("verbose"));
+  ASSERT_EQ(positional.size(), 1u);
+  EXPECT_EQ(positional[0], "positional");
+}
+
+TEST(Flags, UnknownFlagThrows) {
+  Flags f;
+  f.define("a", "1", "");
+  const char* argv[] = {"prog", "--typo=1"};
+  EXPECT_THROW(f.parse(2, argv), std::runtime_error);
+}
+
+TEST(Flags, DuplicateDefineThrows) {
+  Flags f;
+  f.define("a", "1", "");
+  EXPECT_THROW(f.define("a", "2", ""), std::logic_error);
+}
+
+TEST(Flags, UsageMentionsDefaults) {
+  Flags f;
+  f.define("seed", "42", "RNG seed");
+  const std::string usage = f.usage("prog");
+  EXPECT_NE(usage.find("--seed"), std::string::npos);
+  EXPECT_NE(usage.find("42"), std::string::npos);
+}
+
+// --- string_util -------------------------------------------------------------
+
+TEST(StringUtil, SplitAndTrim) {
+  const auto parts = split("a, b ,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(trim(parts[1]), "b");
+  EXPECT_EQ(trim("  x\t\n"), "x");
+  EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(StringUtil, Parsers) {
+  EXPECT_EQ(parse_i64(" 42 "), 42);
+  EXPECT_DOUBLE_EQ(parse_f64("2.5"), 2.5);
+  EXPECT_TRUE(parse_bool("Yes"));
+  EXPECT_FALSE(parse_bool("off"));
+  EXPECT_THROW((void)parse_i64("4x"), std::runtime_error);
+  EXPECT_THROW((void)parse_f64(""), std::runtime_error);
+  EXPECT_THROW((void)parse_bool("maybe"), std::runtime_error);
+}
+
+TEST(StringUtil, Strformat) {
+  EXPECT_EQ(strformat("%d-%s", 7, "ok"), "7-ok");
+  EXPECT_EQ(strformat("%.2f", 3.14159), "3.14");
+}
+
+// --- TextTable ----------------------------------------------------------------
+
+TEST(TextTable, RendersAlignedGrid) {
+  TextTable t({"Algorithm", "Value"});
+  t.add_row({"RISA", "7"});
+  t.add_row({"NULB", "255"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| RISA"), std::string::npos);
+  EXPECT_NE(s.find("255 |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::pct(0.525, 1), "52.5%");
+}
+
+}  // namespace
+}  // namespace risa

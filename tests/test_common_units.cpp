@@ -1,0 +1,97 @@
+// Unit arithmetic: conversions of Table 1 granularity, UnitVector algebra,
+// strong ids.
+#include <gtest/gtest.h>
+
+#include "common/types.hpp"
+#include "common/units.hpp"
+
+namespace risa {
+namespace {
+
+TEST(Units, GbConversionRoundTrips) {
+  EXPECT_EQ(gb(4.0), 4096);
+  EXPECT_EQ(gb(0.75), 768);
+  EXPECT_EQ(gb(128.0), 131072);
+  EXPECT_DOUBLE_EQ(to_gb(gb(56.0)), 56.0);
+}
+
+TEST(Units, GbpsConversion) {
+  EXPECT_EQ(gbps(200.0), 200000);
+  EXPECT_EQ(gbps(5.0), 5000);
+  EXPECT_DOUBLE_EQ(to_gbps(gbps(25.0)), 25.0);
+}
+
+TEST(Units, CeilDiv) {
+  EXPECT_EQ(ceil_div<std::int64_t>(0, 4), 0);
+  EXPECT_EQ(ceil_div<std::int64_t>(1, 4), 1);
+  EXPECT_EQ(ceil_div<std::int64_t>(4, 4), 1);
+  EXPECT_EQ(ceil_div<std::int64_t>(5, 4), 2);
+  EXPECT_THROW((void)ceil_div<std::int64_t>(1, 0), std::invalid_argument);
+  EXPECT_THROW((void)ceil_div<std::int64_t>(-1, 4), std::invalid_argument);
+}
+
+TEST(Units, UnitScaleMatchesTable1) {
+  const UnitScale scale;
+  // CPU unit = 4 cores.
+  EXPECT_EQ(scale.to_units(ResourceType::Cpu, 1), 1);
+  EXPECT_EQ(scale.to_units(ResourceType::Cpu, 4), 1);
+  EXPECT_EQ(scale.to_units(ResourceType::Cpu, 5), 2);
+  EXPECT_EQ(scale.to_units(ResourceType::Cpu, 32), 8);
+  // RAM unit = 4 GB; Azure's 0.75 GB still occupies one unit.
+  EXPECT_EQ(scale.to_units(ResourceType::Ram, gb(0.75)), 1);
+  EXPECT_EQ(scale.to_units(ResourceType::Ram, gb(4.0)), 1);
+  EXPECT_EQ(scale.to_units(ResourceType::Ram, gb(56.0)), 14);
+  // Storage unit = 64 GB; the fixed 128 GB VM disk is 2 units.
+  EXPECT_EQ(scale.to_units(ResourceType::Storage, gb(128.0)), 2);
+  EXPECT_EQ(scale.to_units(ResourceType::Storage, gb(64.0)), 1);
+  EXPECT_EQ(scale.to_units(ResourceType::Storage, gb(65.0)), 2);
+}
+
+TEST(Units, UnitVectorAlgebra) {
+  const UnitVector a{4, 2, 1};
+  const UnitVector b{1, 1, 1};
+  EXPECT_EQ((a + b), (UnitVector{5, 3, 2}));
+  EXPECT_EQ((a - b), (UnitVector{3, 1, 0}));
+  EXPECT_TRUE(fits_within(b, a));
+  EXPECT_FALSE(fits_within(a, b));
+  EXPECT_TRUE(fits_within(a, a));
+  EXPECT_FALSE(all_zero(a));
+  EXPECT_TRUE(all_zero(UnitVector{0, 0, 0}));
+  EXPECT_TRUE(any_negative(a - UnitVector{5, 0, 0}));
+  EXPECT_EQ(to_string(a), "cpu=4,ram=2,sto=1");
+}
+
+TEST(Types, PerResourceIndexing) {
+  PerResource<int> p{10, 20, 30};
+  EXPECT_EQ(p[ResourceType::Cpu], 10);
+  EXPECT_EQ(p[ResourceType::Ram], 20);
+  EXPECT_EQ(p[ResourceType::Storage], 30);
+  p[ResourceType::Ram] = 25;
+  EXPECT_EQ(p.ram(), 25);
+  int sum = 0;
+  for (int v : p) sum += v;
+  EXPECT_EQ(sum, 65);
+}
+
+TEST(Types, ResourceNames) {
+  EXPECT_EQ(name(ResourceType::Cpu), "CPU");
+  EXPECT_EQ(name(ResourceType::Ram), "RAM");
+  EXPECT_EQ(name(ResourceType::Storage), "STO");
+  EXPECT_EQ(kAllResources.size(), kNumResourceTypes);
+}
+
+TEST(Types, StrongIdsAreDistinctAndComparable) {
+  const RackId r1{3};
+  const RackId r2{5};
+  EXPECT_LT(r1, r2);
+  EXPECT_NE(r1, r2);
+  EXPECT_TRUE(r1.valid());
+  EXPECT_FALSE(RackId::invalid().valid());
+  EXPECT_FALSE(RackId{}.valid());
+  // Ids of different tags are different types (compile-time property); a
+  // hash exists for container use.
+  EXPECT_EQ(std::hash<RackId>{}(r1), std::hash<RackId>{}(RackId{3}));
+}
+
+}  // namespace
+}  // namespace risa

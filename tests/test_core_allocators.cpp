@@ -1,0 +1,219 @@
+// Allocator behaviours beyond the toy walk-throughs: commit/rollback
+// atomicity, RISA pool maintenance, round-robin selection, fallback
+// accounting, registry.
+#include <gtest/gtest.h>
+
+#include "core/nalb.hpp"
+#include "core/nulb.hpp"
+#include "core/registry.hpp"
+#include "core/risa.hpp"
+#include "sim/experiments.hpp"
+#include "sim/scenario.hpp"
+
+namespace risa::core {
+namespace {
+
+using sim::toy_vm;
+
+/// A full paper-scale stack for allocator tests.
+struct PaperStack {
+  PaperStack()
+      : cluster(topo::ClusterConfig{}),
+        fabric(topo::ClusterConfig{}, net::FabricConfig{}),
+        router(fabric),
+        circuits(router) {}
+
+  AllocContext context() {
+    AllocContext ctx;
+    ctx.cluster = &cluster;
+    ctx.fabric = &fabric;
+    ctx.router = &router;
+    ctx.circuits = &circuits;
+    return ctx;
+  }
+
+  topo::Cluster cluster;
+  net::Fabric fabric;
+  net::Router router;
+  net::CircuitTable circuits;
+};
+
+wl::VmRequest typical_vm(std::uint32_t id = 0) {
+  return toy_vm(id, 8, 16.0, 128.0, 500.0);
+}
+
+TEST(Allocator, PlacementReservesComputeAndCircuits) {
+  PaperStack stack;
+  NulbAllocator nulb(stack.context());
+  auto placed = nulb.try_place(typical_vm());
+  ASSERT_TRUE(placed.ok());
+  const Placement& p = placed.value();
+  // 8 cores = 2 units, 16 GB = 4 units, 128 GB = 2 units (Table 1 scale).
+  EXPECT_EQ(p.units, (UnitVector{2, 4, 2}));
+  EXPECT_EQ(stack.cluster.total_available(ResourceType::Cpu), 4608 - 2);
+  EXPECT_EQ(stack.cluster.total_available(ResourceType::Ram), 4608 - 4);
+  EXPECT_EQ(stack.cluster.total_available(ResourceType::Storage), 4608 - 2);
+  // Two circuits: CPU-RAM at 10 Gb/s and RAM-STO at 4 Gb/s, 2 hops each.
+  EXPECT_EQ(stack.circuits.active_count(), 2u);
+  EXPECT_EQ(stack.fabric.intra_allocated(), 2 * gbps(10.0) + 2 * gbps(4.0));
+
+  nulb.release(p);
+  EXPECT_EQ(stack.circuits.active_count(), 0u);
+  EXPECT_EQ(stack.fabric.intra_allocated(), 0);
+  EXPECT_EQ(stack.cluster.total_available(ResourceType::Cpu), 4608);
+  stack.cluster.check_invariants();
+  stack.fabric.check_invariants();
+}
+
+TEST(Allocator, ComputeDropLeavesNoResidue) {
+  PaperStack stack;
+  // Exhaust all storage: any VM must drop with NoComputeResources.
+  for (BoxId id : stack.cluster.boxes_of_type(ResourceType::Storage)) {
+    ASSERT_TRUE(stack.cluster.allocate(id, 128).ok());
+  }
+  NulbAllocator nulb(stack.context());
+  auto placed = nulb.try_place(typical_vm());
+  ASSERT_FALSE(placed.ok());
+  EXPECT_EQ(placed.error(), DropReason::NoComputeResources);
+  EXPECT_EQ(stack.cluster.total_available(ResourceType::Cpu), 4608);
+  EXPECT_EQ(stack.fabric.intra_allocated(), 0);
+  EXPECT_EQ(stack.circuits.active_count(), 0u);
+}
+
+TEST(Allocator, NetworkDropRollsBackCompute) {
+  PaperStack stack;
+  // Saturate every box uplink so the network phase must fail everywhere.
+  for (std::uint32_t b = 0; b < stack.cluster.num_boxes(); ++b) {
+    for (LinkId id : stack.fabric.box_uplinks(BoxId{b})) {
+      ASSERT_TRUE(
+          stack.fabric.allocate(id, stack.fabric.link(id).available()).ok());
+    }
+  }
+  NulbAllocator nulb(stack.context());
+  auto placed = nulb.try_place(typical_vm());
+  ASSERT_FALSE(placed.ok());
+  EXPECT_EQ(placed.error(), DropReason::NoNetworkResources);
+  for (ResourceType t : kAllResources) {
+    EXPECT_EQ(stack.cluster.total_available(t), 4608) << name(t);
+  }
+  EXPECT_EQ(stack.circuits.active_count(), 0u);
+  stack.cluster.check_invariants();
+}
+
+TEST(Risa, RoundRobinSpreadsAcrossRacks) {
+  PaperStack stack;
+  RisaAllocator risa(stack.context());
+  std::vector<std::uint32_t> racks;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    auto placed = risa.try_place(typical_vm(i));
+    ASSERT_TRUE(placed.ok());
+    EXPECT_FALSE(placed->inter_rack);
+    racks.push_back(placed->rack(ResourceType::Cpu).value());
+  }
+  // Round-robin over an all-eligible pool: racks 0, 1, 2, 3, 4, 5.
+  EXPECT_EQ(racks, (std::vector<std::uint32_t>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(Risa, FirstEligibleSelectionKeepsHammeringRackZero) {
+  PaperStack stack;
+  RisaOptions options;
+  options.selection = RackSelection::FirstEligible;
+  RisaAllocator risa(stack.context(), options);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    auto placed = risa.try_place(typical_vm(i));
+    ASSERT_TRUE(placed.ok());
+    EXPECT_EQ(placed->rack(ResourceType::Cpu), RackId{0});
+  }
+}
+
+TEST(Risa, PoolShrinksAsRacksFill) {
+  PaperStack stack;
+  RisaAllocator risa(stack.context());
+  const UnitVector demand{8, 8, 8};
+  EXPECT_EQ(risa.intra_rack_pool(demand).size(), 18u);
+  // Burn rack 0's CPU boxes below the demand.
+  for (BoxId id :
+       stack.cluster.boxes_of_type_in_rack(RackId{0}, ResourceType::Cpu)) {
+    ASSERT_TRUE(stack.cluster.allocate(id, 122).ok());  // 6 left
+  }
+  const auto pool = risa.intra_rack_pool(demand);
+  EXPECT_EQ(pool.size(), 17u);
+  for (RackId r : pool) EXPECT_NE(r, RackId{0});
+}
+
+TEST(Risa, SuperRackListsPerType) {
+  PaperStack stack;
+  RisaAllocator risa(stack.context());
+  for (BoxId id :
+       stack.cluster.boxes_of_type_in_rack(RackId{3}, ResourceType::Ram)) {
+    ASSERT_TRUE(stack.cluster.allocate(id, 128).ok());
+  }
+  const auto lists = risa.super_rack(UnitVector{1, 1, 1});
+  EXPECT_EQ(lists[ResourceType::Cpu].size(), 18u);
+  EXPECT_EQ(lists[ResourceType::Ram].size(), 17u);
+  EXPECT_EQ(lists[ResourceType::Storage].size(), 18u);
+}
+
+TEST(Risa, FallbackPlacesInterRackAndCounts) {
+  PaperStack stack;
+  // Leave CPU only in rack 0 and RAM only in rack 17: no single rack can
+  // host a whole VM, so RISA must fall back to SUPER_RACK/NULB.
+  for (std::uint32_t r = 0; r < 18; ++r) {
+    if (r != 0) {
+      for (BoxId id :
+           stack.cluster.boxes_of_type_in_rack(RackId{r}, ResourceType::Cpu)) {
+        ASSERT_TRUE(stack.cluster.allocate(id, 128).ok());
+      }
+    }
+    if (r != 17) {
+      for (BoxId id :
+           stack.cluster.boxes_of_type_in_rack(RackId{r}, ResourceType::Ram)) {
+        ASSERT_TRUE(stack.cluster.allocate(id, 128).ok());
+      }
+    }
+  }
+  RisaAllocator risa(stack.context());
+  auto placed = risa.try_place(typical_vm());
+  ASSERT_TRUE(placed.ok());
+  EXPECT_TRUE(placed->used_fallback);
+  EXPECT_TRUE(placed->inter_rack);
+  EXPECT_EQ(placed->rack(ResourceType::Cpu), RackId{0});
+  EXPECT_EQ(placed->rack(ResourceType::Ram), RackId{17});
+  EXPECT_EQ(risa.fallback_count(), 1u);
+}
+
+TEST(Risa, DropsWhenNoRackCanHostAnyResource) {
+  PaperStack stack;
+  for (BoxId id : stack.cluster.boxes_of_type(ResourceType::Ram)) {
+    ASSERT_TRUE(stack.cluster.allocate(id, 128).ok());
+  }
+  RisaAllocator risa(stack.context());
+  auto placed = risa.try_place(typical_vm());
+  ASSERT_FALSE(placed.ok());
+  EXPECT_EQ(placed.error(), DropReason::NoComputeResources);
+}
+
+TEST(Registry, BuildsAllFourAlgorithms) {
+  PaperStack stack;
+  const auto names = algorithm_names();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "NULB");
+  EXPECT_EQ(names[3], "RISA-BF");
+  for (const std::string& algo : names) {
+    auto allocator = make_allocator(algo, stack.context());
+    EXPECT_EQ(allocator->name(), algo);
+  }
+  // Case-insensitive aliases.
+  EXPECT_EQ(make_allocator("risa_bf", stack.context())->name(), "RISA-BF");
+  EXPECT_EQ(make_allocator("nulb", stack.context())->name(), "NULB");
+  EXPECT_THROW((void)make_allocator("unknown", stack.context()),
+               std::invalid_argument);
+}
+
+TEST(Registry, ContextValidationRejectsNulls) {
+  AllocContext ctx;  // all nullptr
+  EXPECT_THROW((void)make_allocator("RISA", ctx), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace risa::core

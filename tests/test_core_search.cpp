@@ -1,0 +1,159 @@
+// Search primitives: contention ratios, first-fit anchors, both BFS
+// interpretations and the NALB bandwidth ordering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/contention.hpp"
+#include "core/search.hpp"
+#include "network/fabric.hpp"
+#include "topology/cluster.hpp"
+
+namespace risa::core {
+namespace {
+
+struct SearchFixture : ::testing::Test {
+  SearchFixture()
+      : cluster(topo::ClusterConfig{}),
+        fabric(topo::ClusterConfig{}, net::FabricConfig{}) {}
+
+  topo::Cluster cluster;
+  net::Fabric fabric;
+};
+
+TEST_F(SearchFixture, ContentionRatioEdgeCases) {
+  PerResource<Units> avail{100, 0, 50};
+  const auto cr = contention_ratios(UnitVector{10, 5, 0}, avail);
+  EXPECT_DOUBLE_EQ(cr[ResourceType::Cpu], 0.1);
+  EXPECT_TRUE(std::isinf(cr[ResourceType::Ram]));  // demand vs zero avail
+  EXPECT_DOUBLE_EQ(cr[ResourceType::Storage], 0.0);  // zero demand
+  EXPECT_EQ(most_contended(cr), ResourceType::Ram);
+}
+
+TEST_F(SearchFixture, MostContendedTieBreaksCanonically) {
+  const PerResource<double> tied{0.5, 0.5, 0.5};
+  EXPECT_EQ(most_contended(tied), ResourceType::Cpu);
+  const PerResource<double> ram_sto{0.1, 0.5, 0.5};
+  EXPECT_EQ(most_contended(ram_sto), ResourceType::Ram);
+}
+
+TEST_F(SearchFixture, RestrictedAvailabilityCountsOnlyFilteredRacks) {
+  PerResource<std::vector<RackId>> racks;
+  racks[ResourceType::Cpu] = {RackId{0}, RackId{1}};
+  racks[ResourceType::Ram] = {RackId{2}};
+  racks[ResourceType::Storage] = {};
+  const auto avail = restricted_availability(cluster, racks);
+  EXPECT_EQ(avail[ResourceType::Cpu], 2 * 2 * 128);
+  EXPECT_EQ(avail[ResourceType::Ram], 2 * 128);
+  EXPECT_EQ(avail[ResourceType::Storage], 0);
+}
+
+TEST_F(SearchFixture, FirstFitScansInIdOrder) {
+  // Burn the first three CPU boxes below the demand.
+  const auto& cpu = cluster.boxes_of_type(ResourceType::Cpu);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(cluster.allocate(cpu[static_cast<std::size_t>(i)], 120).ok());
+  }
+  const BoxId hit = first_fit_box(cluster, ResourceType::Cpu, 16, std::nullopt);
+  EXPECT_EQ(hit, cpu[3]);
+  // A demand small enough for the burned boxes prefers the earliest box.
+  const BoxId small = first_fit_box(cluster, ResourceType::Cpu, 8, std::nullopt);
+  EXPECT_EQ(small, cpu[0]);
+}
+
+TEST_F(SearchFixture, FirstFitHonorsRackFilter) {
+  PerResource<std::vector<RackId>> racks;
+  racks[ResourceType::Cpu] = {RackId{5}};
+  const BoxId hit =
+      first_fit_box(cluster, ResourceType::Cpu, 8, RackFilter{racks});
+  ASSERT_TRUE(hit.valid());
+  EXPECT_EQ(cluster.box(hit).rack(), RackId{5});
+  racks[ResourceType::Cpu] = {};
+  EXPECT_FALSE(
+      first_fit_box(cluster, ResourceType::Cpu, 8, RackFilter{racks}).valid());
+}
+
+TEST_F(SearchFixture, GlobalOrderIgnoresAnchorRack) {
+  // Global order scans from box id 0 regardless of the anchor rack.
+  const BoxId hit =
+      bfs_search(cluster, fabric, RackId{9}, ResourceType::Ram, 8,
+                 NeighborOrder::BoxIdOrder, CompanionSearch::GlobalOrder,
+                 std::nullopt);
+  EXPECT_EQ(cluster.box(hit).rack(), RackId{0});
+}
+
+TEST_F(SearchFixture, AnchorRackFirstPrefersLocalBoxes) {
+  const BoxId hit =
+      bfs_search(cluster, fabric, RackId{9}, ResourceType::Ram, 8,
+                 NeighborOrder::BoxIdOrder, CompanionSearch::AnchorRackFirst,
+                 std::nullopt);
+  EXPECT_EQ(cluster.box(hit).rack(), RackId{9});
+}
+
+TEST_F(SearchFixture, AnchorRackFirstFallsBackToOtherRacks) {
+  // Exhaust rack 9's RAM; the search must continue in id order elsewhere.
+  for (BoxId id : cluster.boxes_of_type_in_rack(RackId{9}, ResourceType::Ram)) {
+    ASSERT_TRUE(cluster.allocate(id, 128).ok());
+  }
+  const BoxId hit =
+      bfs_search(cluster, fabric, RackId{9}, ResourceType::Ram, 8,
+                 NeighborOrder::BoxIdOrder, CompanionSearch::AnchorRackFirst,
+                 std::nullopt);
+  EXPECT_EQ(cluster.box(hit).rack(), RackId{0});
+}
+
+TEST_F(SearchFixture, NoCandidateReturnsInvalid) {
+  for (BoxId id : cluster.boxes_of_type(ResourceType::Storage)) {
+    ASSERT_TRUE(cluster.allocate(id, 128).ok());
+  }
+  EXPECT_FALSE(bfs_search(cluster, fabric, RackId{0}, ResourceType::Storage, 1,
+                          NeighborOrder::BoxIdOrder,
+                          CompanionSearch::GlobalOrder, std::nullopt)
+                   .valid());
+}
+
+TEST_F(SearchFixture, BandwidthOrderingIsStableNoopOnIdleFabric) {
+  // All candidates tie at full headroom -> stable sort keeps id order, so
+  // NALB behaves exactly like NULB on an unloaded fabric.
+  const BoxId nulb_choice =
+      bfs_search(cluster, fabric, RackId{0}, ResourceType::Ram, 8,
+                 NeighborOrder::BoxIdOrder, CompanionSearch::GlobalOrder,
+                 std::nullopt);
+  const BoxId nalb_choice =
+      bfs_search(cluster, fabric, RackId{0}, ResourceType::Ram, 8,
+                 NeighborOrder::BandwidthDescending,
+                 CompanionSearch::GlobalOrder, std::nullopt);
+  EXPECT_EQ(nulb_choice, nalb_choice);
+}
+
+TEST_F(SearchFixture, BandwidthOrderingDeprioritizesLoadedBoxes) {
+  // Load every uplink of the first RAM box; NALB must skip it while NULB
+  // still picks it.
+  const auto& ram = cluster.boxes_of_type(ResourceType::Ram);
+  for (LinkId id : fabric.box_uplinks(ram[0])) {
+    ASSERT_TRUE(fabric.allocate(id, gbps(150.0)).ok());
+  }
+  const BoxId nulb_choice =
+      bfs_search(cluster, fabric, RackId{0}, ResourceType::Ram, 8,
+                 NeighborOrder::BoxIdOrder, CompanionSearch::GlobalOrder,
+                 std::nullopt);
+  const BoxId nalb_choice =
+      bfs_search(cluster, fabric, RackId{0}, ResourceType::Ram, 8,
+                 NeighborOrder::BandwidthDescending,
+                 CompanionSearch::GlobalOrder, std::nullopt);
+  EXPECT_EQ(nulb_choice, ram[0]);
+  EXPECT_NE(nalb_choice, ram[0]);
+}
+
+TEST_F(SearchFixture, RackAllowedSemantics) {
+  EXPECT_TRUE(rack_allowed(std::nullopt, ResourceType::Cpu, RackId{3}));
+  PerResource<std::vector<RackId>> racks;
+  racks[ResourceType::Cpu] = {RackId{1}, RackId{3}};
+  const RackFilter filter{racks};
+  EXPECT_TRUE(rack_allowed(filter, ResourceType::Cpu, RackId{3}));
+  EXPECT_FALSE(rack_allowed(filter, ResourceType::Cpu, RackId{2}));
+  EXPECT_FALSE(rack_allowed(filter, ResourceType::Ram, RackId{3}));
+}
+
+}  // namespace
+}  // namespace risa::core

@@ -1,0 +1,225 @@
+// §4.3 toy examples: exact reproduction of the paper's Tables 3-4 walk-
+// throughs, including the documented arithmetic error in Table 4's RISA-BF
+// column (total demand 100 cores cannot fit in 96 available; see DESIGN.md
+// §2.7 / EXPERIMENTS.md).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/contention.hpp"
+#include "core/nalb.hpp"
+#include "core/nulb.hpp"
+#include "core/risa.hpp"
+#include "sim/experiments.hpp"
+
+namespace risa::core {
+namespace {
+
+using sim::make_table3_stack;
+using sim::make_table4_stack;
+using sim::toy_vm;
+
+// The typical VM of toy example 1: 8 cores, 16 GB RAM, 128 GB storage.
+wl::VmRequest example1_vm() { return toy_vm(0, 8, 16.0, 128.0); }
+
+TEST(ToyExample1, ContentionRatiosMatchPaper) {
+  auto stack = make_table3_stack();
+  const UnitVector demand =
+      example1_vm().units(stack->cluster().config().unit_scale);
+  const auto cr = contention_ratios(
+      demand, cluster_availability(stack->cluster()));
+  // Paper: CR(CPU) = 0.08, CR(RAM) = 0.25, CR(storage) = 0.17.
+  EXPECT_NEAR(cr[ResourceType::Cpu], 8.0 / 96.0, 1e-12);
+  EXPECT_NEAR(cr[ResourceType::Ram], 16.0 / 64.0, 1e-12);
+  EXPECT_NEAR(cr[ResourceType::Storage], 2.0 / 12.0, 1e-12);
+  EXPECT_EQ(most_contended(cr), ResourceType::Ram);
+}
+
+TEST(ToyExample1, NulbPicksInterRack212) {
+  auto stack = make_table3_stack();
+  NulbAllocator nulb(stack->context());
+  auto placed = nulb.try_place(example1_vm());
+  ASSERT_TRUE(placed.ok());
+  const Placement& p = placed.value();
+  // Paper: "the CPU, RAM, and storage ids will be (2, 1, 2)".
+  EXPECT_EQ(stack->cluster().box(p.box(ResourceType::Cpu)).index_in_type(), 2u);
+  EXPECT_EQ(stack->cluster().box(p.box(ResourceType::Ram)).index_in_type(), 1u);
+  EXPECT_EQ(stack->cluster().box(p.box(ResourceType::Storage)).index_in_type(),
+            2u);
+  // CPU in rack 1, RAM in rack 0 -> inter-rack assignment.
+  EXPECT_TRUE(p.inter_rack);
+  EXPECT_NE(p.rack(ResourceType::Cpu), p.rack(ResourceType::Ram));
+  nulb.release(p);
+}
+
+TEST(ToyExample1, NalbPicksSameBoxesAsNulbOnIdleFabric) {
+  auto stack = make_table3_stack();
+  NalbAllocator nalb(stack->context());
+  auto placed = nalb.try_place(example1_vm());
+  ASSERT_TRUE(placed.ok());
+  const Placement& p = placed.value();
+  // With an unloaded fabric the bandwidth reordering is a stable no-op, so
+  // NALB makes NULB's (2, 1, 2) choice -- the reason the paper's Figure 5
+  // reports identical counts for both baselines.
+  EXPECT_EQ(stack->cluster().box(p.box(ResourceType::Cpu)).index_in_type(), 2u);
+  EXPECT_EQ(stack->cluster().box(p.box(ResourceType::Ram)).index_in_type(), 1u);
+  EXPECT_EQ(stack->cluster().box(p.box(ResourceType::Storage)).index_in_type(),
+            2u);
+  nalb.release(p);
+}
+
+TEST(ToyExample1, RisaPicksIntraRack222) {
+  auto stack = make_table3_stack();
+  RisaAllocator risa(stack->context());
+  // Paper: INTRA_RACK_POOL = [1]; VM assigned to ids (2, 2, 2), no
+  // inter-rack utilization.
+  const UnitVector demand =
+      example1_vm().units(stack->cluster().config().unit_scale);
+  const auto pool = risa.intra_rack_pool(demand);
+  ASSERT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool[0], RackId{1});
+
+  auto placed = risa.try_place(example1_vm());
+  ASSERT_TRUE(placed.ok());
+  const Placement& p = placed.value();
+  for (ResourceType t : kAllResources) {
+    EXPECT_EQ(stack->cluster().box(p.box(t)).index_in_type(), 2u)
+        << name(t);
+    EXPECT_EQ(p.rack(t), RackId{1});
+  }
+  EXPECT_FALSE(p.inter_rack);
+  EXPECT_FALSE(p.used_fallback);
+  risa.release(p);
+}
+
+TEST(ToyExample1, RisaBfAlsoStaysIntraRack) {
+  auto stack = make_table3_stack();
+  auto risa_bf = make_risa_bf(stack->context());
+  auto placed = risa_bf->try_place(example1_vm());
+  ASSERT_TRUE(placed.ok());
+  EXPECT_FALSE(placed->inter_rack);
+}
+
+// Toy example 2: CPU-only sequence 15, 10, 30, 12, 5, 8, 16, 4 against rack
+// 1 boxes with 64 and 32 available cores.
+constexpr std::int64_t kSequence[] = {15, 10, 30, 12, 5, 8, 16, 4};
+
+std::vector<wl::VmRequest> example2_vms() {
+  std::vector<wl::VmRequest> vms;
+  for (std::size_t i = 0; i < std::size(kSequence); ++i) {
+    // "Considering all other compute and network resource requirements are
+    // met": tiny RAM/storage demands that always fit.
+    vms.push_back(toy_vm(static_cast<std::uint32_t>(i), kSequence[i],
+                         /*ram_gb=*/1.0, /*sto_gb=*/64.0));
+  }
+  return vms;
+}
+
+TEST(ToyExample2, RisaNextFitReproducesTable4Column) {
+  auto stack = make_table4_stack();
+  RisaAllocator risa(stack->context());
+  // Paper Table 4 RISA column: rack-1 CPU box ids 0,0,0,1,1,1,NA,1.
+  const int expected_box[] = {0, 0, 0, 1, 1, 1, -1, 1};
+  std::size_t i = 0;
+  for (const wl::VmRequest& vm : example2_vms()) {
+    auto placed = risa.try_place(vm);
+    if (expected_box[i] < 0) {
+      EXPECT_FALSE(placed.ok()) << "VM " << i << " should drop";
+      EXPECT_EQ(placed.error(), DropReason::NoComputeResources);
+    } else {
+      ASSERT_TRUE(placed.ok()) << "VM " << i;
+      const topo::Box& box =
+          stack->cluster().box(placed->box(ResourceType::Cpu));
+      EXPECT_EQ(box.rack(), RackId{1}) << "VM " << i;
+      // Rack-1 CPU boxes have per-type indices 2 and 3; Table 4 numbers
+      // them 0 and 1 within the rack.
+      EXPECT_EQ(box.index_in_type() - 2u,
+                static_cast<std::uint32_t>(expected_box[i]))
+          << "VM " << i;
+    }
+    ++i;
+  }
+}
+
+TEST(ToyExample2, RisaBfReproducesTable4ColumnModuloPaperArithmeticError) {
+  auto stack = make_table4_stack();
+  auto risa_bf = make_risa_bf(stack->context());
+  // Paper Table 4 RISA-BF column: 1,1,0,0,1,0,0,0 -- but VM 6 (16 cores)
+  // cannot fit: after VMs 0-5 the boxes hold 14 and 2 free cores, and total
+  // demand (100) exceeds total availability (96).  We reproduce every
+  // feasible row and assert the drop (documented paper erratum).
+  const int expected_box[] = {1, 1, 0, 0, 1, 0, -1, 0};
+  std::size_t i = 0;
+  for (const wl::VmRequest& vm : example2_vms()) {
+    auto placed = risa_bf->try_place(vm);
+    if (expected_box[i] < 0) {
+      EXPECT_FALSE(placed.ok()) << "VM " << i << " must drop (paper erratum)";
+    } else {
+      ASSERT_TRUE(placed.ok()) << "VM " << i;
+      const topo::Box& box =
+          stack->cluster().box(placed->box(ResourceType::Cpu));
+      EXPECT_EQ(box.index_in_type() - 2u,
+                static_cast<std::uint32_t>(expected_box[i]))
+          << "VM " << i;
+    }
+    ++i;
+  }
+}
+
+TEST(ToyExample2, TotalDemandExceedsAvailabilityByFour) {
+  // The erratum, arithmetically: sum of the sequence vs rack-1 availability.
+  std::int64_t demand = 0;
+  for (std::int64_t c : kSequence) demand += c;
+  EXPECT_EQ(demand, 100);
+  auto stack = make_table4_stack();
+  EXPECT_EQ(stack->cluster().rack(RackId{1}).total_available(ResourceType::Cpu),
+            96);
+}
+
+TEST(ToyExample2Corrected, BestFitBeatsNextFitWhenPackingIsTight) {
+  // A corrected variant demonstrating the effect Table 4 intends: boxes at
+  // 33/32 free cores, requests 32, 31, 2.  Next-fit strands a core in each
+  // box and drops the last VM; best-fit packs exactly and places all three.
+  auto build = [] {
+    auto stack = std::make_unique<sim::ToyStack>([] {
+      auto cfg = topo::ClusterConfig::toy_example();
+      cfg.box_units_override = UnitVector{33, 64, 8};
+      return cfg;
+    }());
+    stack->set_availability(ResourceType::Cpu, 0, 0);  // rack 0 unusable
+    stack->set_availability(ResourceType::Cpu, 1, 0);
+    stack->set_availability(ResourceType::Cpu, 3, 32);  // rack 1: 33 and 32
+    return stack;
+  };
+
+  const std::int64_t requests[] = {32, 31, 2};
+
+  auto nf_stack = build();
+  RisaAllocator next_fit(nf_stack->context());
+  int nf_placed = 0;
+  for (std::size_t i = 0; i < std::size(requests); ++i) {
+    if (next_fit.try_place(toy_vm(static_cast<std::uint32_t>(i), requests[i],
+                                  1.0, 64.0))
+            .ok()) {
+      ++nf_placed;
+    }
+  }
+
+  auto bf_stack = build();
+  auto best_fit = make_risa_bf(bf_stack->context());
+  int bf_placed = 0;
+  for (std::size_t i = 0; i < std::size(requests); ++i) {
+    if (best_fit
+            ->try_place(toy_vm(static_cast<std::uint32_t>(i), requests[i],
+                               1.0, 64.0))
+            .ok()) {
+      ++bf_placed;
+    }
+  }
+
+  EXPECT_EQ(nf_placed, 2);  // next-fit drops the 2-core VM
+  EXPECT_EQ(bf_placed, 3);  // best-fit places everything
+}
+
+}  // namespace
+}  // namespace risa::core

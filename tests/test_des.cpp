@@ -1,0 +1,127 @@
+// Discrete-event kernel: ordering, determinism, processes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "des/process.hpp"
+#include "des/simulator.hpp"
+
+namespace risa::des {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(5.0, [&](Simulator&) { order.push_back(2); });
+  sim.schedule_at(1.0, [&](Simulator&) { order.push_back(1); });
+  sim.schedule_at(9.0, [&](Simulator&) { order.push_back(3); });
+  EXPECT_DOUBLE_EQ(sim.run(), 9.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.executed(), 3u);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, SimultaneousEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(7.0, [&order, i](Simulator&) { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, HandlersCanScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&](Simulator& s) {
+    ++fired;
+    s.schedule_after(2.0, [&](Simulator&) { ++fired; });
+  });
+  EXPECT_DOUBLE_EQ(sim.run(), 3.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, PastSchedulingThrows) {
+  Simulator sim;
+  sim.schedule_at(10.0, [](Simulator&) {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5.0, [](Simulator&) {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_after(-1.0, [](Simulator&) {}),
+               std::invalid_argument);
+}
+
+TEST(Simulator, RunUntilHorizonLeavesLaterEventsPending) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&](Simulator&) { ++fired; });
+  sim.schedule_at(100.0, [&](Simulator&) { ++fired; });
+  sim.run(50.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, StepExecutesOneEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&](Simulator&) { ++fired; });
+  sim.schedule_at(2.0, [&](Simulator&) { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Calendar, PopOrdersByTimeThenSequence) {
+  Calendar cal;
+  cal.push(2.0, [](Simulator&) {});
+  cal.push(1.0, [](Simulator&) {});
+  cal.push(1.0, [](Simulator&) {});
+  EXPECT_EQ(cal.size(), 3u);
+  Event a = cal.pop();
+  Event b = cal.pop();
+  Event c = cal.pop();
+  EXPECT_DOUBLE_EQ(a.time, 1.0);
+  EXPECT_DOUBLE_EQ(b.time, 1.0);
+  EXPECT_LT(a.seq, b.seq);
+  EXPECT_DOUBLE_EQ(c.time, 2.0);
+  EXPECT_TRUE(cal.empty());
+}
+
+TEST(PoissonArrivals, FiresExactlyNTimesWithExpectedSpacing) {
+  Simulator sim;
+  Rng rng(99);
+  std::vector<double> times;
+  PoissonArrivals arrivals(10.0, 2000, [&](Simulator& s, std::size_t i) {
+    EXPECT_EQ(i, times.size());
+    times.push_back(s.now());
+  });
+  arrivals.start(sim, rng);
+  sim.run();
+  ASSERT_EQ(times.size(), 2000u);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    ASSERT_GT(times[i], times[i - 1]);
+  }
+  // Mean gap should approximate the paper's 10 tu.
+  EXPECT_NEAR(times.back() / 2000.0, 10.0, 0.8);
+}
+
+TEST(PoissonArrivals, ZeroCountIsANoop) {
+  Simulator sim;
+  Rng rng(1);
+  PoissonArrivals arrivals(10.0, 0, [](Simulator&, std::size_t) { FAIL(); });
+  arrivals.start(sim, rng);
+  sim.run();
+  EXPECT_EQ(sim.executed(), 0u);
+}
+
+TEST(PoissonArrivals, NonPositiveMeanThrows) {
+  EXPECT_THROW(PoissonArrivals(0.0, 1, [](Simulator&, std::size_t) {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace risa::des

@@ -1,0 +1,162 @@
+// Failure injection: offline boxes and failed links must leave every
+// aggregate consistent, steer the schedulers away, and allow clean release
+// of resident state.
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "core/risa.hpp"
+#include "network/fabric.hpp"
+#include "sim/experiments.hpp"
+#include "topology/cluster.hpp"
+
+namespace risa {
+namespace {
+
+TEST(BoxFailure, OfflineBoxLeavesAggregates) {
+  topo::Cluster cluster((topo::ClusterConfig()));
+  const BoxId victim = cluster.boxes_of_type(ResourceType::Cpu)[0];
+  auto alloc = cluster.allocate(victim, 28);
+  ASSERT_TRUE(alloc.ok());
+  ASSERT_EQ(cluster.total_available(ResourceType::Cpu), 4608 - 28);
+
+  cluster.set_box_offline(victim, true);
+  EXPECT_EQ(cluster.box(victim).available_units(), 0);
+  EXPECT_EQ(cluster.box(victim).raw_available_units(), 100);
+  EXPECT_EQ(cluster.total_available(ResourceType::Cpu), 4608 - 128);
+  EXPECT_EQ(cluster.rack(RackId{0}).max_available(ResourceType::Cpu), 128);
+  cluster.check_invariants();
+
+  // New allocations on the offline box fail; the resident allocation can
+  // still be released but its units stay unavailable.
+  EXPECT_FALSE(cluster.allocate(victim, 1).ok());
+  cluster.release(alloc.value());
+  EXPECT_EQ(cluster.total_available(ResourceType::Cpu), 4608 - 128);
+  cluster.check_invariants();
+
+  // Repair restores the full box.
+  cluster.set_box_offline(victim, false);
+  EXPECT_EQ(cluster.total_available(ResourceType::Cpu), 4608);
+  cluster.check_invariants();
+}
+
+TEST(BoxFailure, IdempotentTransitions) {
+  topo::Cluster cluster((topo::ClusterConfig()));
+  const BoxId victim = cluster.boxes_of_type(ResourceType::Ram)[5];
+  cluster.set_box_offline(victim, true);
+  cluster.set_box_offline(victim, true);  // no double-subtract
+  EXPECT_EQ(cluster.total_available(ResourceType::Ram), 4608 - 128);
+  cluster.set_box_offline(victim, false);
+  cluster.set_box_offline(victim, false);
+  EXPECT_EQ(cluster.total_available(ResourceType::Ram), 4608);
+  cluster.check_invariants();
+}
+
+TEST(BoxFailure, SchedulersRouteAroundOfflineBoxes) {
+  auto stack = sim::make_table3_stack();
+  // Take the only RAM box RISA would use in rack 1 (id 2) offline; rack 1
+  // still has RAM box id 3 with 16 GB -- enough for a 16 GB VM.
+  auto& cluster = stack->cluster();
+  cluster.set_box_offline(cluster.boxes_of_type(ResourceType::Ram)[2], true);
+  core::RisaAllocator risa(stack->context());
+  auto placed = risa.try_place(sim::toy_vm(0, 8, 16.0, 128.0));
+  ASSERT_TRUE(placed.ok());
+  EXPECT_EQ(cluster.box(placed->box(ResourceType::Ram)).index_in_type(), 3u);
+  EXPECT_FALSE(placed->inter_rack);
+}
+
+TEST(BoxFailure, WholeTypeFailureDropsEverything) {
+  topo::Cluster cluster((topo::ClusterConfig()));
+  net::Fabric fabric(topo::ClusterConfig{}, net::FabricConfig{});
+  net::Router router(fabric);
+  net::CircuitTable circuits(router);
+  core::AllocContext ctx;
+  ctx.cluster = &cluster;
+  ctx.fabric = &fabric;
+  ctx.router = &router;
+  ctx.circuits = &circuits;
+  for (BoxId id : cluster.boxes_of_type(ResourceType::Storage)) {
+    cluster.set_box_offline(id, true);
+  }
+  auto risa = core::make_allocator("RISA", ctx);
+  auto placed = risa->try_place(sim::toy_vm(0, 4, 8.0, 128.0));
+  ASSERT_FALSE(placed.ok());
+  EXPECT_EQ(placed.error(), core::DropReason::NoComputeResources);
+}
+
+TEST(LinkFailure, FailedLinkLeavesRackAggregate) {
+  net::Fabric fabric(topo::ClusterConfig{}, net::FabricConfig{});
+  const LinkId victim = fabric.box_uplinks(BoxId{0})[0];
+  const MbitsPerSec before = fabric.rack_intra_available(RackId{0});
+
+  ASSERT_TRUE(fabric.allocate(victim, gbps(50.0)).ok());
+  fabric.set_link_failed(victim, true);
+  EXPECT_EQ(fabric.link(victim).available(), 0);
+  EXPECT_EQ(fabric.link(victim).raw_available(), gbps(150.0));
+  EXPECT_EQ(fabric.rack_intra_available(RackId{0}), before - gbps(200.0));
+  EXPECT_FALSE(fabric.allocate(victim, 1).ok());
+  fabric.check_invariants();
+
+  // Release while failed: bandwidth returns to the link's books but stays
+  // unavailable until repair.
+  fabric.release(victim, gbps(50.0));
+  EXPECT_EQ(fabric.rack_intra_available(RackId{0}), before - gbps(200.0));
+  fabric.check_invariants();
+
+  fabric.set_link_failed(victim, false);
+  EXPECT_EQ(fabric.rack_intra_available(RackId{0}), before);
+  EXPECT_EQ(fabric.link(victim).available(), gbps(200.0));
+  fabric.check_invariants();
+}
+
+TEST(LinkFailure, RoutingAvoidsFailedLinks) {
+  net::Fabric fabric(topo::ClusterConfig{}, net::FabricConfig{});
+  net::Router router(fabric);
+  const auto group = fabric.box_uplinks(BoxId{0});
+  fabric.set_link_failed(group[0], true);
+  auto pick = router.select_link(group, gbps(10.0),
+                                 net::LinkSelectPolicy::FirstFit);
+  ASSERT_TRUE(pick.ok());
+  EXPECT_EQ(pick.value(), group[1]);
+
+  // Fail every uplink of the source box: no path can exist.
+  for (LinkId id : group) fabric.set_link_failed(id, true);
+  auto path = router.find_path(BoxId{0}, RackId{0}, BoxId{2}, RackId{0},
+                               gbps(10.0), net::LinkSelectPolicy::FirstFit);
+  EXPECT_FALSE(path.ok());
+}
+
+TEST(LinkFailure, AllocatorDropsOnIsolatedBoxThenRecovers) {
+  topo::Cluster cluster((topo::ClusterConfig()));
+  net::Fabric fabric(topo::ClusterConfig{}, net::FabricConfig{});
+  net::Router router(fabric);
+  net::CircuitTable circuits(router);
+  core::AllocContext ctx;
+  ctx.cluster = &cluster;
+  ctx.fabric = &fabric;
+  ctx.router = &router;
+  ctx.circuits = &circuits;
+  auto nulb = core::make_allocator("NULB", ctx);
+
+  // Isolate every CPU box's uplinks: network phase must fail everywhere.
+  for (ResourceType t : {ResourceType::Cpu}) {
+    for (BoxId id : cluster.boxes_of_type(t)) {
+      for (LinkId l : fabric.box_uplinks(id)) fabric.set_link_failed(l, true);
+    }
+  }
+  auto placed = nulb->try_place(sim::toy_vm(0, 8, 16.0, 128.0));
+  ASSERT_FALSE(placed.ok());
+  EXPECT_EQ(placed.error(), core::DropReason::NoNetworkResources);
+  // Nothing leaked.
+  EXPECT_EQ(cluster.total_available(ResourceType::Cpu), 4608);
+  EXPECT_EQ(circuits.active_count(), 0u);
+
+  // Repair one CPU box's uplinks: placement works again.
+  for (LinkId l : fabric.box_uplinks(cluster.boxes_of_type(ResourceType::Cpu)[0])) {
+    fabric.set_link_failed(l, false);
+  }
+  auto retry = nulb->try_place(sim::toy_vm(1, 8, 16.0, 128.0));
+  EXPECT_TRUE(retry.ok());
+}
+
+}  // namespace
+}  // namespace risa

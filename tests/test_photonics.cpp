@@ -1,0 +1,181 @@
+// Photonic energy model: Beneš geometry, Eq. (1), transceivers, ledger.
+#include <gtest/gtest.h>
+
+#include "network/circuit.hpp"
+#include "network/routing.hpp"
+#include "photonics/benes.hpp"
+#include "photonics/power_ledger.hpp"
+#include "photonics/switch_energy.hpp"
+#include "photonics/transceiver.hpp"
+#include "topology/config.hpp"
+
+namespace risa::phot {
+namespace {
+
+TEST(Benes, StageAndCellCounts) {
+  // 2*log2(N) - 1 stages; (N/2)*stages total cells (Lee & Dupuis [10]).
+  EXPECT_EQ(benes_stages(2), 1u);
+  EXPECT_EQ(benes_stages(4), 3u);
+  EXPECT_EQ(benes_stages(8), 5u);
+  EXPECT_EQ(benes_stages(64), 11u);    // the paper's box switch
+  EXPECT_EQ(benes_stages(256), 15u);   // intra-rack switch
+  EXPECT_EQ(benes_stages(512), 17u);   // inter-rack switch
+  EXPECT_EQ(benes_total_cells(64), 64u / 2 * 11);
+  EXPECT_EQ(benes_total_cells(256), 256u / 2 * 15);
+  EXPECT_EQ(benes_path_cells(64), 11u);
+  EXPECT_THROW((void)benes_stages(1), std::invalid_argument);
+}
+
+TEST(Benes, NonPowerOfTwoRoundsUp) {
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(64), 6u);
+  EXPECT_EQ(ceil_log2(65), 7u);
+  EXPECT_EQ(benes_stages(100), 13u);  // ceil(log2 100) = 7 -> 13 stages
+}
+
+TEST(SwitchEnergy, Equation1HandComputed) {
+  // 64-port switch (n = 11 cells), T = 1000 tu at 1 s/tu, alpha = 0.9:
+  //   switching = (11/2) * 13.75 mW * (1 us * log2 64) = 5.5*0.01375*6e-6 J
+  //   trimming  = 0.9 * 11 * 22.67 mW * 1000 s
+  SwitchEnergyConfig cfg;
+  const SwitchEnergy e = circuit_switch_energy(cfg, 64, 1000.0);
+  EXPECT_NEAR(e.switching_j, 5.5 * 0.01375 * 6e-6, 1e-12);
+  EXPECT_NEAR(e.trimming_j, 0.9 * 11 * 0.02267 * 1000.0, 1e-9);
+  EXPECT_NEAR(e.total_j(), e.switching_j + e.trimming_j, 1e-12);
+}
+
+TEST(SwitchEnergy, TrimmingDominatesSwitchingByConstruction) {
+  // The lat_sw modeling assumption (DESIGN.md §2.5) is immaterial because
+  // the one-time switching term is many orders below the holding term for
+  // any realistic lifetime; pin that here.
+  SwitchEnergyConfig cfg;
+  for (std::uint32_t ports : {64u, 256u, 512u}) {
+    const SwitchEnergy e = circuit_switch_energy(cfg, ports, 100.0);
+    EXPECT_GT(e.trimming_j / e.switching_j, 1e6) << "ports=" << ports;
+  }
+}
+
+TEST(SwitchEnergy, MonotoneInLifetimeAndPorts) {
+  SwitchEnergyConfig cfg;
+  EXPECT_LT(circuit_switch_energy(cfg, 64, 10.0).total_j(),
+            circuit_switch_energy(cfg, 64, 20.0).total_j());
+  EXPECT_LT(circuit_switch_energy(cfg, 64, 10.0).total_j(),
+            circuit_switch_energy(cfg, 512, 10.0).total_j());
+  EXPECT_THROW((void)circuit_switch_energy(cfg, 64, -1.0), std::invalid_argument);
+}
+
+TEST(SwitchEnergy, AlphaScalesTrimmingLinearly) {
+  SwitchEnergyConfig lo, hi;
+  lo.mrr.alpha = 0.5;
+  hi.mrr.alpha = 1.0;
+  const double t_lo = circuit_switch_energy(lo, 64, 100.0).trimming_j;
+  const double t_hi = circuit_switch_energy(hi, 64, 100.0).trimming_j;
+  EXPECT_NEAR(t_hi / t_lo, 2.0, 1e-12);
+}
+
+TEST(Mrr, AlphaBoundsEnforced) {
+  MrrParams p;
+  p.alpha = 0.4;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.alpha = 1.1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.alpha = 0.9;
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Transceiver, LinkRateMatchesLuxteraModule) {
+  const TransceiverParams p;
+  EXPECT_EQ(p.link_rate(), gbps(200.0));  // 8 x 25 Gb/s
+}
+
+TEST(Transceiver, PowerIsRateTimesEnergyPerBit) {
+  const TransceiverParams p;
+  // 10 Gb/s circuit over 2 hops: 2 modules/hop * 2 hops * 1e10 b/s * 22.5 pJ
+  // = 0.9 W.
+  EXPECT_NEAR(transceiver_power_w(p, gbps(10.0), 2), 0.9, 1e-9);
+  EXPECT_NEAR(transceiver_energy_j(p, gbps(10.0), 2, 100.0), 90.0, 1e-6);
+  EXPECT_THROW((void)transceiver_power_w(p, -1, 2), std::invalid_argument);
+  EXPECT_THROW((void)transceiver_energy_j(p, 1, 2, -1.0), std::invalid_argument);
+}
+
+TEST(PowerLedger, ChargesSwitchesAndTransceiversAlongPath) {
+  const topo::ClusterConfig cluster_cfg;
+  net::Fabric fabric(cluster_cfg, net::FabricConfig{});
+  net::Router router(fabric);
+  net::CircuitTable table(router);
+  PhotonicConfig photonics;
+  PowerLedger ledger(photonics, fabric);
+
+  // Intra-rack circuit: box(64) + rack(256) + box(64) switches, 2 hops.
+  auto path = router.find_path(BoxId{0}, RackId{0}, BoxId{2}, RackId{0},
+                               gbps(10.0), net::LinkSelectPolicy::FirstFit);
+  ASSERT_TRUE(path.ok());
+  auto cid = table.establish(VmId{1}, net::FlowKind::CpuRam, gbps(10.0),
+                             std::move(path.value()));
+  ASSERT_TRUE(cid.ok());
+
+  const double lifetime_tu = 50.0;
+  const VmEnergy e = ledger.charge_vm(table.circuits_of(VmId{1}), lifetime_tu);
+
+  const double expected_trim =
+      0.9 * (11 + 15 + 11) * 0.02267 * lifetime_tu;  // alpha*n*P_trim*T
+  EXPECT_NEAR(e.switch_trimming_j, expected_trim, 1e-9);
+  // 2 modules/hop * 2 hops * 1e10 b/s * 22.5e-12 J/b * 50 s = 45 J.
+  EXPECT_NEAR(e.transceiver_j, 45.0, 1e-6);
+  EXPECT_GT(e.switch_switching_j, 0.0);
+  EXPECT_EQ(ledger.circuits_charged(), 1u);
+  EXPECT_NEAR(ledger.total_energy_j(), e.total_j(), 1e-9);
+  EXPECT_NEAR(ledger.average_power_w(100.0), e.total_j() / 100.0, 1e-9);
+}
+
+TEST(PowerLedger, InterRackCircuitCostsMore) {
+  const topo::ClusterConfig cluster_cfg;
+  net::Fabric fabric(cluster_cfg, net::FabricConfig{});
+  net::Router router(fabric);
+  net::CircuitTable table(router);
+  PhotonicConfig photonics;
+  PowerLedger intra_ledger(photonics, fabric);
+  PowerLedger inter_ledger(photonics, fabric);
+
+  auto intra = router.find_path(BoxId{0}, RackId{0}, BoxId{2}, RackId{0},
+                                gbps(10.0), net::LinkSelectPolicy::FirstFit);
+  auto inter = router.find_path(BoxId{0}, RackId{0}, BoxId{8}, RackId{1},
+                                gbps(10.0), net::LinkSelectPolicy::FirstFit);
+  ASSERT_TRUE(intra.ok());
+  ASSERT_TRUE(inter.ok());
+  auto c1 = table.establish(VmId{1}, net::FlowKind::CpuRam, gbps(10.0),
+                            std::move(intra.value()));
+  auto c2 = table.establish(VmId{2}, net::FlowKind::CpuRam, gbps(10.0),
+                            std::move(inter.value()));
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  const VmEnergy ei = intra_ledger.charge_vm(table.circuits_of(VmId{1}), 10.0);
+  const VmEnergy ex = inter_ledger.charge_vm(table.circuits_of(VmId{2}), 10.0);
+  // Inter-rack crosses 2 extra switches (incl. the 512-port core) and 2
+  // extra transceiver hops -> strictly more of everything.
+  EXPECT_GT(ex.switch_trimming_j, ei.switch_trimming_j);
+  EXPECT_GT(ex.transceiver_j, ei.transceiver_j);
+  // Ratio of trimming: (11+15+17+15+11)/(11+15+11) = 69/37.
+  EXPECT_NEAR(ex.switch_trimming_j / ei.switch_trimming_j, 69.0 / 37.0, 1e-9);
+}
+
+TEST(PowerLedger, AveragePowerRequiresPositiveHorizon) {
+  const topo::ClusterConfig cluster_cfg;
+  net::Fabric fabric(cluster_cfg, net::FabricConfig{});
+  PhotonicConfig photonics;
+  PowerLedger ledger(photonics, fabric);
+  EXPECT_THROW((void)ledger.average_power_w(0.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(ledger.average_power_w(10.0), 0.0);
+}
+
+TEST(PhotonicConfig, SecondsPerTimeUnitScalesTrimming) {
+  SwitchEnergyConfig cfg;
+  cfg.seconds_per_time_unit = 2.0;
+  const double doubled = circuit_switch_energy(cfg, 64, 100.0).trimming_j;
+  cfg.seconds_per_time_unit = 1.0;
+  const double base = circuit_switch_energy(cfg, 64, 100.0).trimming_j;
+  EXPECT_NEAR(doubled / base, 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace risa::phot

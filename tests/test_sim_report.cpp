@@ -1,0 +1,107 @@
+// Experiment definitions and report rendering: paper reference lookups and
+// table shapes.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "workload/synthetic.hpp"
+#include "sim/experiments.hpp"
+#include "sim/report.hpp"
+
+namespace risa::sim {
+namespace {
+
+TEST(Experiments, PaperReferencesMatchPublishedNumbers) {
+  EXPECT_DOUBLE_EQ(*paper_reference("fig5", "Synthetic", "NULB"), 255);
+  EXPECT_DOUBLE_EQ(*paper_reference("fig5", "Synthetic", "RISA"), 7);
+  EXPECT_DOUBLE_EQ(*paper_reference("fig5", "Synthetic", "RISA-BF"), 2);
+  EXPECT_DOUBLE_EQ(*paper_reference("fig9", "Azure-3000", "NULB"), 5.22);
+  EXPECT_DOUBLE_EQ(*paper_reference("fig9", "Azure-7500", "NALB"), 6.72);
+  EXPECT_DOUBLE_EQ(*paper_reference("fig10", "Azure-3000", "NALB"), 216);
+  EXPECT_DOUBLE_EQ(*paper_reference("fig10", "Azure-5000", "RISA"), 110);
+  EXPECT_DOUBLE_EQ(*paper_reference("fig11", "Synthetic", "NALB"), 865);
+  EXPECT_DOUBLE_EQ(*paper_reference("fig12", "Azure-7500", "RISA"), 3679);
+  EXPECT_DOUBLE_EQ(*paper_reference("fig8-intra", "Azure-5000", "RISA-BF"),
+                   35.4);
+  // Wildcard rows: RISA family is zero inter-rack on every Azure subset.
+  EXPECT_DOUBLE_EQ(*paper_reference("fig7", "Azure-7500", "RISA"), 0.0);
+  // Unreported combinations stay empty.
+  EXPECT_FALSE(paper_reference("fig9", "Azure-5000", "NULB").has_value());
+  EXPECT_FALSE(paper_reference("nope", "Synthetic", "NULB").has_value());
+  EXPECT_EQ(paper_cell("fig9", "Azure-5000", "NULB"), "-");
+  EXPECT_EQ(paper_cell("fig5", "Synthetic", "NULB", 0), "255");
+}
+
+TEST(Experiments, WorkloadBuildersProducePaperSizes) {
+  EXPECT_EQ(synthetic_workload().size(), 2500u);
+  const auto azure = azure_workloads();
+  ASSERT_EQ(azure.size(), 3u);
+  EXPECT_EQ(azure[0].first, "Azure-3000");
+  EXPECT_EQ(azure[0].second.size(), 3000u);
+  EXPECT_EQ(azure[1].second.size(), 5000u);
+  EXPECT_EQ(azure[2].second.size(), 7500u);
+}
+
+TEST(Report, TablesRenderOneRowPerRun) {
+  wl::SyntheticConfig cfg;
+  cfg.count = 60;
+  const auto runs = run_all_algorithms(
+      Scenario::paper_defaults(), wl::generate_synthetic(cfg, 1), "Synthetic");
+
+  EXPECT_EQ(figure5_table(runs).rows(), 4u);
+  EXPECT_EQ(figure7_table(runs).rows(), 4u);
+  EXPECT_EQ(figure8_table(runs).rows(), 4u);
+  EXPECT_EQ(figure9_table(runs).rows(), 4u);
+  EXPECT_EQ(figure10_table(runs).rows(), 4u);
+  EXPECT_EQ(exec_time_table(runs, "fig11").rows(), 4u);
+  EXPECT_EQ(utilization_table(runs).rows(), 4u);
+  EXPECT_EQ(full_metrics_table(runs).rows(), 4u);
+
+  // The Figure 5 table carries the paper's reference column.
+  const std::string rendered = figure5_table(runs).to_string();
+  EXPECT_NE(rendered.find("255"), std::string::npos);
+  EXPECT_NE(rendered.find("RISA-BF"), std::string::npos);
+}
+
+TEST(Report, ExecTimeTableNormalizesToRisa) {
+  wl::SyntheticConfig cfg;
+  cfg.count = 60;
+  const auto runs = run_all_algorithms(
+      Scenario::paper_defaults(), wl::generate_synthetic(cfg, 2), "Synthetic");
+  const std::string rendered = exec_time_table(runs, "fig11").to_string();
+  EXPECT_NE(rendered.find("1.00x"), std::string::npos);
+}
+
+TEST(Experiments, ToyStackMatchesTable3State) {
+  auto stack = make_table3_stack();
+  const auto& cluster = stack->cluster();
+  const auto avail = [&](ResourceType t, std::uint32_t idx) {
+    return cluster.box(cluster.boxes_of_type(t)[idx]).available_units();
+  };
+  EXPECT_EQ(avail(ResourceType::Cpu, 0), 0);
+  EXPECT_EQ(avail(ResourceType::Cpu, 2), 64);
+  EXPECT_EQ(avail(ResourceType::Cpu, 3), 32);
+  EXPECT_EQ(avail(ResourceType::Ram, 1), 16);
+  EXPECT_EQ(avail(ResourceType::Ram, 2), 32);
+  EXPECT_EQ(avail(ResourceType::Storage, 2), 4);
+  EXPECT_EQ(avail(ResourceType::Storage, 3), 8);
+  cluster.check_invariants();
+}
+
+TEST(Experiments, ToyVmHelper) {
+  const wl::VmRequest vm = toy_vm(7, 8, 16.0, 128.0, 42.0);
+  EXPECT_EQ(vm.id.value(), 7u);
+  EXPECT_EQ(vm.cores, 8);
+  EXPECT_EQ(vm.ram_mb, gb(16.0));
+  EXPECT_EQ(vm.storage_mb, gb(128.0));
+  EXPECT_DOUBLE_EQ(vm.lifetime, 42.0);
+  EXPECT_DOUBLE_EQ(vm.departure(), 42.0);
+}
+
+TEST(Experiments, ToyStackRejectsRaisingAvailability) {
+  auto stack = make_table3_stack();
+  EXPECT_THROW(stack->set_availability(ResourceType::Cpu, 0, 64),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace risa::sim

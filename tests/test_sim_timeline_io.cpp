@@ -1,0 +1,168 @@
+// Timeline recording and scenario (de)serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "sim/engine.hpp"
+#include "sim/experiments.hpp"
+#include "sim/scenario_io.hpp"
+#include "sim/timeline.hpp"
+#include "workload/synthetic.hpp"
+
+namespace risa::sim {
+namespace {
+
+wl::Workload small_workload(std::size_t n = 200) {
+  wl::SyntheticConfig cfg;
+  cfg.count = n;
+  return wl::generate_synthetic(cfg, 3);
+}
+
+TEST(Timeline, RecordsEveryPlacementAndDeparture) {
+  Timeline timeline;
+  Engine engine(Scenario::paper_defaults(), "RISA");
+  engine.set_timeline(&timeline);
+  const SimMetrics m = engine.run(small_workload(), "t");
+  // One point per placement + one per departure (drops do not record).
+  EXPECT_EQ(timeline.size(), 2 * m.placed);
+  EXPECT_GT(timeline.peak_active_vms(), 0u);
+
+  // Census sanity: the active count returns to zero at the end, times are
+  // non-decreasing, utilizations bounded.
+  const auto& points = timeline.points();
+  EXPECT_EQ(points.back().active_vms, 0u);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    ASSERT_GE(points[i].time, points[i - 1].time);
+  }
+  for (const TimelinePoint& p : points) {
+    for (ResourceType t : kAllResources) {
+      ASSERT_GE(p.utilization[t], 0.0);
+      ASSERT_LE(p.utilization[t], 1.0);
+    }
+    ASSERT_GE(p.optical_power_w, -1e-9);
+  }
+}
+
+TEST(Timeline, HoldingPowerIntegralMatchesLedgerEnergy) {
+  // The instantaneous holding power integrated over time must equal the
+  // trimming + transceiver energy the ledger charges (switching energy is
+  // the one-time term, excluded from holding power).
+  Timeline timeline;
+  Engine engine(Scenario::paper_defaults(), "RISA");
+  engine.set_timeline(&timeline);
+  const SimMetrics m = engine.run(small_workload(100), "t");
+
+  const auto& points = timeline.points();
+  double integral = 0.0;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    integral += points[i - 1].optical_power_w *
+                (points[i].time - points[i - 1].time);
+  }
+  const double ledger_energy =
+      m.energy.switch_trimming_j + m.energy.transceiver_j;
+  EXPECT_NEAR(integral / ledger_energy, 1.0, 1e-6);
+}
+
+TEST(Timeline, SamplingReducesPointCount) {
+  Timeline everything(1);
+  Timeline sampled(10);
+  for (int i = 0; i < 100; ++i) {
+    TimelinePoint p;
+    p.time = i;
+    p.active_vms = static_cast<std::uint64_t>(i);
+    everything.record(p);
+    sampled.record(p);
+  }
+  EXPECT_EQ(everything.size(), 100u);
+  EXPECT_EQ(sampled.size(), 10u);
+  // Peak tracking sees every record even when downsampled.
+  EXPECT_EQ(sampled.peak_active_vms(), 99u);
+}
+
+TEST(Timeline, CsvRoundTripShape) {
+  Timeline timeline;
+  Engine engine(Scenario::paper_defaults(), "NULB");
+  engine.set_timeline(&timeline);
+  (void)engine.run(small_workload(50), "t");
+
+  std::stringstream ss;
+  timeline.write_csv(ss);
+  const auto rows = CsvReader::read_all(ss);
+  ASSERT_EQ(rows.size(), timeline.size() + 1);  // header + points
+  EXPECT_EQ(rows[0][0], "time");
+  EXPECT_EQ(rows[0].size(), 10u);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    ASSERT_EQ(rows[i].size(), 10u);
+  }
+}
+
+TEST(ScenarioIo, RoundTripsAllKeys) {
+  Scenario original = Scenario::paper_defaults();
+  original.cluster.racks = 9;
+  original.fabric.links_per_box = 8;
+  original.bandwidth.ram_sto_basis = net::BandwidthBasis::StorageUnits;
+  original.photonics.switch_energy.mrr.alpha = 0.75;
+  original.latency.inter_rack_ns = 400.0;
+  original.allocator.companion = core::CompanionSearch::AnchorRackFirst;
+
+  std::stringstream ss;
+  save_scenario(ss, original);
+  const Scenario back = load_scenario(ss);
+
+  EXPECT_EQ(back.cluster.racks, 9u);
+  EXPECT_EQ(back.fabric.links_per_box, 8u);
+  EXPECT_EQ(back.bandwidth.ram_sto_basis, net::BandwidthBasis::StorageUnits);
+  EXPECT_DOUBLE_EQ(back.photonics.switch_energy.mrr.alpha, 0.75);
+  EXPECT_DOUBLE_EQ(back.latency.inter_rack_ns, 400.0);
+  EXPECT_EQ(back.allocator.companion, core::CompanionSearch::AnchorRackFirst);
+  // Untouched keys keep paper defaults.
+  EXPECT_EQ(back.cluster.bricks_per_box, 8u);
+  EXPECT_EQ(back.bandwidth.cpu_ram_per_unit, gbps(5.0));
+}
+
+TEST(ScenarioIo, ParsesCommentsAndWhitespace) {
+  std::stringstream ss(
+      "# a comment\n"
+      "\n"
+      "  cluster.racks = 4   # trailing comment\n"
+      "fabric.links_per_box=2\n");
+  const Scenario s = load_scenario(ss);
+  EXPECT_EQ(s.cluster.racks, 4u);
+  EXPECT_EQ(s.fabric.links_per_box, 2u);
+}
+
+TEST(ScenarioIo, RejectsUnknownKeysAndBadValues) {
+  std::stringstream unknown("cluster.rackz = 4\n");
+  EXPECT_THROW((void)load_scenario(unknown), std::runtime_error);
+
+  std::stringstream bad_value("cluster.racks = many\n");
+  EXPECT_THROW((void)load_scenario(bad_value), std::runtime_error);
+
+  std::stringstream no_eq("cluster.racks 4\n");
+  EXPECT_THROW((void)load_scenario(no_eq), std::runtime_error);
+
+  std::stringstream bad_basis("bandwidth.cpu_ram_basis = bogus\n");
+  EXPECT_THROW((void)load_scenario(bad_basis), std::runtime_error);
+}
+
+TEST(ScenarioIo, ValidatesResultingScenario) {
+  std::stringstream ss("cluster.racks = 0\n");
+  EXPECT_THROW((void)load_scenario(ss), std::invalid_argument);
+}
+
+TEST(ScenarioIo, LoadedScenarioDrivesTheEngine) {
+  std::stringstream ss(
+      "cluster.racks = 6\n"
+      "latency.inter_rack_ns = 500\n");
+  const Scenario s = load_scenario(ss);
+  Engine engine(s, "NULB");
+  const SimMetrics m = engine.run(small_workload(100), "t");
+  EXPECT_EQ(m.placed + m.dropped, 100u);
+  if (m.inter_rack_placements > 0) {
+    EXPECT_DOUBLE_EQ(m.cpu_ram_latency_ns.max(), 500.0);
+  }
+}
+
+}  // namespace
+}  // namespace risa::sim

@@ -1,0 +1,240 @@
+// Topology substrate: Table 1 shape, unit-granular allocation with brick
+// accounting, incremental rack/cluster aggregates, snapshot/restore.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "topology/cluster.hpp"
+#include "topology/config.hpp"
+
+namespace risa::topo {
+namespace {
+
+TEST(ClusterConfig, Table1Defaults) {
+  const ClusterConfig cfg = ClusterConfig::paper_table1();
+  EXPECT_EQ(cfg.racks, 18u);
+  EXPECT_EQ(cfg.total_boxes_per_rack(), 6u);
+  EXPECT_EQ(cfg.bricks_per_box, 8u);
+  EXPECT_EQ(cfg.units_per_brick, 16);
+  EXPECT_EQ(cfg.box_units(ResourceType::Cpu), 128);
+  // 18 racks x 2 boxes x 128 units = 4608 units of each type.
+  EXPECT_EQ(cfg.total_units(ResourceType::Cpu), 4608);
+  EXPECT_EQ(cfg.total_units(ResourceType::Ram), 4608);
+  EXPECT_EQ(cfg.total_units(ResourceType::Storage), 4608);
+  // In physical terms: 18432 cores, 18432 GB RAM, 294912 GB storage.
+  EXPECT_EQ(cfg.total_units(ResourceType::Cpu) * cfg.unit_scale.cores_per_cpu_unit,
+            18432);
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ClusterConfig, ToyExampleShape) {
+  const ClusterConfig cfg = ClusterConfig::toy_example();
+  EXPECT_EQ(cfg.racks, 2u);
+  // Toy boxes: 64 cores, 64 GB, 512 GB at 1 core / 1 GB / 64 GB units
+  // (Tables 3-4 are single-core granular; see config.hpp).
+  EXPECT_EQ(cfg.box_units(ResourceType::Cpu), 64);
+  EXPECT_EQ(cfg.box_units(ResourceType::Ram), 64);
+  EXPECT_EQ(cfg.box_units(ResourceType::Storage), 8);
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ClusterConfig, ValidationRejectsDegenerateShapes) {
+  ClusterConfig cfg;
+  cfg.racks = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = ClusterConfig{};
+  cfg.boxes_per_rack[ResourceType::Ram] = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = ClusterConfig{};
+  cfg.units_per_brick = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(Cluster, BuildsPaperShape) {
+  const Cluster cluster((ClusterConfig()));
+  EXPECT_EQ(cluster.num_racks(), 18u);
+  EXPECT_EQ(cluster.num_boxes(), 108u);
+  for (ResourceType t : kAllResources) {
+    EXPECT_EQ(cluster.boxes_of_type(t).size(), 36u);
+    EXPECT_EQ(cluster.total_capacity(t), 4608);
+    EXPECT_EQ(cluster.total_available(t), 4608);
+    EXPECT_DOUBLE_EQ(cluster.utilization(t), 0.0);
+  }
+  cluster.check_invariants();
+}
+
+TEST(Cluster, PerTypeOrderingIsRackMajor) {
+  const Cluster cluster((ClusterConfig()));
+  const auto& cpu_boxes = cluster.boxes_of_type(ResourceType::Cpu);
+  for (std::size_t i = 0; i < cpu_boxes.size(); ++i) {
+    const Box& box = cluster.box(cpu_boxes[i]);
+    EXPECT_EQ(box.index_in_type(), i);
+    EXPECT_EQ(box.rack().value(), i / 2);  // 2 CPU boxes per rack
+    EXPECT_EQ(box.type(), ResourceType::Cpu);
+  }
+}
+
+TEST(Cluster, AllocateReleasesRoundTripExactly) {
+  Cluster cluster((ClusterConfig()));
+  const BoxId target = cluster.boxes_of_type(ResourceType::Ram)[3];
+  auto alloc = cluster.allocate(target, 100);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_EQ(alloc->units, 100);
+  EXPECT_EQ(cluster.box(target).available_units(), 28);
+  EXPECT_EQ(cluster.total_available(ResourceType::Ram), 4508);
+  cluster.check_invariants();
+
+  cluster.release(alloc.value());
+  EXPECT_EQ(cluster.box(target).available_units(), 128);
+  EXPECT_EQ(cluster.total_available(ResourceType::Ram), 4608);
+  cluster.check_invariants();
+}
+
+TEST(Cluster, AllocationSpansBricksFirstFit) {
+  Cluster cluster((ClusterConfig()));  // bricks of 16 units
+  const BoxId target = cluster.boxes_of_type(ResourceType::Cpu)[0];
+  auto alloc = cluster.allocate(target, 40);  // 16 + 16 + 8
+  ASSERT_TRUE(alloc.ok());
+  ASSERT_EQ(alloc->slices.size(), 3u);
+  EXPECT_EQ(alloc->slices[0].units, 16);
+  EXPECT_EQ(alloc->slices[1].units, 16);
+  EXPECT_EQ(alloc->slices[2].units, 8);
+  EXPECT_EQ(cluster.box(target).brick_available(2), 8);
+  cluster.release(alloc.value());
+  EXPECT_EQ(cluster.box(target).brick_available(2), 16);
+}
+
+TEST(Cluster, OverAllocationFailsWithoutSideEffects) {
+  Cluster cluster((ClusterConfig()));
+  const BoxId target = cluster.boxes_of_type(ResourceType::Cpu)[0];
+  ASSERT_TRUE(cluster.allocate(target, 128).ok());
+  auto more = cluster.allocate(target, 1);
+  EXPECT_FALSE(more.ok());
+  EXPECT_EQ(cluster.box(target).available_units(), 0);
+  cluster.check_invariants();
+}
+
+TEST(Cluster, ZeroAndNegativeAllocationsRejected) {
+  Cluster cluster((ClusterConfig()));
+  const BoxId target = cluster.boxes_of_type(ResourceType::Cpu)[0];
+  EXPECT_FALSE(cluster.allocate(target, 0).ok());
+  EXPECT_FALSE(cluster.allocate(target, -5).ok());
+}
+
+TEST(Cluster, DoubleReleaseIsALogicError) {
+  Cluster cluster((ClusterConfig()));
+  const BoxId target = cluster.boxes_of_type(ResourceType::Cpu)[0];
+  auto alloc = cluster.allocate(target, 128);
+  ASSERT_TRUE(alloc.ok());
+  cluster.release(alloc.value());
+  EXPECT_THROW(cluster.release(alloc.value()), std::logic_error);
+}
+
+TEST(Cluster, ForeignReleaseIsALogicError) {
+  Cluster cluster((ClusterConfig()));
+  const BoxId a = cluster.boxes_of_type(ResourceType::Cpu)[0];
+  const BoxId b = cluster.boxes_of_type(ResourceType::Cpu)[1];
+  auto alloc = cluster.allocate(a, 4);
+  ASSERT_TRUE(alloc.ok());
+  BoxAllocation forged = alloc.value();
+  forged.box = b;
+  EXPECT_THROW(cluster.release(forged), std::logic_error);
+  cluster.release(alloc.value());
+}
+
+TEST(Cluster, RackMaxAvailableTracksLargestBox) {
+  Cluster cluster((ClusterConfig()));
+  const RackId rack{0};
+  EXPECT_EQ(cluster.rack(rack).max_available(ResourceType::Cpu), 128);
+  const auto& cpu_boxes = cluster.boxes_of_type_in_rack(rack, ResourceType::Cpu);
+  ASSERT_EQ(cpu_boxes.size(), 2u);
+  auto a0 = cluster.allocate(cpu_boxes[0], 100);  // avail 28
+  ASSERT_TRUE(a0.ok());
+  EXPECT_EQ(cluster.rack(rack).max_available(ResourceType::Cpu), 128);
+  auto a1 = cluster.allocate(cpu_boxes[1], 120);  // avail 8
+  ASSERT_TRUE(a1.ok());
+  EXPECT_EQ(cluster.rack(rack).max_available(ResourceType::Cpu), 28);
+  EXPECT_EQ(cluster.rack(rack).total_available(ResourceType::Cpu), 36);
+  cluster.release(a0.value());
+  EXPECT_EQ(cluster.rack(rack).max_available(ResourceType::Cpu), 128);
+  cluster.check_invariants();
+}
+
+TEST(Cluster, SnapshotRestoreRoundTrips) {
+  Cluster cluster((ClusterConfig()));
+  const BoxId t1 = cluster.boxes_of_type(ResourceType::Cpu)[5];
+  const BoxId t2 = cluster.boxes_of_type(ResourceType::Storage)[7];
+  ASSERT_TRUE(cluster.allocate(t1, 37).ok());
+  ASSERT_TRUE(cluster.allocate(t2, 11).ok());
+  const ClusterSnapshot snap = cluster.snapshot();
+
+  ASSERT_TRUE(cluster.allocate(t1, 20).ok());
+  cluster.restore(snap);
+  EXPECT_EQ(cluster.box(t1).available_units(), 128 - 37);
+  EXPECT_EQ(cluster.box(t2).available_units(), 128 - 11);
+  cluster.check_invariants();
+}
+
+TEST(Cluster, ToyExampleCapacitiesMatchTable3) {
+  const ClusterConfig cfg = ClusterConfig::toy_example();
+  const Cluster cluster(cfg);
+  // Table 3: CPU boxes 64 cores, RAM boxes 64 GB, storage boxes 512 GB.
+  for (BoxId id : cluster.boxes_of_type(ResourceType::Cpu)) {
+    EXPECT_EQ(cluster.box(id).capacity_units() *
+                  cfg.unit_scale.cores_per_cpu_unit,
+              64);
+  }
+  for (BoxId id : cluster.boxes_of_type(ResourceType::Storage)) {
+    EXPECT_EQ(cluster.box(id).capacity_units() *
+                  cfg.unit_scale.mb_per_storage_unit,
+              gb(512.0));
+  }
+}
+
+TEST(Cluster, BadIdsThrow) {
+  Cluster cluster((ClusterConfig()));
+  EXPECT_THROW((void)cluster.box(BoxId{9999}), std::out_of_range);
+  EXPECT_THROW((void)cluster.box(BoxId::invalid()), std::out_of_range);
+  EXPECT_THROW((void)cluster.rack(RackId{99}), std::out_of_range);
+  EXPECT_THROW((void)cluster.allocate(BoxId{9999}, 1), std::out_of_range);
+}
+
+// Property sweep: random allocate/release sequences keep every invariant.
+class ClusterPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClusterPropertyTest, RandomChurnPreservesInvariants) {
+  Rng rng(GetParam());
+  Cluster cluster((ClusterConfig()));
+  std::vector<BoxAllocation> live;
+  for (int step = 0; step < 3000; ++step) {
+    const bool do_alloc = live.empty() || rng.uniform01() < 0.6;
+    if (do_alloc) {
+      const ResourceType t =
+          kAllResources[static_cast<std::size_t>(rng.uniform_int(0, 2))];
+      const auto& boxes = cluster.boxes_of_type(t);
+      const BoxId box =
+          boxes[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(boxes.size()) - 1))];
+      const Units want = rng.uniform_int(1, 16);
+      auto alloc = cluster.allocate(box, want);
+      if (alloc.ok()) live.push_back(std::move(alloc.value()));
+    } else {
+      const auto idx = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(live.size()) - 1));
+      cluster.release(live[idx]);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+  }
+  cluster.check_invariants();
+  for (const auto& a : live) cluster.release(a);
+  cluster.check_invariants();
+  for (ResourceType t : kAllResources) {
+    EXPECT_EQ(cluster.total_available(t), cluster.total_capacity(t));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace risa::topo
