@@ -9,9 +9,14 @@
 // Each benchmark replays the full 2500-VM discrete-event simulation; the
 // `sched_s` counter isolates time spent inside Allocator::try_place, which
 // is what the paper's figure measures.
+// Driver mode: `--emit_json[=path]` additionally replays every algorithm
+// once with per-placement latency recording and writes the scheduler perf
+// baseline (sched_s, placements/sec, p50/p99 latency) as JSON -- the
+// committed BENCH_scheduler.json is produced this way.
 #include <benchmark/benchmark.h>
 
 #include <iostream>
+#include <string>
 
 #include "sim/engine.hpp"
 #include "sim/experiments.hpp"
@@ -44,14 +49,19 @@ void BM_Nalb(benchmark::State& s) { run_algorithm(s, "NALB"); }
 void BM_Risa(benchmark::State& s) { run_algorithm(s, "RISA"); }
 void BM_RisaBf(benchmark::State& s) { run_algorithm(s, "RISA-BF"); }
 
-BENCHMARK(BM_Nulb)->Unit(benchmark::kMillisecond)->MinTime(0.25);
-BENCHMARK(BM_Nalb)->Unit(benchmark::kMillisecond)->MinTime(0.25);
-BENCHMARK(BM_Risa)->Unit(benchmark::kMillisecond)->MinTime(0.25);
-BENCHMARK(BM_RisaBf)->Unit(benchmark::kMillisecond)->MinTime(0.25);
+// No hardcoded MinTime: google-benchmark gives per-benchmark MinTime()
+// precedence over --benchmark_min_time, which would make the CI smoke cap
+// (and the DESIGN.md 0.25s baseline recipe) silently ineffective.
+BENCHMARK(BM_Nulb)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Nalb)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Risa)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RisaBf)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path =
+      risa::sim::consume_emit_json_flag(argc, argv, "BENCH_scheduler.json");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
@@ -61,5 +71,18 @@ int main(int argc, char** argv) {
       risa::sim::Scenario::paper_defaults(), workload(), "Synthetic");
   std::cout << "\n=== Figure 11: scheduler execution time, synthetic ===\n"
             << risa::sim::exec_time_table(runs, "fig11");
+
+  if (!json_path.empty()) {
+    std::vector<risa::sim::SchedulerBenchEntry> entries;
+    for (const char* algo : {"NULB", "NALB", "RISA", "RISA-BF"}) {
+      entries.push_back(risa::sim::scheduler_bench_entry(
+          risa::sim::Scenario::paper_defaults(), algo, workload(), "Synthetic"));
+    }
+    if (!risa::sim::write_scheduler_bench_json(json_path,
+                                               "fig11_exec_synthetic", entries)) {
+      return 1;
+    }
+    std::cout << "\nwrote scheduler baseline: " << json_path << "\n";
+  }
   return 0;
 }

@@ -5,9 +5,13 @@
 //   RISA-BF 4013 s -- RISA 2.81x faster than NULB, 4.33x faster than NALB.
 //   reproduced claim: the ordering NALB > NULB > RISA-BF ~ RISA and the
 //   growth with subset size.
+// Driver mode: `--emit_json[=path]` additionally replays every (subset,
+// algorithm) pair once with per-placement latency recording and writes the
+// practical-workload scheduler baseline as JSON.
 #include <benchmark/benchmark.h>
 
 #include <iostream>
+#include <string>
 
 #include "sim/engine.hpp"
 #include "sim/experiments.hpp"
@@ -40,14 +44,17 @@ void BM_Exec(benchmark::State& state) {
            static_cast<std::size_t>(state.range(1)));
 }
 
+// No hardcoded MinTime so --benchmark_min_time (CI smoke, baseline recipe)
+// stays effective.
 BENCHMARK(BM_Exec)
     ->ArgsProduct({{0, 1, 2, 3}, {0, 1, 2}})
-    ->Unit(benchmark::kMillisecond)
-    ->MinTime(0.1);
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = risa::sim::consume_emit_json_flag(
+      argc, argv, "BENCH_scheduler_practical.json");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
@@ -61,5 +68,20 @@ int main(int argc, char** argv) {
   }
   std::cout << "\n=== Figure 12: scheduler execution time, practical ===\n"
             << risa::sim::exec_time_table(runs, "fig12");
+
+  if (!json_path.empty()) {
+    std::vector<risa::sim::SchedulerBenchEntry> entries;
+    for (const auto& [label, workload] : subsets()) {
+      for (const char* algo : {"NULB", "NALB", "RISA", "RISA-BF"}) {
+        entries.push_back(risa::sim::scheduler_bench_entry(
+            risa::sim::Scenario::paper_defaults(), algo, workload, label));
+      }
+    }
+    if (!risa::sim::write_scheduler_bench_json(
+            json_path, "fig12_exec_practical", entries)) {
+      return 1;
+    }
+    std::cout << "\nwrote scheduler baseline: " << json_path << "\n";
+  }
   return 0;
 }

@@ -56,6 +56,24 @@ double Histogram::bin_hi(std::size_t bin) const {
   return lo_ + width * static_cast<double>(bin + 1);
 }
 
+double Histogram::percentile(double p) const {
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("Histogram::percentile: p outside [0, 100]");
+  }
+  if (total_ == 0) {
+    throw std::logic_error("Histogram::percentile: empty histogram");
+  }
+  const auto rank = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::ceil(p / 100.0 * static_cast<double>(total_))));
+  std::int64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    cumulative += counts_[b];
+    if (cumulative >= rank) return bin_hi(b);
+  }
+  return hi_;
+}
+
 std::string Histogram::to_string(int bar_width) const {
   std::ostringstream os;
   const std::int64_t peak = counts_.empty()

@@ -36,6 +36,12 @@ class Histogram {
   [[nodiscard]] double bin_lo(std::size_t bin) const;
   [[nodiscard]] double bin_hi(std::size_t bin) const;
 
+  /// Nearest-rank percentile at bin resolution: the upper edge of the first
+  /// bin whose cumulative count reaches ceil(p/100 * total).  p in [0, 100];
+  /// throws std::logic_error on an empty histogram.  Used by the scheduler
+  /// perf baseline (p50/p99 per-placement latency).
+  [[nodiscard]] double percentile(double p) const;
+
   /// Text rendering: one `[lo, hi) count` row per bin plus a bar.
   [[nodiscard]] std::string to_string(int bar_width = 40) const;
 

@@ -1,0 +1,107 @@
+// Fixed-width bitmask over rack ids.
+//
+// The placement hot path asks two set-shaped questions per VM -- "which
+// racks can host the whole demand" (INTRA_RACK_POOL) and "which racks can
+// host each resource individually" (SUPER_RACK) -- and then needs O(1)
+// membership tests from the NULB-style scans.  A fixed-width bitmask makes
+// membership a single bit test, intersection a handful of word ANDs, and
+// ascending-id iteration (the round-robin order) a countr_zero loop, all
+// without touching the heap.  Width is capped at kMaxRacks; Cluster rejects
+// larger configurations at construction.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace risa {
+
+class RackSet {
+ public:
+  /// Hard cap on addressable racks (the paper's cluster has 18; the
+  /// capacity-planning sweeps stay well under this).  Kept small so
+  /// clearing/intersecting a set stays a handful of word ops on the hot
+  /// path; bump if a scenario ever needs more racks.
+  static constexpr std::uint32_t kMaxRacks = 256;
+  static constexpr std::size_t kWords = kMaxRacks / 64;
+
+  constexpr RackSet() = default;
+
+  constexpr void set(RackId r) noexcept {
+    words_[r.value() >> 6] |= std::uint64_t{1} << (r.value() & 63);
+  }
+  constexpr void reset(RackId r) noexcept {
+    words_[r.value() >> 6] &= ~(std::uint64_t{1} << (r.value() & 63));
+  }
+  [[nodiscard]] constexpr bool test(RackId r) const noexcept {
+    return (words_[r.value() >> 6] >> (r.value() & 63)) & 1u;
+  }
+
+  constexpr void clear() noexcept { words_.fill(0); }
+
+  /// Bulk-install one 64-bit word of membership (bits for racks
+  /// [word*64, word*64+63]); used by the index's linear fast path.
+  constexpr void set_word(std::size_t word, std::uint64_t bits) noexcept {
+    words_[word] = bits;
+  }
+
+  [[nodiscard]] constexpr bool empty() const noexcept {
+    for (std::uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] constexpr std::size_t count() const noexcept {
+    std::size_t n = 0;
+    for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+  }
+
+  /// Smallest set rack id >= `from`, or RackId::invalid() when none.
+  [[nodiscard]] constexpr RackId next(std::uint32_t from) const noexcept {
+    if (from >= kMaxRacks) return RackId::invalid();
+    std::size_t word = from >> 6;
+    std::uint64_t w = words_[word] & (~std::uint64_t{0} << (from & 63));
+    while (true) {
+      if (w != 0) {
+        return RackId{static_cast<std::uint32_t>(word * 64 +
+                      static_cast<std::uint32_t>(std::countr_zero(w)))};
+      }
+      if (++word >= kWords) return RackId::invalid();
+      w = words_[word];
+    }
+  }
+
+  /// Visit every set rack id in ascending order.
+  template <typename F>
+  constexpr void for_each(F&& fn) const {
+    for (std::size_t word = 0; word < kWords; ++word) {
+      std::uint64_t w = words_[word];
+      while (w != 0) {
+        const auto bit = static_cast<std::uint32_t>(std::countr_zero(w));
+        fn(RackId{static_cast<std::uint32_t>(word * 64 + bit)});
+        w &= w - 1;
+      }
+    }
+  }
+
+  constexpr RackSet& operator&=(const RackSet& other) noexcept {
+    for (std::size_t i = 0; i < kWords; ++i) words_[i] &= other.words_[i];
+    return *this;
+  }
+  constexpr RackSet& operator|=(const RackSet& other) noexcept {
+    for (std::size_t i = 0; i < kWords; ++i) words_[i] |= other.words_[i];
+    return *this;
+  }
+
+  friend constexpr bool operator==(const RackSet&, const RackSet&) = default;
+
+ private:
+  std::array<std::uint64_t, kWords> words_{};
+};
+
+}  // namespace risa

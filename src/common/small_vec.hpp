@@ -1,0 +1,111 @@
+// A vector with inline storage for the first N elements.
+//
+// The placement hot path builds several tiny sequences per VM whose sizes
+// are topologically bounded in every realistic configuration (circuit hops,
+// brick slices, circuits per VM).  Storing them inline removes the per-VM
+// heap round-trips that dominated the commit phase; pathological
+// configurations (e.g. a box with hundreds of bricks) spill to a normal
+// heap vector transparently.
+//
+// Restricted to trivially copyable element types, which keeps the
+// implementation a simple memcpy-able buffer; every current use site (ids,
+// BrickSlice) satisfies this.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+namespace risa {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec is limited to trivially copyable types");
+
+ public:
+  SmallVec() = default;
+
+  void push_back(const T& value) {
+    if (!spilled_) {
+      if (inline_size_ < N) {
+        inline_[inline_size_++] = value;
+        return;
+      }
+      // Overflow: move the inline prefix to the heap and continue there.
+      spill_.reserve(2 * N);
+      spill_.assign(inline_.begin(), inline_.begin() + inline_size_);
+      spilled_ = true;
+    }
+    spill_.push_back(value);
+  }
+
+  /// Grow by one default-constructed element and return it.
+  T& emplace_back() {
+    push_back(T{});
+    return back();
+  }
+
+  void resize(std::size_t n, const T& fill = T{}) {
+    while (size() > n) pop_back();
+    while (size() < n) push_back(fill);
+  }
+
+  void pop_back() noexcept {
+    if (spilled_) {
+      spill_.pop_back();
+    } else {
+      --inline_size_;
+    }
+  }
+
+  void clear() noexcept {
+    inline_size_ = 0;
+    spill_.clear();
+    spilled_ = false;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return spilled_ ? spill_.size() : inline_size_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  [[nodiscard]] T* data() noexcept {
+    return spilled_ ? spill_.data() : inline_.data();
+  }
+  [[nodiscard]] const T* data() const noexcept {
+    return spilled_ ? spill_.data() : inline_.data();
+  }
+
+  [[nodiscard]] T& operator[](std::size_t i) noexcept { return data()[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return data()[i];
+  }
+  [[nodiscard]] T& front() noexcept { return data()[0]; }
+  [[nodiscard]] const T& front() const noexcept { return data()[0]; }
+  [[nodiscard]] T& back() noexcept { return data()[size() - 1]; }
+  [[nodiscard]] const T& back() const noexcept { return data()[size() - 1]; }
+
+  [[nodiscard]] T* begin() noexcept { return data(); }
+  [[nodiscard]] T* end() noexcept { return data() + size(); }
+  [[nodiscard]] const T* begin() const noexcept { return data(); }
+  [[nodiscard]] const T* end() const noexcept { return data() + size(); }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (!(a[i] == b[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::array<T, N> inline_{};
+  std::uint32_t inline_size_ = 0;
+  bool spilled_ = false;
+  std::vector<T> spill_;
+};
+
+}  // namespace risa

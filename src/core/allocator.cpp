@@ -20,8 +20,7 @@ Result<Placement, DropReason> Allocator::commit(const wl::VmRequest& vm,
   // --- Compute phase commit ---------------------------------------------
   std::size_t committed = 0;
   for (ResourceType t : kAllResources) {
-    auto alloc = cluster.allocate(boxes[t], units[t]);
-    if (!alloc.ok()) {
+    if (!cluster.allocate_into(boxes[t], units[t], placement.compute[index(t)])) {
       // The caller checked availability before committing, so this is only
       // reachable if the caller's search is buggy; unwind and report.
       for (std::size_t j = 0; j < committed; ++j) {
@@ -29,8 +28,7 @@ Result<Placement, DropReason> Allocator::commit(const wl::VmRequest& vm,
       }
       return Err{DropReason::NoComputeResources};
     }
-    placement.compute[index(t)] = std::move(alloc.value());
-    placement.racks[index(t)] = cluster.box(boxes[t]).rack();
+    placement.racks[index(t)] = cluster.box_unchecked(boxes[t]).rack();
     ++committed;
   }
 

@@ -13,6 +13,7 @@
 
 #include "common/expected.hpp"
 #include "core/placement.hpp"
+#include "core/search.hpp"
 #include "network/bandwidth.hpp"
 #include "network/circuit.hpp"
 #include "network/fabric.hpp"
@@ -76,8 +77,14 @@ class Allocator {
     return vm.units(ctx_.cluster->config().unit_scale);
   }
 
+  /// Per-allocator search arena: reusable buffers threaded through the
+  /// box-search routines so the steady-state placement path never touches
+  /// the heap.
+  [[nodiscard]] SearchScratch& scratch() noexcept { return scratch_; }
+
  private:
   AllocContext ctx_;
+  SearchScratch scratch_;
 };
 
 }  // namespace risa::core

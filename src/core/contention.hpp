@@ -7,6 +7,7 @@
 #include <limits>
 #include <span>
 
+#include "common/rack_set.hpp"
 #include "common/types.hpp"
 #include "common/units.hpp"
 #include "topology/cluster.hpp"
@@ -50,6 +51,18 @@ namespace risa::core {
     for (RackId r : racks[t]) {
       avail[t] += cluster.rack(r).total_available(t);
     }
+  }
+  return avail;
+}
+
+/// Same, over per-type rack bitmasks (the hot-path SUPER_RACK encoding).
+[[nodiscard]] inline PerResource<Units> restricted_availability(
+    const topo::Cluster& cluster, const PerResource<RackSet>& racks) {
+  PerResource<Units> avail{0, 0, 0};
+  for (ResourceType t : kAllResources) {
+    racks[t].for_each([&](RackId r) {
+      avail[t] += cluster.rack(r).total_available(t);
+    });
   }
   return avail;
 }

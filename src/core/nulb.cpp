@@ -7,11 +7,11 @@ namespace risa::core {
 Result<PerResource<BoxId>, DropReason> nulb_find_boxes(
     const topo::Cluster& cluster, const net::Fabric& fabric,
     const UnitVector& units, NeighborOrder order, CompanionSearch companion,
-    const RackFilter& filter) {
+    const RackFilter& filter, SearchScratch& scratch) {
   // CR over the search scope's availability.
   const PerResource<Units> avail =
-      filter.has_value() ? restricted_availability(cluster, *filter)
-                         : cluster_availability(cluster);
+      filter.restricted() ? restricted_availability(cluster, filter.masks())
+                          : cluster_availability(cluster);
   const ResourceType res_max = most_contended(contention_ratios(units, avail));
 
   // Anchor: first box able to host the most contended demand.
@@ -19,14 +19,14 @@ Result<PerResource<BoxId>, DropReason> nulb_find_boxes(
   if (!anchor.valid()) {
     return Err{DropReason::NoComputeResources};
   }
-  const RackId anchor_rack = cluster.box(anchor).rack();
+  const RackId anchor_rack = cluster.box_unchecked(anchor).rack();
 
   PerResource<BoxId> boxes{BoxId::invalid(), BoxId::invalid(), BoxId::invalid()};
   boxes[res_max] = anchor;
   for (ResourceType t : kAllResources) {
     if (t == res_max) continue;
     const BoxId found = bfs_search(cluster, fabric, anchor_rack, t, units[t],
-                                   order, companion, filter);
+                                   order, companion, filter, scratch);
     if (!found.valid()) {
       return Err{DropReason::NoComputeResources};
     }
@@ -35,11 +35,20 @@ Result<PerResource<BoxId>, DropReason> nulb_find_boxes(
   return boxes;
 }
 
+Result<PerResource<BoxId>, DropReason> nulb_find_boxes(
+    const topo::Cluster& cluster, const net::Fabric& fabric,
+    const UnitVector& units, NeighborOrder order, CompanionSearch companion,
+    const RackFilter& filter) {
+  SearchScratch scratch;
+  return nulb_find_boxes(cluster, fabric, units, order, companion, filter,
+                         scratch);
+}
+
 Result<Placement, DropReason> NulbAllocator::try_place(const wl::VmRequest& vm) {
   const UnitVector units = demand_units(vm);
   auto boxes = nulb_find_boxes(*ctx().cluster, *ctx().fabric, units,
                                NeighborOrder::BoxIdOrder, companion_,
-                               std::nullopt);
+                               std::nullopt, scratch());
   if (!boxes.ok()) {
     return Err{boxes.error()};
   }

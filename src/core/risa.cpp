@@ -22,33 +22,22 @@ RisaAllocator::RisaAllocator(AllocContext ctx, RisaOptions options)
 }
 
 std::vector<RackId> RisaAllocator::intra_rack_pool(const UnitVector& units) const {
-  const topo::Cluster& cluster = *ctx().cluster;
+  RackSet mask;
+  ctx().cluster->eligible_racks(units, mask);
   std::vector<RackId> pool;
-  for (std::uint32_t r = 0; r < cluster.num_racks(); ++r) {
-    const topo::Rack& rack = cluster.rack(RackId{r});
-    bool fits = true;
-    for (ResourceType t : kAllResources) {
-      if (rack.max_available(t) < units[t]) {
-        fits = false;
-        break;
-      }
-    }
-    if (fits) pool.push_back(RackId{r});
-  }
+  pool.reserve(mask.count());
+  mask.for_each([&](RackId r) { pool.push_back(r); });
   return pool;
 }
 
 PerResource<std::vector<RackId>> RisaAllocator::super_rack(
     const UnitVector& units) const {
-  const topo::Cluster& cluster = *ctx().cluster;
   PerResource<std::vector<RackId>> lists;
-  for (std::uint32_t r = 0; r < cluster.num_racks(); ++r) {
-    const topo::Rack& rack = cluster.rack(RackId{r});
-    for (ResourceType t : kAllResources) {
-      if (rack.max_available(t) >= units[t]) {
-        lists[t].push_back(RackId{r});
-      }
-    }
+  RackSet mask;
+  for (ResourceType t : kAllResources) {
+    ctx().cluster->eligible_racks(t, units[t], mask);
+    lists[t].reserve(mask.count());
+    mask.for_each([&](RackId r) { lists[t].push_back(r); });
   }
   return lists;
 }
@@ -56,7 +45,7 @@ PerResource<std::vector<RackId>> RisaAllocator::super_rack(
 BoxId RisaAllocator::pick_box_in_rack(RackId rack, ResourceType type,
                                       Units units) {
   const topo::Cluster& cluster = *ctx().cluster;
-  const auto& boxes = cluster.boxes_of_type_in_rack(rack, type);
+  const auto& boxes = cluster.rack_unchecked(rack).boxes(type);
   const auto count = static_cast<std::uint32_t>(boxes.size());
   if (count == 0) return BoxId::invalid();
 
@@ -68,7 +57,7 @@ BoxId RisaAllocator::pick_box_in_rack(RackId rack, ResourceType type,
       const std::uint32_t start = cursor % count;
       for (std::uint32_t k = 0; k < count; ++k) {
         const std::uint32_t idx = (start + k) % count;
-        if (cluster.box(boxes[idx]).available_units() >= units) {
+        if (cluster.box_unchecked(boxes[idx]).available_units() >= units) {
           cursor = idx;
           return boxes[idx];
         }
@@ -79,7 +68,7 @@ BoxId RisaAllocator::pick_box_in_rack(RackId rack, ResourceType type,
       BoxId best = BoxId::invalid();
       Units best_avail = 0;
       for (BoxId id : boxes) {
-        const Units avail = cluster.box(id).available_units();
+        const Units avail = cluster.box_unchecked(id).available_units();
         if (avail < units) continue;
         if (!best.valid() || avail < best_avail) {
           best = id;
@@ -90,7 +79,7 @@ BoxId RisaAllocator::pick_box_in_rack(RackId rack, ResourceType type,
     }
     case RackPacking::FirstFit: {
       for (BoxId id : boxes) {
-        if (cluster.box(id).available_units() >= units) return id;
+        if (cluster.box_unchecked(id).available_units() >= units) return id;
       }
       return BoxId::invalid();
     }
@@ -105,51 +94,56 @@ Result<Placement, DropReason> RisaAllocator::try_place(const wl::VmRequest& vm) 
   // rack (source box -> rack switch -> destination box).
   const MbitsPerSec intra_bw_needed = 2 * demand.cpu_ram + 2 * demand.ram_sto;
 
-  const std::vector<RackId> pool = intra_rack_pool(units);
-  if (!pool.empty()) {
-    // Round-robin rotation: start from the first pool rack at or after the
-    // cursor, wrapping; the cursor then moves past the chosen rack.
-    std::size_t start = 0;
-    if (options_.selection == RackSelection::RoundRobin) {
-      while (start < pool.size() && pool[start].value() < rr_next_rack_) {
-        ++start;
-      }
-      if (start == pool.size()) start = 0;
-    }
-    for (std::size_t k = 0; k < pool.size(); ++k) {
-      const RackId rack = pool[(start + k) % pool.size()];
-      if (ctx().fabric->rack_intra_available(rack) < intra_bw_needed) {
-        continue;  // AVAIL_INTRA_RACK_NET check failed for this rack
-      }
-      PerResource<BoxId> boxes{BoxId::invalid(), BoxId::invalid(),
-                               BoxId::invalid()};
-      bool found = true;
-      for (ResourceType t : kAllResources) {
-        boxes[t] = pick_box_in_rack(rack, t, units[t]);
-        if (!boxes[t].valid()) {
-          found = false;
-          break;
+  // INTRA_RACK_POOL straight off the cluster's incremental index: a pruned
+  // descent emits the eligible-rack bitmask; no per-VM rack rescan.
+  RackSet pool;
+  ctx().cluster->eligible_racks(units, pool);
+  // Round-robin rotation: start from the first pool rack at or after the
+  // cursor, wrapping; the cursor then moves past the chosen rack.  The
+  // cyclic walk visits every pool rack exactly once, so no size pass is
+  // needed.
+  RackId start = options_.selection == RackSelection::RoundRobin
+                     ? pool.next(rr_next_rack_)
+                     : RackId::invalid();
+  if (!start.valid()) start = pool.next(0);
+  if (start.valid()) {
+    RackId rack = start;
+    do {
+      if (ctx().fabric->rack_intra_available(rack) >= intra_bw_needed) {
+        PerResource<BoxId> boxes{BoxId::invalid(), BoxId::invalid(),
+                                 BoxId::invalid()};
+        bool found = true;
+        for (ResourceType t : kAllResources) {
+          boxes[t] = pick_box_in_rack(rack, t, units[t]);
+          if (!boxes[t].valid()) {
+            found = false;
+            break;
+          }
+        }
+        if (found) {
+          auto placed = commit(vm, units, boxes, net::LinkSelectPolicy::FirstFit,
+                               /*used_fallback=*/false);
+          if (placed.ok()) {
+            if (options_.selection == RackSelection::RoundRobin) {
+              rr_next_rack_ =
+                  (rack.value() + 1) % ctx().cluster->num_racks();
+            }
+            return placed;
+          }
+          // Per-link granularity can reject a rack that passed the aggregate
+          // check; commit() rolled back, so the next pool rack can be tried.
         }
       }
-      if (!found) continue;  // unreachable given pool membership; defensive
-      auto placed = commit(vm, units, boxes, net::LinkSelectPolicy::FirstFit,
-                           /*used_fallback=*/false);
-      if (placed.ok()) {
-        if (options_.selection == RackSelection::RoundRobin) {
-          rr_next_rack_ =
-              (rack.value() + 1) % ctx().cluster->num_racks();
-        }
-        return placed;
-      }
-      // Per-link granularity can reject a rack that passed the aggregate
-      // check; commit() rolled back, so the next pool rack can be tried.
-    }
+      rack = pool.next(rack.value() + 1);
+      if (!rack.valid()) rack = pool.next(0);
+    } while (rack != start);
   }
 
   // SUPER_RACK fallback: NULB restricted to racks that can host each
   // resource individually (inter-rack assignment is now unavoidable).
-  PerResource<std::vector<RackId>> lists = super_rack(units);
+  PerResource<RackSet> lists;
   for (ResourceType t : kAllResources) {
+    ctx().cluster->eligible_racks(t, units[t], lists[t]);
     if (lists[t].empty()) {
       return Err{DropReason::NoComputeResources};
     }
@@ -157,7 +151,7 @@ Result<Placement, DropReason> RisaAllocator::try_place(const wl::VmRequest& vm) 
   auto boxes = nulb_find_boxes(*ctx().cluster, *ctx().fabric, units,
                                NeighborOrder::BoxIdOrder,
                                CompanionSearch::GlobalOrder,
-                               RackFilter{std::move(lists)});
+                               RackFilter{std::move(lists)}, scratch());
   if (!boxes.ok()) {
     return Err{boxes.error()};
   }

@@ -72,10 +72,12 @@ class RisaAllocator : public Allocator {
   }
 
   /// Racks currently able to host the whole demand (exposed for tests and
-  /// the round-robin ablation).
+  /// the round-robin ablation).  Materializes a vector from the cluster's
+  /// rack-availability index; the placement hot path uses the RackSet form
+  /// directly and never allocates.
   [[nodiscard]] std::vector<RackId> intra_rack_pool(const UnitVector& units) const;
 
-  /// The per-type SUPER_RACK lists for a demand.
+  /// The per-type SUPER_RACK lists for a demand (vector form, see above).
   [[nodiscard]] PerResource<std::vector<RackId>> super_rack(
       const UnitVector& units) const;
 

@@ -4,17 +4,11 @@
 
 namespace risa::core {
 
-bool rack_allowed(const RackFilter& filter, ResourceType type, RackId rack) {
-  if (!filter.has_value()) return true;
-  const auto& racks = (*filter)[type];
-  return std::find(racks.begin(), racks.end(), rack) != racks.end();
-}
-
 BoxId first_fit_box(const topo::Cluster& cluster, ResourceType type,
                     Units units, const RackFilter& filter) {
   for (BoxId id : cluster.boxes_of_type(type)) {
-    const topo::Box& box = cluster.box(id);
-    if (!rack_allowed(filter, type, box.rack())) continue;
+    const topo::Box& box = cluster.box_unchecked(id);
+    if (!filter.allows(type, box.rack())) continue;
     if (box.available_units() >= units) return id;
   }
   return BoxId::invalid();
@@ -26,7 +20,7 @@ namespace {
 [[nodiscard]] MbitsPerSec best_uplink(const net::Fabric& fabric, BoxId box) {
   MbitsPerSec best = 0;
   for (LinkId id : fabric.box_uplinks(box)) {
-    best = std::max(best, fabric.link(id).available());
+    best = std::max(best, fabric.link_unchecked(id).available());
   }
   return best;
 }
@@ -36,7 +30,7 @@ namespace {
                                            RackId rack) {
   MbitsPerSec best = 0;
   for (LinkId id : fabric.rack_uplinks(rack)) {
-    best = std::max(best, fabric.link(id).available());
+    best = std::max(best, fabric.link_unchecked(id).available());
   }
   return best;
 }
@@ -49,16 +43,17 @@ namespace {
 /// ties, so the stable sort preserves NULB's order -- which is why the
 /// paper's NALB makes the same placements as NULB (Figure 5: 255 = 255)
 /// until links genuinely congest.  Rack-uplink bests are computed once per
-/// search rather than per candidate.
+/// search (into the scratch buffer) rather than per candidate.
 class PathHeadroom {
  public:
   PathHeadroom(const net::Fabric& fabric, RackId anchor_rack,
-               std::uint32_t num_racks)
+               std::uint32_t num_racks, std::vector<MbitsPerSec>& rack_best)
       : fabric_(&fabric), anchor_rack_(anchor_rack),
-        channel_rate_(fabric.config().channel_rate) {
-    rack_best_.reserve(num_racks);
+        channel_rate_(fabric.config().channel_rate), rack_best_(&rack_best) {
+    rack_best.clear();
+    rack_best.reserve(num_racks);
     for (std::uint32_t r = 0; r < num_racks; ++r) {
-      rack_best_.push_back(best_rack_uplink(fabric, RackId{r}));
+      rack_best.push_back(best_rack_uplink(fabric, RackId{r}));
     }
   }
 
@@ -67,8 +62,8 @@ class PathHeadroom {
     const RackId box_rack = fabric_->switch_node(fabric_->box_switch(box)).rack;
     MbitsPerSec headroom = best_uplink(*fabric_, box);
     if (box_rack != anchor_rack_) {
-      headroom = std::min(headroom, rack_best_[anchor_rack_.value()]);
-      headroom = std::min(headroom, rack_best_[box_rack.value()]);
+      headroom = std::min(headroom, (*rack_best_)[anchor_rack_.value()]);
+      headroom = std::min(headroom, (*rack_best_)[box_rack.value()]);
     }
     return headroom / channel_rate_;
   }
@@ -77,14 +72,38 @@ class PathHeadroom {
   const net::Fabric* fabric_;
   RackId anchor_rack_;
   MbitsPerSec channel_rate_;
-  std::vector<MbitsPerSec> rack_best_;
+  const std::vector<MbitsPerSec>* rack_best_;
 };
 
-/// Scan `candidates` (already ordered) for the first fit.
-[[nodiscard]] BoxId scan(const topo::Cluster& cluster,
-                         const std::vector<BoxId>& candidates, Units units) {
-  for (BoxId id : candidates) {
-    if (cluster.box(id).available_units() >= units) return id;
+/// First fit over boxes of `type` in per-type id order, restricted to the
+/// filter; `skip_rack` carves the AnchorRackFirst second tier without
+/// materializing a candidate list.
+[[nodiscard]] BoxId scan_in_id_order(const topo::Cluster& cluster,
+                                     ResourceType type, Units units,
+                                     const RackFilter& filter,
+                                     RackId skip_rack = RackId::invalid()) {
+  for (BoxId id : cluster.boxes_of_type(type)) {
+    const topo::Box& box = cluster.box_unchecked(id);
+    if (box.rack() == skip_rack) continue;
+    if (!filter.allows(type, box.rack())) continue;
+    if (box.available_units() >= units) return id;
+  }
+  return BoxId::invalid();
+}
+
+/// Rank `candidates` by descending path headroom (keys computed once per
+/// candidate, stable on ties) into scratch.ranked and return the first fit.
+[[nodiscard]] BoxId ranked_scan(const topo::Cluster& cluster,
+                                SearchScratch& scratch, Units units) {
+  // Stable sort on the key alone keeps tied candidates in insertion
+  // (per-type id) order -- byte-identical to sorting the boxes with a
+  // key-recomputing comparator, but with one key computation per candidate
+  // instead of one per comparison.
+  std::stable_sort(scratch.ranked.begin(), scratch.ranked.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [key, id] : scratch.ranked) {
+    (void)key;
+    if (cluster.box_unchecked(id).available_units() >= units) return id;
   }
   return BoxId::invalid();
 }
@@ -94,53 +113,62 @@ class PathHeadroom {
 BoxId bfs_search(const topo::Cluster& cluster, const net::Fabric& fabric,
                  RackId anchor_rack, ResourceType type, Units units,
                  NeighborOrder order, CompanionSearch companion,
-                 const RackFilter& filter) {
-  std::optional<PathHeadroom> headroom;
-  if (order == NeighborOrder::BandwidthDescending) {
-    headroom.emplace(fabric, anchor_rack, cluster.num_racks());
+                 const RackFilter& filter, SearchScratch& scratch) {
+  if (order == NeighborOrder::BoxIdOrder) {
+    if (companion == CompanionSearch::GlobalOrder) {
+      // Single tier: every eligible box in per-type id order (the ordering
+      // that reproduces the paper's measured inter-rack behavior).  A plain
+      // scan -- no candidate list needed.
+      return scan_in_id_order(cluster, type, units, filter);
+    }
+    // AnchorRackFirst -- the literal Algorithm 2 tiering.
+    if (filter.allows(type, anchor_rack)) {
+      for (BoxId id : cluster.boxes_of_type_in_rack(anchor_rack, type)) {
+        if (cluster.box_unchecked(id).available_units() >= units) return id;
+      }
+    }
+    return scan_in_id_order(cluster, type, units, filter, anchor_rack);
   }
-  const auto by_bandwidth = [&](BoxId a, BoxId b) {
-    return headroom->of(a) > headroom->of(b);
-  };
 
+  // BandwidthDescending: materialize (key, box) pairs into the scratch
+  // buffer, rank, then first-fit.
+  const PathHeadroom headroom(fabric, anchor_rack, cluster.num_racks(),
+                              scratch.rack_best);
   if (companion == CompanionSearch::GlobalOrder) {
-    // Single tier: every eligible box in per-type id order (the ordering
-    // that reproduces the paper's measured inter-rack behavior).
-    std::vector<BoxId> candidates;
+    scratch.ranked.clear();
     for (BoxId id : cluster.boxes_of_type(type)) {
-      if (!rack_allowed(filter, type, cluster.box(id).rack())) continue;
-      candidates.push_back(id);
+      if (!filter.allows(type, cluster.box_unchecked(id).rack())) continue;
+      scratch.ranked.emplace_back(headroom.of(id), id);
     }
-    if (order == NeighborOrder::BandwidthDescending) {
-      std::stable_sort(candidates.begin(), candidates.end(), by_bandwidth);
-    }
-    return scan(cluster, candidates, units);
+    return ranked_scan(cluster, scratch, units);
   }
 
-  // AnchorRackFirst -- the literal Algorithm 2 tiering.
-  // Tier 1: boxes of the anchor rack, local order.
-  std::vector<BoxId> same_rack;
-  if (rack_allowed(filter, type, anchor_rack)) {
-    const auto& local = cluster.boxes_of_type_in_rack(anchor_rack, type);
-    same_rack.assign(local.begin(), local.end());
+  // AnchorRackFirst tiers, each ranked independently.
+  if (filter.allows(type, anchor_rack)) {
+    scratch.ranked.clear();
+    for (BoxId id : cluster.boxes_of_type_in_rack(anchor_rack, type)) {
+      scratch.ranked.emplace_back(headroom.of(id), id);
+    }
+    const BoxId local_hit = ranked_scan(cluster, scratch, units);
+    if (local_hit.valid()) return local_hit;
   }
-  // Tier 2: every other eligible box, per-type id order.
-  std::vector<BoxId> other_racks;
+  scratch.ranked.clear();
   for (BoxId id : cluster.boxes_of_type(type)) {
-    const topo::Box& box = cluster.box(id);
+    const topo::Box& box = cluster.box_unchecked(id);
     if (box.rack() == anchor_rack) continue;
-    if (!rack_allowed(filter, type, box.rack())) continue;
-    other_racks.push_back(id);
+    if (!filter.allows(type, box.rack())) continue;
+    scratch.ranked.emplace_back(headroom.of(id), id);
   }
+  return ranked_scan(cluster, scratch, units);
+}
 
-  if (order == NeighborOrder::BandwidthDescending) {
-    std::stable_sort(same_rack.begin(), same_rack.end(), by_bandwidth);
-    std::stable_sort(other_racks.begin(), other_racks.end(), by_bandwidth);
-  }
-
-  const BoxId local_hit = scan(cluster, same_rack, units);
-  if (local_hit.valid()) return local_hit;
-  return scan(cluster, other_racks, units);
+BoxId bfs_search(const topo::Cluster& cluster, const net::Fabric& fabric,
+                 RackId anchor_rack, ResourceType type, Units units,
+                 NeighborOrder order, CompanionSearch companion,
+                 const RackFilter& filter) {
+  SearchScratch scratch;
+  return bfs_search(cluster, fabric, anchor_rack, type, units, order, companion,
+                    filter, scratch);
 }
 
 }  // namespace risa::core

@@ -13,8 +13,10 @@
 
 #include <functional>
 #include <optional>
+#include <utility>
 #include <vector>
 
+#include "common/rack_set.hpp"
 #include "common/types.hpp"
 #include "common/units.hpp"
 #include "network/fabric.hpp"
@@ -23,13 +25,63 @@
 
 namespace risa::core {
 
-/// Per-type rack filter.  An empty optional means "no restriction"; an
-/// engaged optional restricts candidate boxes of type t to racks[t].
-using RackFilter = std::optional<PerResource<std::vector<RackId>>>;
+/// Per-type rack filter over fixed-width bitmasks.  A disengaged filter
+/// means "no restriction"; an engaged one restricts candidate boxes of type
+/// t to the racks set in mask(t), making every eligibility check a single
+/// bit test (the NULB fallback scans each candidate box once, so a linear
+/// rack-list lookup here made the whole path O(boxes x racks)).
+class RackFilter {
+ public:
+  /// No restriction.
+  constexpr RackFilter() = default;
+  /// Compat spelling for "no restriction" (the filter used to be a
+  /// std::optional; call sites and tests pass std::nullopt).
+  constexpr RackFilter(std::nullopt_t) {}  // NOLINT(google-explicit-constructor)
+
+  /// Engaged filter from per-type rack lists (tests / cold paths).
+  explicit RackFilter(const PerResource<std::vector<RackId>>& racks)
+      : engaged_(true) {
+    for (ResourceType t : kAllResources) {
+      for (RackId r : racks[t]) masks_[t].set(r);
+    }
+  }
+
+  /// Engaged filter from per-type masks (the SUPER_RACK hot path).
+  explicit RackFilter(PerResource<RackSet> masks)
+      : engaged_(true), masks_(std::move(masks)) {}
+
+  [[nodiscard]] constexpr bool restricted() const noexcept { return engaged_; }
+  [[nodiscard]] constexpr bool allows(ResourceType type, RackId rack) const noexcept {
+    return !engaged_ || masks_[type].test(rack);
+  }
+  [[nodiscard]] const RackSet& mask(ResourceType type) const noexcept {
+    return masks_[type];
+  }
+  [[nodiscard]] const PerResource<RackSet>& masks() const noexcept {
+    return masks_;
+  }
+
+ private:
+  bool engaged_ = false;
+  PerResource<RackSet> masks_;
+};
 
 /// True when `rack` is eligible for `type` under `filter`.
-[[nodiscard]] bool rack_allowed(const RackFilter& filter, ResourceType type,
-                                RackId rack);
+[[nodiscard]] inline bool rack_allowed(const RackFilter& filter,
+                                       ResourceType type, RackId rack) noexcept {
+  return filter.allows(type, rack);
+}
+
+/// Reusable scratch buffers for the search routines.  One lives in each
+/// Allocator so the steady-state placement path performs no heap
+/// allocation; the vectors grow to the high-water mark once and are
+/// reused for every subsequent VM.
+struct SearchScratch {
+  /// (sort key, box) pairs for the bandwidth-descending candidate order.
+  std::vector<std::pair<MbitsPerSec, BoxId>> ranked;
+  /// Per-rack best free uplink, computed once per bandwidth-ordered search.
+  std::vector<MbitsPerSec> rack_best;
+};
 
 /// First box of `type` with at least `units` available, scanning cluster-
 /// wide in per-type (rack-major) id order -- NULB's anchor search.
@@ -60,7 +112,15 @@ enum class CompanionSearch : std::uint8_t {
 
 /// BFS search for `type`: candidates ordered per `companion` tiering and
 /// `order` within each tier.  Returns the first candidate with `units`
-/// available, or an invalid id.
+/// available, or an invalid id.  `scratch` holds the reusable candidate
+/// buffers (only touched for the bandwidth-descending order).
+[[nodiscard]] BoxId bfs_search(const topo::Cluster& cluster,
+                               const net::Fabric& fabric, RackId anchor_rack,
+                               ResourceType type, Units units,
+                               NeighborOrder order, CompanionSearch companion,
+                               const RackFilter& filter, SearchScratch& scratch);
+
+/// Convenience overload with a transient scratch (tests / one-off calls).
 [[nodiscard]] BoxId bfs_search(const topo::Cluster& cluster,
                                const net::Fabric& fabric, RackId anchor_rack,
                                ResourceType type, Units units,

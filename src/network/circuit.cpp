@@ -10,23 +10,30 @@ Result<CircuitId, std::string> CircuitTable::establish(VmId vm, FlowKind flow,
     return Err<std::string>{reserved.error()};
   }
   const CircuitId id{next_id_++};
+  VmCircuits& vc = by_vm_[vm.value()];
   Circuit circuit{id, vm, flow, bw, std::move(path)};
-  circuits_.emplace(id.value(), std::move(circuit));
-  by_vm_[vm.value()].push_back(id);
+  if (vc.count < kInlineCircuits) {
+    vc.inline_circuits[vc.count] = std::move(circuit);
+  } else {
+    vc.overflow.push_back(std::move(circuit));
+  }
+  ++vc.count;
+  ++active_;
   return id;
 }
 
 std::size_t CircuitTable::teardown_vm(VmId vm) {
   const auto it = by_vm_.find(vm.value());
   if (it == by_vm_.end()) return 0;
-  std::size_t removed = 0;
-  for (CircuitId cid : it->second) {
-    const auto cit = circuits_.find(cid.value());
-    if (cit == circuits_.end()) continue;
-    router_->release(cit->second.path, cit->second.bandwidth);
-    circuits_.erase(cit);
-    ++removed;
+  VmCircuits& vc = it->second;
+  for (std::uint32_t i = 0; i < vc.count && i < kInlineCircuits; ++i) {
+    router_->release(vc.inline_circuits[i].path, vc.inline_circuits[i].bandwidth);
   }
+  for (const Circuit& c : vc.overflow) {
+    router_->release(c.path, c.bandwidth);
+  }
+  const std::size_t removed = vc.count;
+  active_ -= removed;
   by_vm_.erase(it);
   return removed;
 }
@@ -35,11 +42,12 @@ std::vector<const Circuit*> CircuitTable::circuits_of(VmId vm) const {
   std::vector<const Circuit*> out;
   const auto it = by_vm_.find(vm.value());
   if (it == by_vm_.end()) return out;
-  out.reserve(it->second.size());
-  for (CircuitId cid : it->second) {
-    const auto cit = circuits_.find(cid.value());
-    if (cit != circuits_.end()) out.push_back(&cit->second);
+  const VmCircuits& vc = it->second;
+  out.reserve(vc.count);
+  for (std::uint32_t i = 0; i < vc.count && i < kInlineCircuits; ++i) {
+    out.push_back(&vc.inline_circuits[i]);
   }
+  for (const Circuit& c : vc.overflow) out.push_back(&c);
   return out;
 }
 

@@ -53,21 +53,37 @@ class CircuitTable {
   /// number of circuits removed (0 when the VM holds none).
   std::size_t teardown_vm(VmId vm);
 
-  [[nodiscard]] std::size_t active_count() const noexcept { return circuits_.size(); }
+  [[nodiscard]] std::size_t active_count() const noexcept { return active_; }
 
   /// Circuits held by one VM (empty when none).
   [[nodiscard]] std::vector<const Circuit*> circuits_of(VmId vm) const;
 
-  /// Iterate all active circuits.
+  /// Iterate all active circuits (unspecified order).
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (const auto& [id, c] : circuits_) fn(c);
+    for (const auto& [vm, vc] : by_vm_) {
+      for (std::uint32_t i = 0; i < vc.count && i < kInlineCircuits; ++i) {
+        fn(vc.inline_circuits[i]);
+      }
+      for (const Circuit& c : vc.overflow) fn(c);
+    }
   }
 
  private:
+  /// A VM holds two circuits (CPU-RAM, RAM-storage) in every current
+  /// scenario, stored inline in the single VM-keyed hash node so the
+  /// placement path costs one hash insertion, not three.  More circuits
+  /// per VM (future multi-flow models) spill to the overflow vector.
+  static constexpr std::uint32_t kInlineCircuits = 2;
+  struct VmCircuits {
+    std::uint32_t count = 0;
+    std::array<Circuit, kInlineCircuits> inline_circuits;
+    std::vector<Circuit> overflow;
+  };
+
   Router* router_;
-  std::unordered_map<std::uint32_t, Circuit> circuits_;  // by circuit id
-  std::unordered_map<std::uint32_t, std::vector<CircuitId>> by_vm_;
+  std::unordered_map<std::uint32_t, VmCircuits> by_vm_;  // by vm id
+  std::size_t active_ = 0;
   std::uint32_t next_id_ = 0;
 };
 

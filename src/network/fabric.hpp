@@ -17,6 +17,7 @@
 // test reads them in O(1).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -92,6 +93,18 @@ class Fabric {
   // --- Links --------------------------------------------------------------
   [[nodiscard]] Link& link(LinkId id);
   [[nodiscard]] const Link& link(LinkId id) const;
+
+  /// Bounds-unchecked link access for the routing/search hot loops (link
+  /// ids come from the fabric's own uplink tables).  API boundaries keep
+  /// the throwing accessor.
+  [[nodiscard]] Link& link_unchecked(LinkId id) noexcept {
+    assert(id.value() < links_.size());
+    return links_[id.value()];
+  }
+  [[nodiscard]] const Link& link_unchecked(LinkId id) const noexcept {
+    assert(id.value() < links_.size());
+    return links_[id.value()];
+  }
   [[nodiscard]] std::size_t num_links() const noexcept { return links_.size(); }
 
   /// Parallel uplinks of one box (box switch -> rack switch).

@@ -8,15 +8,17 @@
 // These match the "communication journey" narrated for Figure 2.
 #pragma once
 
-#include <vector>
-
+#include "common/small_vec.hpp"
 #include "common/types.hpp"
 
 namespace risa::net {
 
 struct CircuitPath {
-  std::vector<LinkId> links;       ///< link hops, source to destination order
-  std::vector<SwitchId> switches;  ///< switches traversed, in order
+  // Inline capacities cover the deepest route (three-tier cross-pod:
+  // 6 link hops through 7 switches), so established circuits hold their
+  // hops without heap storage.
+  SmallVec<LinkId, 6> links;       ///< link hops, source to destination order
+  SmallVec<SwitchId, 7> switches;  ///< switches traversed, in order
   bool inter_rack = false;
 
   [[nodiscard]] std::size_t hop_count() const noexcept { return links.size(); }

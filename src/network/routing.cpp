@@ -13,14 +13,14 @@ Result<LinkId, std::string> Router::select_link(std::span<const LinkId> group,
   switch (policy) {
     case LinkSelectPolicy::FirstFit:
       for (LinkId id : group) {
-        if (fabric_->link(id).available() >= bw) return id;
+        if (fabric_->link_unchecked(id).available() >= bw) return id;
       }
       break;
     case LinkSelectPolicy::MostAvailable: {
       LinkId best = LinkId::invalid();
       MbitsPerSec best_avail = -1;
       for (LinkId id : group) {
-        const MbitsPerSec avail = fabric_->link(id).available();
+        const MbitsPerSec avail = fabric_->link_unchecked(id).available();
         if (avail > best_avail) {
           best_avail = avail;
           best = id;
@@ -118,14 +118,14 @@ void Router::release(const CircuitPath& path, MbitsPerSec bw) {
 
 MbitsPerSec Router::group_available(std::span<const LinkId> group) const {
   MbitsPerSec total = 0;
-  for (LinkId id : group) total += fabric_->link(id).available();
+  for (LinkId id : group) total += fabric_->link_unchecked(id).available();
   return total;
 }
 
 MbitsPerSec Router::group_max_available(std::span<const LinkId> group) const {
   MbitsPerSec best = 0;
   for (LinkId id : group) {
-    const MbitsPerSec avail = fabric_->link(id).available();
+    const MbitsPerSec avail = fabric_->link_unchecked(id).available();
     if (avail > best) best = avail;
   }
   return best;

@@ -76,11 +76,19 @@ SimMetrics Engine::run(const wl::Workload& workload,
   using Clock = std::chrono::steady_clock;
   std::chrono::nanoseconds sched_time{0};
 
-  for (const wl::VmRequest& vm : workload) {
-    sim.schedule_at(vm.arrival, [&, vm](des::Simulator& s) {
+  // Closures capture an index into `workload` (which outlives the event
+  // loop) instead of copying the VmRequest into every scheduled event.
+  for (std::size_t vm_index = 0; vm_index < workload.size(); ++vm_index) {
+    sim.schedule_at(workload[vm_index].arrival, [&, vm_index](des::Simulator& s) {
+      const wl::VmRequest& vm = workload[vm_index];
       const auto t0 = Clock::now();
       auto placed = allocator_->try_place(vm);
-      sched_time += Clock::now() - t0;
+      const auto t1 = Clock::now();
+      sched_time += t1 - t0;
+      if (latency_sink_ != nullptr) {
+        latency_sink_->push_back(
+            std::chrono::duration<double, std::nano>(t1 - t0).count());
+      }
 
       if (!placed.ok()) {
         ++m.dropped;

@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/allocator.hpp"
 #include "core/registry.hpp"
@@ -41,6 +42,15 @@ class Engine {
   /// so Figures 11/12 are unaffected.
   void set_timeline(Timeline* timeline) noexcept { timeline_ = timeline; }
 
+  /// Optional per-placement latency recording: when set, every
+  /// Allocator::try_place appends its wall-clock duration in nanoseconds
+  /// (success or drop).  The vector must outlive run(); pass nullptr to
+  /// disable.  Samples are taken outside the timed section, so
+  /// scheduler_exec_seconds is unaffected.
+  void set_placement_latency_sink(std::vector<double>* sink) noexcept {
+    latency_sink_ = sink;
+  }
+
   // Component access for tests and examples.
   [[nodiscard]] topo::Cluster& cluster() noexcept { return *cluster_; }
   [[nodiscard]] net::Fabric& fabric() noexcept { return *fabric_; }
@@ -57,6 +67,7 @@ class Engine {
   std::unique_ptr<net::CircuitTable> circuits_;
   std::unique_ptr<core::Allocator> allocator_;
   Timeline* timeline_ = nullptr;
+  std::vector<double>* latency_sink_ = nullptr;
 };
 
 /// Convenience: run all four paper algorithms over the same workload with

@@ -1,5 +1,12 @@
 #include "sim/report.hpp"
 
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/histogram.hpp"
+#include "common/string_util.hpp"
+#include "sim/engine.hpp"
 #include "sim/experiments.hpp"
 
 namespace risa::sim {
@@ -132,6 +139,91 @@ TextTable full_metrics_table(const std::vector<SimMetrics>& runs) {
                TextTable::num(m.scheduler_exec_seconds, 4)});
   }
   return t;
+}
+
+SchedulerBenchEntry scheduler_bench_entry(const Scenario& scenario,
+                                          const std::string& algorithm,
+                                          const wl::Workload& workload,
+                                          const std::string& label) {
+  Engine engine(scenario, algorithm);
+  std::vector<double> latencies_ns;
+  latencies_ns.reserve(workload.size());
+  engine.set_placement_latency_sink(&latencies_ns);
+  const SimMetrics m = engine.run(workload, label);
+
+  SchedulerBenchEntry e;
+  e.workload = label;
+  e.algorithm = m.algorithm;
+  e.total_vms = m.total_vms;
+  e.placed = m.placed;
+  e.dropped = m.dropped;
+  e.inter_rack = m.inter_rack_placements;
+  e.sched_s = m.scheduler_exec_seconds;
+  e.placements_per_sec =
+      e.sched_s > 0.0 ? static_cast<double>(m.total_vms) / e.sched_s : 0.0;
+  if (!latencies_ns.empty()) {
+    const Histogram h = Histogram::from_data(latencies_ns, 1000);
+    e.p50_ns = h.percentile(50.0);
+    e.p99_ns = h.percentile(99.0);
+  }
+  return e;
+}
+
+std::string scheduler_bench_json(const std::string& benchmark,
+                                 const std::vector<SchedulerBenchEntry>& entries) {
+  std::ostringstream os;
+  os << "{\n  \"benchmark\": \"" << benchmark << "\",\n  \"entries\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const SchedulerBenchEntry& e = entries[i];
+    os << "    {\"workload\": \"" << e.workload << "\", \"algorithm\": \""
+       << e.algorithm << "\", \"total_vms\": " << e.total_vms
+       << ", \"placed\": " << e.placed << ", \"dropped\": " << e.dropped
+       << ", \"inter_rack\": " << e.inter_rack << ", \"sched_s\": "
+       << strformat("%.6f", e.sched_s) << ", \"placements_per_sec\": "
+       << strformat("%.0f", e.placements_per_sec) << ", \"p50_ns\": "
+       << strformat("%.0f", e.p50_ns) << ", \"p99_ns\": "
+       << strformat("%.0f", e.p99_ns) << "}" << (i + 1 < entries.size() ? "," : "")
+       << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+std::string consume_emit_json_flag(int& argc, char** argv,
+                                   const char* default_path) {
+  std::string path;
+  int out = 1;
+  constexpr std::string_view kPrefix = "--emit_json=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--emit_json") {
+      path = default_path;
+    } else if (arg.starts_with(kPrefix)) {
+      path = arg.substr(kPrefix.size());
+      if (path.empty()) path = default_path;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return path;
+}
+
+bool write_scheduler_bench_json(const std::string& path,
+                                const std::string& benchmark,
+                                const std::vector<SchedulerBenchEntry>& entries) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "write_scheduler_bench_json: cannot open " << path << "\n";
+    return false;
+  }
+  out << scheduler_bench_json(benchmark, entries);
+  out.flush();
+  if (!out) {
+    std::cerr << "write_scheduler_bench_json: write to " << path << " failed\n";
+    return false;
+  }
+  return true;
 }
 
 }  // namespace risa::sim

@@ -7,6 +7,8 @@
 
 #include "common/table.hpp"
 #include "sim/metrics.hpp"
+#include "sim/scenario.hpp"
+#include "workload/vm.hpp"
 
 namespace risa::sim {
 
@@ -34,5 +36,49 @@ namespace risa::sim {
 
 /// Full diagnostic dump of every collected metric.
 [[nodiscard]] TextTable full_metrics_table(const std::vector<SimMetrics>& runs);
+
+// --- Scheduler perf baseline (BENCH_scheduler*.json) ------------------------
+//
+// The fig11/fig12 bench binaries emit a machine-readable baseline so every
+// future change can be diffed against the committed numbers: per-algorithm
+// total scheduler time, placement throughput, and per-placement latency
+// percentiles (p50/p99 via the common 1000-bin histogram).
+
+/// One (workload, algorithm) row of the baseline.
+struct SchedulerBenchEntry {
+  std::string workload;
+  std::string algorithm;
+  std::uint64_t total_vms = 0;
+  std::uint64_t placed = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t inter_rack = 0;
+  double sched_s = 0.0;             ///< total seconds inside try_place
+  double placements_per_sec = 0.0;  ///< attempts / sched_s
+  double p50_ns = 0.0;              ///< median per-placement latency
+  double p99_ns = 0.0;
+};
+
+/// Replay `workload` under `algorithm` with per-placement latency
+/// recording and distill one baseline entry.
+[[nodiscard]] SchedulerBenchEntry scheduler_bench_entry(
+    const Scenario& scenario, const std::string& algorithm,
+    const wl::Workload& workload, const std::string& label);
+
+/// Serialize entries as a stable-keyed JSON document.
+[[nodiscard]] std::string scheduler_bench_json(
+    const std::string& benchmark, const std::vector<SchedulerBenchEntry>& entries);
+
+/// Write the JSON to `path`; returns false (after logging to stderr) on
+/// I/O failure.
+bool write_scheduler_bench_json(const std::string& path,
+                                const std::string& benchmark,
+                                const std::vector<SchedulerBenchEntry>& entries);
+
+/// Consume a `--emit_json[=path]` flag from argv before it reaches
+/// benchmark::Initialize (which rejects flags it does not own), compacting
+/// argv/argc in place.  Returns the output path -- `default_path` when the
+/// flag carries no value -- or the empty string when the flag is absent.
+[[nodiscard]] std::string consume_emit_json_flag(int& argc, char** argv,
+                                                 const char* default_path);
 
 }  // namespace risa::sim

@@ -10,17 +10,14 @@ namespace risa::topo {
 
 Box::Box(BoxId id, RackId rack, ResourceType type, std::uint32_t index_in_type,
          std::vector<Units> brick_units)
-    : id_(id),
-      rack_(rack),
-      type_(type),
-      index_in_type_(index_in_type),
-      brick_capacity_(std::move(brick_units)),
-      brick_allocated_(brick_capacity_.size(), 0) {
-  if (brick_capacity_.empty()) {
+    : id_(id), rack_(rack), type_(type), index_in_type_(index_in_type) {
+  if (brick_units.empty()) {
     throw std::invalid_argument("Box: no bricks");
   }
-  for (Units u : brick_capacity_) {
+  for (Units u : brick_units) {
     if (u < 0) throw std::invalid_argument("Box: negative brick capacity");
+    brick_capacity_.push_back(u);
+    brick_allocated_.push_back(0);
     capacity_ += u;
   }
 }
@@ -46,16 +43,25 @@ Result<BoxAllocation, std::string> Box::allocate(Units units) {
         static_cast<long long>(available_units()))};
   }
   BoxAllocation alloc;
-  alloc.box = id_;
-  alloc.type = type_;
-  alloc.units = units;
+  if (!allocate_into(units, alloc)) {
+    throw std::logic_error("Box::allocate: availability check out of sync");
+  }
+  return alloc;
+}
+
+bool Box::allocate_into(Units units, BoxAllocation& out) {
+  if (units <= 0 || units > available_units()) return false;
+  out.box = id_;
+  out.type = type_;
+  out.units = units;
+  out.slices.clear();
   Units remaining = units;
   for (std::uint32_t b = 0; b < brick_capacity_.size() && remaining > 0; ++b) {
     const Units free = brick_capacity_[b] - brick_allocated_[b];
     if (free <= 0) continue;
     const Units take = free < remaining ? free : remaining;
     brick_allocated_[b] += take;
-    alloc.slices.push_back(BrickSlice{b, take});
+    out.slices.push_back(BrickSlice{b, take});
     remaining -= take;
   }
   // available_units() was checked above, so the loop must have satisfied
@@ -64,7 +70,7 @@ Result<BoxAllocation, std::string> Box::allocate(Units units) {
     throw std::logic_error("Box::allocate: brick accounting out of sync");
   }
   allocated_ += units;
-  return alloc;
+  return true;
 }
 
 void Box::release(const BoxAllocation& allocation) {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/expected.hpp"
+#include "common/small_vec.hpp"
 #include "common/types.hpp"
 #include "common/units.hpp"
 
@@ -26,7 +27,9 @@ struct BoxAllocation {
   BoxId box;
   ResourceType type = ResourceType::Cpu;
   Units units = 0;
-  std::vector<BrickSlice> slices;
+  /// Inline capacity matches the paper's 8-brick boxes; larger custom
+  /// configurations spill to the heap transparently.
+  SmallVec<BrickSlice, 8> slices;
 
   [[nodiscard]] bool empty() const noexcept { return units == 0; }
 };
@@ -80,6 +83,11 @@ class Box {
   /// effects) when the box lacks availability.
   [[nodiscard]] Result<BoxAllocation, std::string> allocate(Units units);
 
+  /// Allocation-free variant for the placement hot path: writes the record
+  /// into `out` (clearing it first) and returns false -- without touching
+  /// `out` or the box -- when the box cannot host `units`.
+  [[nodiscard]] bool allocate_into(Units units, BoxAllocation& out);
+
   /// Returns the previously allocated slices.  Throws std::logic_error on a
   /// foreign or double release (these are always caller bugs).
   void release(const BoxAllocation& allocation);
@@ -92,8 +100,11 @@ class Box {
   RackId rack_;
   ResourceType type_;
   std::uint32_t index_in_type_;
-  std::vector<Units> brick_capacity_;
-  std::vector<Units> brick_allocated_;
+  /// Brick ledgers live inline (the paper's box has 8 bricks), so the
+  /// per-placement brick walk stays within the Box object instead of
+  /// chasing two heap arrays.
+  SmallVec<Units, 8> brick_capacity_;
+  SmallVec<Units, 8> brick_allocated_;
   Units capacity_ = 0;
   Units allocated_ = 0;
   bool offline_ = false;

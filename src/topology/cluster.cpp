@@ -21,8 +21,121 @@ std::vector<Units> distribute_units(Units total, std::uint32_t bricks) {
 
 }  // namespace
 
-Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
+RackAvailabilityIndex::RackAvailabilityIndex(std::uint32_t racks)
+    : racks_(racks) {
+  while (base_ < racks_) base_ *= 2;
+  tree_.assign(2 * static_cast<std::size_t>(base_), PerResource<Units>{0, 0, 0});
+}
+
+void RackAvailabilityIndex::update(RackId rack, ResourceType type,
+                                   Units maximum) {
+  std::size_t n = base_ + rack.value();
+  if (tree_[n][type] == maximum) return;  // index already current
+  tree_[n][type] = maximum;
+  for (n /= 2; n >= 1; n /= 2) {
+    const Units merged = std::max(tree_[2 * n][type], tree_[2 * n + 1][type]);
+    if (tree_[n][type] == merged) break;  // ancestors unchanged
+    tree_[n][type] = merged;
+  }
+  ++epoch_;
+}
+
+void RackAvailabilityIndex::pool_mask(const UnitVector& demand,
+                                      RackSet& out) const {
+  out.clear();
+  if (racks_ <= kLinearScanRacks) {
+    // Small clusters: a branchless pass over the contiguous leaf row beats
+    // the descent's pointer chasing (the paper's cluster is 18 racks).
+    const PerResource<Units>* leaves = &tree_[base_];
+    std::uint64_t word = 0;
+    for (std::uint32_t r = 0; r < racks_; ++r) {
+      const PerResource<Units>& m = leaves[r];
+      const bool fits = m.cpu() >= demand.cpu() && m.ram() >= demand.ram() &&
+                        m.storage() >= demand.storage();
+      word |= std::uint64_t{fits} << (r & 63);
+      if ((r & 63) == 63) {
+        out.set_word(r >> 6, word);
+        word = 0;
+      }
+    }
+    if ((racks_ & 63) != 0) out.set_word((racks_ - 1) >> 6, word);
+    return;
+  }
+  // Iterative descent: visit a subtree only when its per-type maxima could
+  // fit every demanded type.  Nodes pushed right-child-first so racks are
+  // emitted in ascending id order.  Depth <= log2(kMaxRacks), so the stack
+  // is a small fixed array.
+  std::size_t stack[2 * 12];
+  std::size_t top = 0;
+  if (node_fits(1, demand)) stack[top++] = 1;
+  while (top > 0) {
+    const std::size_t n = stack[--top];
+    if (n >= base_) {
+      const std::uint32_t rack = static_cast<std::uint32_t>(n - base_);
+      // Phantom leaves padding to the power of two have zero maxima; they
+      // only survive the fit test when the demand is all-zero.
+      if (rack < racks_) out.set(RackId{rack});
+      continue;
+    }
+    if (node_fits(2 * n + 1, demand)) stack[top++] = 2 * n + 1;
+    if (node_fits(2 * n, demand)) stack[top++] = 2 * n;
+  }
+}
+
+void RackAvailabilityIndex::type_mask(ResourceType type, Units demand,
+                                      RackSet& out) const {
+  out.clear();
+  if (racks_ <= kLinearScanRacks) {
+    const PerResource<Units>* leaves = &tree_[base_];
+    std::uint64_t word = 0;
+    for (std::uint32_t r = 0; r < racks_; ++r) {
+      word |= std::uint64_t{leaves[r][type] >= demand} << (r & 63);
+      if ((r & 63) == 63) {
+        out.set_word(r >> 6, word);
+        word = 0;
+      }
+    }
+    if ((racks_ & 63) != 0) out.set_word((racks_ - 1) >> 6, word);
+    return;
+  }
+  std::size_t stack[2 * 12];
+  std::size_t top = 0;
+  if (tree_[1][type] >= demand) stack[top++] = 1;
+  while (top > 0) {
+    const std::size_t n = stack[--top];
+    if (n >= base_) {
+      const std::uint32_t rack = static_cast<std::uint32_t>(n - base_);
+      if (rack < racks_) out.set(RackId{rack});
+      continue;
+    }
+    if (tree_[2 * n + 1][type] >= demand) stack[top++] = 2 * n + 1;
+    if (tree_[2 * n][type] >= demand) stack[top++] = 2 * n;
+  }
+}
+
+void RackAvailabilityIndex::check_invariants() const {
+  for (std::size_t n = 1; n < base_; ++n) {
+    for (ResourceType t : kAllResources) {
+      if (tree_[n][t] != std::max(tree_[2 * n][t], tree_[2 * n + 1][t])) {
+        throw std::logic_error(
+            "RackAvailabilityIndex invariant: inner node != max of children");
+      }
+    }
+  }
+  for (std::size_t r = racks_; r < base_; ++r) {
+    if (tree_[base_ + r] != PerResource<Units>{0, 0, 0}) {
+      throw std::logic_error(
+          "RackAvailabilityIndex invariant: phantom leaf non-zero");
+    }
+  }
+}
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(std::move(config)), index_(config_.racks) {
   config_.validate();
+  if (config_.racks > RackSet::kMaxRacks) {
+    throw std::invalid_argument("Cluster: rack count exceeds RackSet::kMaxRacks");
+  }
 
   racks_.reserve(config_.racks);
   boxes_.reserve(config_.total_boxes());
@@ -91,6 +204,14 @@ Result<BoxAllocation, std::string> Cluster::allocate(BoxId box_id, Units units) 
   return result;
 }
 
+bool Cluster::allocate_into(BoxId box_id, Units units, BoxAllocation& out) {
+  Box& b = box(box_id);
+  if (!b.allocate_into(units, out)) return false;
+  total_available_[b.type()] -= units;
+  refresh_rack_aggregates(b.rack(), b.type());
+  return true;
+}
+
 void Cluster::release(const BoxAllocation& allocation) {
   Box& b = box(allocation.box);
   b.release(allocation);
@@ -125,6 +246,7 @@ void Cluster::refresh_rack_aggregates(RackId rack_id, ResourceType t) {
   }
   rk.max_available_[t] = max_avail;
   rk.total_available_[t] = total_avail;
+  index_.update(rack_id, t, max_avail);
 }
 
 ClusterSnapshot Cluster::snapshot() const {
@@ -224,6 +346,17 @@ void Cluster::check_invariants() const {
       if (max_avail != rk.max_available(t) ||
           total_avail != rk.total_available(t)) {
         throw std::logic_error("Cluster invariant: rack aggregate mismatch");
+      }
+    }
+  }
+  // The index's leaves must mirror the rack maxima exactly, and its inner
+  // nodes must be consistent with their children; together those two
+  // properties determine the correctness of every pool/type query.
+  index_.check_invariants();
+  for (const Rack& rk : racks_) {
+    for (ResourceType t : kAllResources) {
+      if (index_.leaf(rk.id())[t] != rk.max_available(t)) {
+        throw std::logic_error("Cluster invariant: index leaf != rack maximum");
       }
     }
   }

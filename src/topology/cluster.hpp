@@ -8,11 +8,13 @@
 // deliberately rescan boxes per placement, exactly as described in §4.1.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/expected.hpp"
+#include "common/rack_set.hpp"
 #include "common/types.hpp"
 #include "common/units.hpp"
 #include "topology/box.hpp"
@@ -59,6 +61,67 @@ struct ClusterSnapshot {
   std::vector<std::vector<Units>> brick_available;  ///< indexed by box, brick
 };
 
+/// Incremental rack-availability index: a segment tree over rack ids whose
+/// leaves hold each rack's per-type `max_available` and whose inner nodes
+/// hold the per-type maximum of their children.
+///
+/// This is the structure that preserves RISA's asymptotic advantage end to
+/// end: the Cluster already maintains per-rack maxima incrementally, and the
+/// tree turns "which racks fit this demand" from an O(racks x types) rescan
+/// per VM into a pruned descent that only visits subtrees containing
+/// eligible racks -- O(answer x log R), emitted in ascending rack-id order
+/// (the round-robin order) directly as a RackSet bitmask.  Updates from
+/// `refresh_rack_aggregates` cost O(log R).  See DESIGN.md for the
+/// complexity contract.
+class RackAvailabilityIndex {
+ public:
+  /// Clusters at or below this size answer queries with a branchless linear
+  /// pass over the contiguous leaf row instead of the tree descent; the
+  /// descent's pruning only pays off once the rack count dwarfs the answer.
+  static constexpr std::uint32_t kLinearScanRacks = 128;
+
+  explicit RackAvailabilityIndex(std::uint32_t racks);
+
+  /// Install a rack's new maximum for one type; O(log R), O(1) when the
+  /// value is unchanged (the common case: allocating from a non-maximal box
+  /// leaves the rack maximum alone).
+  void update(RackId rack, ResourceType type, Units maximum);
+
+  /// Racks whose maxima fit every component of `demand` simultaneously --
+  /// the INTRA_RACK_POOL membership mask.  `out` is overwritten.
+  void pool_mask(const UnitVector& demand, RackSet& out) const;
+
+  /// Racks whose maxima fit `demand` of one type -- a SUPER_RACK list.
+  void type_mask(ResourceType type, Units demand, RackSet& out) const;
+
+  /// Monotonic mutation counter: bumped on every update().  Callers that
+  /// cache derived pools can compare epochs instead of re-querying.
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+  /// Leaf values for one rack (verification hook).
+  [[nodiscard]] const PerResource<Units>& leaf(RackId rack) const {
+    return tree_[base_ + rack.value()];
+  }
+
+  /// Verifies inner nodes against their children; throws std::logic_error
+  /// on divergence.  Leaf correctness is checked by Cluster.
+  void check_invariants() const;
+
+ private:
+  /// True when every demanded type fits under node `n`'s maxima.
+  [[nodiscard]] bool node_fits(std::size_t n, const UnitVector& demand) const {
+    for (ResourceType t : kAllResources) {
+      if (tree_[n][t] < demand[t]) return false;
+    }
+    return true;
+  }
+
+  std::uint32_t racks_ = 0;
+  std::uint32_t base_ = 1;  ///< leaf offset: smallest power of two >= racks
+  std::vector<PerResource<Units>> tree_;  ///< 1-based heap layout, size 2*base_
+  std::uint64_t epoch_ = 0;
+};
+
 class Cluster {
  public:
   explicit Cluster(ClusterConfig config);
@@ -70,7 +133,26 @@ class Cluster {
   [[nodiscard]] Box& box(BoxId id);
   [[nodiscard]] const Box& box(BoxId id) const;
 
+  /// Bounds-unchecked box access for release-build hot loops (the placement
+  /// scans touch every candidate box once per VM).  Ids handed out by this
+  /// cluster are always valid; API boundaries keep the throwing accessor.
+  [[nodiscard]] Box& box_unchecked(BoxId id) noexcept {
+    assert(id.value() < boxes_.size());
+    return boxes_[id.value()];
+  }
+  [[nodiscard]] const Box& box_unchecked(BoxId id) const noexcept {
+    assert(id.value() < boxes_.size());
+    return boxes_[id.value()];
+  }
+
   [[nodiscard]] const Rack& rack(RackId id) const;
+
+  /// Bounds-unchecked rack access for hot loops (same contract as
+  /// box_unchecked).
+  [[nodiscard]] const Rack& rack_unchecked(RackId id) const noexcept {
+    assert(id.value() < racks_.size());
+    return racks_[id.value()];
+  }
 
   /// All boxes of a type cluster-wide, ordered by (rack, local position) --
   /// the canonical NULB/NALB search order.
@@ -99,6 +181,11 @@ class Cluster {
   /// Allocate `units` of the box's type from `box`.  Updates all aggregates.
   [[nodiscard]] Result<BoxAllocation, std::string> allocate(BoxId box, Units units);
 
+  /// Allocation-free variant for the placement hot path: writes the record
+  /// into `out` and returns false (leaving all state untouched) when the
+  /// box cannot host `units`.
+  [[nodiscard]] bool allocate_into(BoxId box, Units units, BoxAllocation& out);
+
   /// Return a previous allocation.  Updates all aggregates.
   void release(const BoxAllocation& allocation);
 
@@ -107,6 +194,21 @@ class Cluster {
   /// back.  Resident allocations stay recorded; the caller decides whether
   /// resident VMs are killed.
   void set_box_offline(BoxId box, bool offline);
+
+  /// The incremental rack-availability index (kept in lock-step with the
+  /// per-rack aggregates by every mutation).
+  [[nodiscard]] const RackAvailabilityIndex& rack_index() const noexcept {
+    return index_;
+  }
+
+  /// INTRA_RACK_POOL membership: racks able to host the entire demand.
+  void eligible_racks(const UnitVector& demand, RackSet& out) const {
+    index_.pool_mask(demand, out);
+  }
+  /// SUPER_RACK membership for one type.
+  void eligible_racks(ResourceType type, Units demand, RackSet& out) const {
+    index_.type_mask(type, demand, out);
+  }
 
   [[nodiscard]] ClusterSnapshot snapshot() const;
   void restore(const ClusterSnapshot& snap);
@@ -124,6 +226,7 @@ class Cluster {
   PerResource<std::vector<BoxId>> by_type_;
   PerResource<Units> total_capacity_{0, 0, 0};
   PerResource<Units> total_available_{0, 0, 0};
+  RackAvailabilityIndex index_;
 };
 
 }  // namespace risa::topo
