@@ -4,28 +4,41 @@
 // RISA-vs-NULB ranking is invariant across the whole range.
 #include <iostream>
 
+#include "common/flags.hpp"
 #include "common/table.hpp"
-#include "sim/engine.hpp"
 #include "sim/experiments.hpp"
+#include "sim/sweep.hpp"
 
 using namespace risa;
 
-int main() {
-  auto subsets = sim::azure_workloads();
-  const auto& [label, workload] = subsets[0];  // Azure-3000
+int main(int argc, char** argv) {
+  Flags flags;
+  define_threads_flag(flags);
+  if (!flags.parse_or_usage(argc, argv)) return 1;
 
-  std::cout << "=== Ablation: alpha sweep of Eq. (1), " << label << " ===\n";
-  TextTable t({"alpha", "NULB kW", "RISA kW", "RISA reduction"});
-  for (double alpha : {0.5, 0.7, 0.9, 1.0}) {
+  // Alpha is a scenario parameter, so the sweep's scenario axis carries it.
+  constexpr double kAlphas[] = {0.5, 0.7, 0.9, 1.0};
+  sim::SweepSpec spec;
+  for (double alpha : kAlphas) {
     sim::Scenario scenario = sim::Scenario::paper_defaults();
     scenario.photonics.switch_energy.mrr.alpha = alpha;
-    sim::Engine nulb(scenario, "NULB");
-    sim::Engine risa(scenario, "RISA");
+    spec.scenarios.emplace_back(TextTable::num(alpha, 2), scenario);
+  }
+  spec.workloads = {sim::WorkloadSpec::azure("3000")};
+  spec.seeds = {sim::kDefaultSeed};
+  spec.algorithms = {"NULB", "RISA"};
+  const auto runs =
+      sim::metrics_of(sim::SweepRunner(thread_count(flags)).run(spec));
+
+  std::cout << "=== Ablation: alpha sweep of Eq. (1), "
+            << spec.workloads[0].label << " ===\n";
+  TextTable t({"alpha", "NULB kW", "RISA kW", "RISA reduction"});
+  for (std::size_t a = 0; a < spec.scenarios.size(); ++a) {
     const double nulb_kw =
-        nulb.run(workload, label).avg_optical_power_w / 1000.0;
+        runs[spec.cell_index(a, 0, 0, 0)].avg_optical_power_w / 1000.0;
     const double risa_kw =
-        risa.run(workload, label).avg_optical_power_w / 1000.0;
-    t.add_row({TextTable::num(alpha, 2), TextTable::num(nulb_kw, 3),
+        runs[spec.cell_index(a, 0, 0, 1)].avg_optical_power_w / 1000.0;
+    t.add_row({spec.scenarios[a].first, TextTable::num(nulb_kw, 3),
                TextTable::num(risa_kw, 3),
                TextTable::pct(1.0 - risa_kw / nulb_kw, 1)});
   }

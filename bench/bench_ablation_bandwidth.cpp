@@ -4,16 +4,19 @@
 // robust to the interpretation.
 #include <iostream>
 
+#include "common/flags.hpp"
 #include "common/table.hpp"
+#include "core/registry.hpp"
 #include "network/bandwidth.hpp"
-#include "sim/engine.hpp"
 #include "sim/experiments.hpp"
+#include "sim/sweep.hpp"
 
 using namespace risa;
 
-int main() {
-  auto subsets = sim::azure_workloads();
-  const auto& [label, workload] = subsets[0];  // Azure-3000
+int main(int argc, char** argv) {
+  Flags flags;
+  define_threads_flag(flags);
+  if (!flags.parse_or_usage(argc, argv)) return 1;
 
   struct Case {
     const char* name;
@@ -31,20 +34,32 @@ int main() {
        net::BandwidthBasis::StorageUnits},
   };
 
-  std::cout << "=== Ablation: Table 2 bandwidth-basis interpretation, "
-            << label << " ===\n";
-  TextTable t({"Basis (cpu-ram / ram-sto)", "NULB inter-rack %",
-               "RISA inter-rack %", "NULB kW", "RISA kW", "Drops (all)"});
+  sim::SweepSpec spec;
   for (const Case& c : cases) {
     sim::Scenario scenario = sim::Scenario::paper_defaults();
     scenario.bandwidth.cpu_ram_basis = c.cpu_ram;
     scenario.bandwidth.ram_sto_basis = c.ram_sto;
-    const auto runs = sim::run_all_algorithms(scenario, workload, label);
-    const auto& nulb = runs[0];
-    const auto& risa = runs[2];
+    spec.scenarios.emplace_back(c.name, scenario);
+  }
+  spec.workloads = {sim::WorkloadSpec::azure("3000")};
+  spec.seeds = {sim::kDefaultSeed};
+  spec.algorithms = core::algorithm_names();
+  const auto runs =
+      sim::metrics_of(sim::SweepRunner(thread_count(flags)).run(spec));
+
+  std::cout << "=== Ablation: Table 2 bandwidth-basis interpretation, "
+            << spec.workloads[0].label << " ===\n";
+  TextTable t({"Basis (cpu-ram / ram-sto)", "NULB inter-rack %",
+               "RISA inter-rack %", "NULB kW", "RISA kW", "Drops (all)"});
+  for (std::size_t c = 0; c < spec.scenarios.size(); ++c) {
+    const auto& nulb = runs[spec.cell_index(c, 0, 0, 0)];
+    const auto& risa = runs[spec.cell_index(c, 0, 0, 2)];
     std::uint64_t drops = 0;
-    for (const auto& m : runs) drops += m.dropped;
-    t.add_row({c.name, TextTable::pct(nulb.inter_rack_fraction(), 1),
+    for (std::size_t a = 0; a < spec.algorithms.size(); ++a) {
+      drops += runs[spec.cell_index(c, 0, 0, a)].dropped;
+    }
+    t.add_row({spec.scenarios[c].first,
+               TextTable::pct(nulb.inter_rack_fraction(), 1),
                TextTable::pct(risa.inter_rack_fraction(), 1),
                TextTable::num(nulb.avg_optical_power_w / 1000.0, 2),
                TextTable::num(risa.avg_optical_power_w / 1000.0, 2),

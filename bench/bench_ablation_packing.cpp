@@ -1,49 +1,44 @@
 // Ablation E-A2: intra-rack packing rule (next-fit = RISA, best-fit =
-// RISA-BF, plus plain first-fit) under tightening capacity pressure.
-// Sweeps the cluster size downward so packing quality becomes the binding
-// factor, and reports placement rates.
+// RISA-BF) under tightening capacity pressure.  Sweeps the cluster size
+// downward so packing quality becomes the binding factor, and reports
+// placement rates.
 #include <iostream>
 
+#include "common/flags.hpp"
 #include "common/table.hpp"
-#include "core/risa.hpp"
-#include "sim/engine.hpp"
 #include "sim/experiments.hpp"
+#include "sim/sweep.hpp"
 
 using namespace risa;
 
-namespace {
+int main(int argc, char** argv) {
+  Flags flags;
+  define_threads_flag(flags);
+  if (!flags.parse_or_usage(argc, argv)) return 1;
 
-sim::SimMetrics run(core::RackPacking packing, std::uint32_t racks,
-                    const wl::Workload& workload) {
-  // The engine builds allocators by registry name; for the packing sweep we
-  // run the allocator directly through a DES-free replay with departures
-  // honored in arrival order (tests cover the DES path; here the packing
-  // effect is isolated).
-  sim::Scenario scenario = sim::Scenario::paper_defaults();
-  scenario.cluster.racks = racks;
-  const std::string name = packing == core::RackPacking::NextFit ? "RISA"
-                           : packing == core::RackPacking::BestFit
-                               ? "RISA-BF"
-                               : "RISA";
-  sim::Engine engine(scenario, name);
-  return engine.run(workload, "packing");
-}
+  constexpr std::uint32_t kRacks[] = {18u, 14u, 12u, 10u, 8u};
+  sim::SweepSpec spec;
+  for (std::uint32_t racks : kRacks) {
+    sim::Scenario scenario = sim::Scenario::paper_defaults();
+    scenario.cluster.racks = racks;
+    spec.scenarios.emplace_back(std::to_string(racks), scenario);
+  }
+  spec.workloads = {sim::WorkloadSpec::synthetic()};
+  spec.seeds = {sim::kDefaultSeed};
+  spec.algorithms = {"RISA", "RISA-BF"};
+  const auto runs =
+      sim::metrics_of(sim::SweepRunner(thread_count(flags)).run(spec));
 
-}  // namespace
-
-int main() {
-  const wl::Workload workload = sim::synthetic_workload();
   std::cout << "=== Ablation: intra-rack packing under capacity pressure "
                "(synthetic, 2500 VMs) ===\n";
   TextTable t({"Racks", "RISA placed", "RISA-BF placed", "RISA drops",
                "RISA-BF drops", "BF advantage"});
-  for (std::uint32_t racks : {18u, 14u, 12u, 10u, 8u}) {
-    const auto nf = run(core::RackPacking::NextFit, racks, workload);
-    const auto bf = run(core::RackPacking::BestFit, racks, workload);
-    const auto advantage =
-        static_cast<std::int64_t>(bf.placed) -
-        static_cast<std::int64_t>(nf.placed);
-    t.add_row({std::to_string(racks), std::to_string(nf.placed),
+  for (std::size_t s = 0; s < spec.scenarios.size(); ++s) {
+    const auto& nf = runs[spec.cell_index(s, 0, 0, 0)];
+    const auto& bf = runs[spec.cell_index(s, 0, 0, 1)];
+    const auto advantage = static_cast<std::int64_t>(bf.placed) -
+                           static_cast<std::int64_t>(nf.placed);
+    t.add_row({spec.scenarios[s].first, std::to_string(nf.placed),
                std::to_string(bf.placed), std::to_string(nf.dropped),
                std::to_string(bf.dropped),
                (advantage >= 0 ? "+" : "") + std::to_string(advantage)});

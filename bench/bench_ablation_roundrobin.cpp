@@ -5,7 +5,9 @@
 // placement peak) and the downstream effects.
 #include <iostream>
 
+#include "common/flags.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "core/risa.hpp"
 #include "sim/engine.hpp"
 #include "sim/experiments.hpp"
@@ -70,13 +72,26 @@ Outcome run(core::RackSelection selection, const wl::Workload& workload) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Flags flags;
+  define_threads_flag(flags);
+  if (!flags.parse_or_usage(argc, argv)) return 1;
+
   // Use the first half of the synthetic workload so nothing departs.
   wl::Workload workload = sim::synthetic_workload();
   workload.resize(1200);
 
-  const Outcome rr = run(core::RackSelection::RoundRobin, workload);
-  const Outcome fe = run(core::RackSelection::FirstEligible, workload);
+  // The two policy replays are independent (each builds its own stack);
+  // run them through the shared pool.
+  const core::RackSelection policies[] = {core::RackSelection::RoundRobin,
+                                          core::RackSelection::FirstEligible};
+  Outcome outcomes[2];
+  ThreadPool pool(thread_count(flags));
+  pool.run_indexed(2, [&](std::size_t, std::size_t i) {
+    outcomes[i] = run(policies[i], workload);
+  });
+  const Outcome& rr = outcomes[0];
+  const Outcome& fe = outcomes[1];
 
   std::cout << "=== Ablation: RISA rack selection policy (1200 synthetic "
                "VMs, no departures) ===\n";

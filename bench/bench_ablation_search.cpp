@@ -5,31 +5,48 @@
 // identical simulation engine.
 #include <iostream>
 
+#include "common/flags.hpp"
 #include "common/table.hpp"
-#include "sim/engine.hpp"
+#include "core/search.hpp"
 #include "sim/experiments.hpp"
+#include "sim/report.hpp"
+#include "sim/sweep.hpp"
 
 using namespace risa;
 
-int main() {
-  auto subsets = sim::azure_workloads();
+int main(int argc, char** argv) {
+  Flags flags;
+  define_threads_flag(flags);
+  if (!flags.parse_or_usage(argc, argv)) return 1;
+
+  sim::SweepSpec spec;
+  for (const auto companion : {core::CompanionSearch::GlobalOrder,
+                               core::CompanionSearch::AnchorRackFirst}) {
+    sim::Scenario scenario = sim::Scenario::paper_defaults();
+    scenario.allocator.companion = companion;
+    spec.scenarios.emplace_back(companion == core::CompanionSearch::GlobalOrder
+                                    ? "global id order (default)"
+                                    : "anchor-rack first (literal Alg. 2)",
+                                scenario);
+  }
+  spec.workloads = sim::WorkloadSpec::azure_all();
+  spec.seeds = {sim::kDefaultSeed};
+  spec.algorithms = {"NULB", "NALB"};
+  const auto runs =
+      sim::metrics_of(sim::SweepRunner(thread_count(flags)).run(spec));
+
   std::cout << "=== Ablation: companion-search interpretation for NULB/NALB "
                "===\n";
   TextTable t({"Workload", "Algorithm", "Reading", "Inter-rack %", "Paper %"});
-  for (const auto& [label, workload] : subsets) {
-    for (const char* algo : {"NULB", "NALB"}) {
-      for (const auto companion : {core::CompanionSearch::GlobalOrder,
-                                   core::CompanionSearch::AnchorRackFirst}) {
-        sim::Scenario scenario = sim::Scenario::paper_defaults();
-        scenario.allocator.companion = companion;
-        sim::Engine engine(scenario, algo);
-        const auto m = engine.run(workload, label);
-        t.add_row({label, algo,
-                   companion == core::CompanionSearch::GlobalOrder
-                       ? "global id order (default)"
-                       : "anchor-rack first (literal Alg. 2)",
+  // Table rows follow workload -> algorithm -> reading; the sweep expanded
+  // reading-major, so rows address cells through the spec's index math.
+  for (std::size_t w = 0; w < spec.workloads.size(); ++w) {
+    for (std::size_t a = 0; a < spec.algorithms.size(); ++a) {
+      for (std::size_t s = 0; s < spec.scenarios.size(); ++s) {
+        const auto& m = runs[spec.cell_index(s, w, 0, a)];
+        t.add_row({m.workload, m.algorithm, spec.scenarios[s].first,
                    TextTable::pct(m.inter_rack_fraction(), 1),
-                   sim::paper_cell("fig7", label, algo, 0)});
+                   sim::paper_cell("fig7", m.workload, m.algorithm, 0)});
       }
     }
   }

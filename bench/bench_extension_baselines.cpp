@@ -5,34 +5,38 @@
 // racks.
 #include <iostream>
 
+#include "common/flags.hpp"
 #include "common/table.hpp"
-#include "sim/engine.hpp"
 #include "sim/experiments.hpp"
+#include "sim/sweep.hpp"
 
 using namespace risa;
 
-int main() {
-  auto subsets = sim::azure_workloads();
-  const auto& [label, workload] = subsets[0];  // Azure-3000
-  const wl::Workload synthetic = sim::synthetic_workload();
+int main(int argc, char** argv) {
+  Flags flags;
+  define_threads_flag(flags);
+  if (!flags.parse_or_usage(argc, argv)) return 1;
+
+  sim::SweepSpec spec;
+  spec.scenarios = {{"paper", sim::Scenario::paper_defaults()}};
+  spec.workloads = {sim::WorkloadSpec::azure("3000"),
+                    sim::WorkloadSpec::synthetic()};
+  spec.seeds = {sim::kDefaultSeed};
+  spec.algorithms = {"RISA", "NULB", "FF", "WF", "RANDOM"};
+  const auto runs =
+      sim::metrics_of(sim::SweepRunner(thread_count(flags)).run(spec));
 
   std::cout << "=== Extension: RISA vs classic placement disciplines ===\n";
   TextTable t({"Workload", "Algorithm", "Placed", "Inter-rack %", "Power kW",
                "RTT ns"});
-  const std::vector<std::pair<std::string, const wl::Workload*>> cases = {
-      {label, &workload}, {"Synthetic", &synthetic}};
-  for (const auto& [case_label, case_workload] : cases) {
-    for (const char* algo : {"RISA", "NULB", "FF", "WF", "RANDOM"}) {
-      sim::Engine engine(sim::Scenario::paper_defaults(), algo);
-      const sim::SimMetrics m = engine.run(*case_workload, case_label);
-      t.add_row({case_label, algo, std::to_string(m.placed),
-                 TextTable::pct(m.inter_rack_fraction(), 1),
-                 TextTable::num(m.avg_optical_power_w / 1000.0, 2),
-                 TextTable::num(m.cpu_ram_latency_ns.count() > 0
-                                    ? m.cpu_ram_latency_ns.mean()
-                                    : 0.0,
-                                1)});
-    }
+  for (const auto& m : runs) {
+    t.add_row({m.workload, m.algorithm, std::to_string(m.placed),
+               TextTable::pct(m.inter_rack_fraction(), 1),
+               TextTable::num(m.avg_optical_power_w / 1000.0, 2),
+               TextTable::num(m.cpu_ram_latency_ns.count() > 0
+                                  ? m.cpu_ram_latency_ns.mean()
+                                  : 0.0,
+                              1)});
   }
   std::cout << t
             << "Load balancing without rack affinity (WF, RANDOM) maximizes "

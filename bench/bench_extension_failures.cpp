@@ -9,8 +9,10 @@
 // each policy absorbs capacity loss.
 #include <iostream>
 
+#include "common/flags.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "core/registry.hpp"
 #include "sim/experiments.hpp"
 
@@ -102,7 +104,11 @@ Outcome run(const std::string& algo, const wl::Workload& workload,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Flags flags;
+  define_threads_flag(flags);
+  if (!flags.parse_or_usage(argc, argv)) return 1;
+
   auto subsets = sim::azure_workloads();
   const auto& [label, workload] = subsets[0];  // Azure-3000
 
@@ -110,9 +116,21 @@ int main() {
             << ", fail K boxes after 1500 admissions) ===\n";
   TextTable t({"K failed", "Algorithm", "VMs killed", "Placed after",
                "Dropped after", "Inter-rack % after"});
-  for (int failures : {2, 6, 12}) {
-    for (const std::string& algo : core::algorithm_names()) {
-      const Outcome o = run(algo, workload, 1500, failures, 99);
+  // Each (K, algorithm) protocol run owns a private stack and RNG, so the
+  // matrix parallelizes cell-wise exactly like an engine sweep.
+  const int fail_counts[] = {2, 6, 12};
+  const auto algos = core::algorithm_names();
+  std::vector<Outcome> outcomes(std::size(fail_counts) * algos.size());
+  ThreadPool pool(thread_count(flags));
+  pool.run_indexed(outcomes.size(), [&](std::size_t, std::size_t i) {
+    outcomes[i] = run(algos[i % algos.size()], workload, 1500,
+                      fail_counts[i / algos.size()], 99);
+  });
+  for (std::size_t k = 0; k < std::size(fail_counts); ++k) {
+    const int failures = fail_counts[k];
+    for (std::size_t a = 0; a < algos.size(); ++a) {
+      const std::string& algo = algos[a];
+      const Outcome& o = outcomes[k * algos.size() + a];
       const double inter_pct =
           o.placed_after > 0 ? 100.0 * static_cast<double>(o.inter_rack_after) /
                                    static_cast<double>(o.placed_after)

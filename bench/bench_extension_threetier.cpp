@@ -9,38 +9,46 @@
 // to the deeper topology unchanged.
 #include <iostream>
 
+#include "common/flags.hpp"
 #include "common/table.hpp"
-#include "sim/engine.hpp"
 #include "sim/experiments.hpp"
+#include "sim/sweep.hpp"
 
 using namespace risa;
 
-int main() {
-  auto subsets = sim::azure_workloads();
-  const auto& [label, workload] = subsets[0];  // Azure-3000
+int main(int argc, char** argv) {
+  Flags flags;
+  define_threads_flag(flags);
+  if (!flags.parse_or_usage(argc, argv)) return 1;
 
-  std::cout << "=== Extension: two-tier vs three-tier fabric (" << label
-            << ") ===\n";
-  TextTable t({"Fabric", "Algorithm", "Inter-rack %", "Power kW", "RTT ns",
-               "RISA power advantage"});
+  sim::SweepSpec spec;
   for (const std::uint32_t racks_per_pod : {0u, 6u, 3u}) {
     sim::Scenario scenario = sim::Scenario::paper_defaults();
     scenario.fabric.racks_per_pod = racks_per_pod;
-    const std::string fabric_label =
+    spec.scenarios.emplace_back(
         racks_per_pod == 0
             ? "two-tier (paper)"
-            : "three-tier, " + std::to_string(racks_per_pod) + " racks/pod";
+            : "three-tier, " + std::to_string(racks_per_pod) + " racks/pod",
+        scenario);
+  }
+  spec.workloads = {sim::WorkloadSpec::azure("3000")};
+  spec.seeds = {sim::kDefaultSeed};
+  spec.algorithms = {"NULB", "RISA"};
+  const auto runs =
+      sim::metrics_of(sim::SweepRunner(thread_count(flags)).run(spec));
 
-    double nulb_kw = 0.0, risa_kw = 0.0;
-    std::vector<sim::SimMetrics> runs;
-    for (const char* algo : {"NULB", "RISA"}) {
-      sim::Engine engine(scenario, algo);
-      runs.push_back(engine.run(workload, label));
-    }
-    nulb_kw = runs[0].avg_optical_power_w / 1000.0;
-    risa_kw = runs[1].avg_optical_power_w / 1000.0;
-    for (const auto& m : runs) {
-      t.add_row({fabric_label, m.algorithm,
+  std::cout << "=== Extension: two-tier vs three-tier fabric ("
+            << spec.workloads[0].label << ") ===\n";
+  TextTable t({"Fabric", "Algorithm", "Inter-rack %", "Power kW", "RTT ns",
+               "RISA power advantage"});
+  for (std::size_t s = 0; s < spec.scenarios.size(); ++s) {
+    const double nulb_kw =
+        runs[spec.cell_index(s, 0, 0, 0)].avg_optical_power_w / 1000.0;
+    const double risa_kw =
+        runs[spec.cell_index(s, 0, 0, 1)].avg_optical_power_w / 1000.0;
+    for (std::size_t a = 0; a < spec.algorithms.size(); ++a) {
+      const auto& m = runs[spec.cell_index(s, 0, 0, a)];
+      t.add_row({spec.scenarios[s].first, m.algorithm,
                  TextTable::pct(m.inter_rack_fraction(), 1),
                  TextTable::num(m.avg_optical_power_w / 1000.0, 2),
                  TextTable::num(m.cpu_ram_latency_ns.mean(), 1),

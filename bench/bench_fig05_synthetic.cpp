@@ -5,15 +5,24 @@
 //          average utilization CPU 64.66% / RAM 65.11% / STO 31.72%.
 #include <iostream>
 
-#include "sim/engine.hpp"
+#include "common/flags.hpp"
 #include "sim/experiments.hpp"
 #include "sim/report.hpp"
+#include "sim/sweep.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace risa;
-  const wl::Workload workload = sim::synthetic_workload();
-  const auto runs = sim::run_all_algorithms(sim::Scenario::paper_defaults(),
-                                            workload, "Synthetic");
+  Flags flags;
+  define_threads_flag(flags);
+  if (!flags.parse_or_usage(argc, argv)) return 1;
+
+  sim::SweepSpec spec;
+  spec.scenarios = {{"paper", sim::Scenario::paper_defaults()}};
+  spec.workloads = {sim::WorkloadSpec::synthetic()};
+  spec.seeds = {sim::kDefaultSeed};
+  spec.algorithms = core::algorithm_names();
+  const auto runs =
+      sim::metrics_of(sim::SweepRunner(thread_count(flags)).run(spec));
 
   std::cout << "=== Figure 5: number of inter-rack VM assignments "
                "(synthetic, 2500 VMs) ===\n"

@@ -7,19 +7,25 @@
 //   the reproduced claims.
 #include <iostream>
 
-#include "sim/engine.hpp"
+#include "common/flags.hpp"
 #include "sim/experiments.hpp"
 #include "sim/report.hpp"
+#include "sim/sweep.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace risa;
-  std::vector<sim::SimMetrics> runs;
-  for (auto& [label, workload] : sim::azure_workloads()) {
-    auto batch = sim::run_all_algorithms(sim::Scenario::paper_defaults(),
-                                         workload, label);
-    runs.insert(runs.end(), std::make_move_iterator(batch.begin()),
-                std::make_move_iterator(batch.end()));
-  }
+  Flags flags;
+  define_threads_flag(flags);
+  if (!flags.parse_or_usage(argc, argv)) return 1;
+
+  sim::SweepSpec spec;
+  spec.scenarios = {{"paper", sim::Scenario::paper_defaults()}};
+  spec.workloads = sim::WorkloadSpec::azure_all();
+  spec.seeds = {sim::kDefaultSeed};
+  spec.algorithms = core::algorithm_names();
+  const auto runs =
+      sim::metrics_of(sim::SweepRunner(thread_count(flags)).run(spec));
+
   std::cout << "=== Figure 8: network utilization (Azure subsets) ===\n"
             << sim::figure8_table(runs);
   return 0;

@@ -13,14 +13,20 @@
 // once with per-placement latency recording and writes the scheduler perf
 // baseline (sched_s, placements/sec, p50/p99 latency) as JSON -- the
 // committed BENCH_scheduler.json is produced this way.
+// `--threads N` controls the paper-shape summary sweep; it defaults to 1
+// (serial) because this binary's whole point is timing fidelity, and the
+// JSON baseline always runs serial regardless (see DESIGN.md §6).
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 #include <string>
 
+#include "common/flags.hpp"
+#include "core/registry.hpp"
 #include "sim/engine.hpp"
 #include "sim/experiments.hpp"
 #include "sim/report.hpp"
+#include "sim/sweep.hpp"
 
 namespace {
 
@@ -57,27 +63,39 @@ BENCHMARK(BM_Nalb)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Risa)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_RisaBf)->Unit(benchmark::kMillisecond);
 
+risa::sim::SweepSpec fig11_spec() {
+  risa::sim::SweepSpec spec;
+  spec.scenarios = {{"paper", risa::sim::Scenario::paper_defaults()}};
+  spec.workloads = {risa::sim::WorkloadSpec::synthetic()};
+  spec.seeds = {risa::sim::kDefaultSeed};
+  spec.algorithms = risa::core::algorithm_names();
+  return spec;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string json_path =
       risa::sim::consume_emit_json_flag(argc, argv, "BENCH_scheduler.json");
+  const int threads = risa::consume_threads_flag(argc, argv, /*absent=*/1);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  // Paper-shape summary from one clean sweep.
-  const auto runs = risa::sim::run_all_algorithms(
-      risa::sim::Scenario::paper_defaults(), workload(), "Synthetic");
+  // Paper-shape summary from one clean sweep (serial by default: this
+  // table reports per-cell scheduler wall-clock).
+  const auto runs = risa::sim::metrics_of(
+      risa::sim::SweepRunner(threads).run(fig11_spec()));
   std::cout << "\n=== Figure 11: scheduler execution time, synthetic ===\n"
             << risa::sim::exec_time_table(runs, "fig11");
 
   if (!json_path.empty()) {
-    std::vector<risa::sim::SchedulerBenchEntry> entries;
-    for (const char* algo : {"NULB", "NALB", "RISA", "RISA-BF"}) {
-      entries.push_back(risa::sim::scheduler_bench_entry(
-          risa::sim::Scenario::paper_defaults(), algo, workload(), "Synthetic"));
-    }
+    // The committed baseline always comes from a serial latency-recording
+    // sweep so sched_s / p50 / p99 are free of cross-cell interference.
+    risa::sim::SweepSpec spec = fig11_spec();
+    spec.record_latency = true;
+    const auto entries = risa::sim::scheduler_bench_entries(
+        risa::sim::SweepRunner(1).run(spec));
     if (!risa::sim::write_scheduler_bench_json(json_path,
                                                "fig11_exec_synthetic", entries)) {
       return 1;

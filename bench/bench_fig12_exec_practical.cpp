@@ -8,14 +8,20 @@
 // Driver mode: `--emit_json[=path]` additionally replays every (subset,
 // algorithm) pair once with per-placement latency recording and writes the
 // practical-workload scheduler baseline as JSON.
+// `--threads N` controls the paper-shape summary sweep; it defaults to 1
+// (serial) because this binary's whole point is timing fidelity, and the
+// JSON baseline always runs serial regardless (see DESIGN.md §6).
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 #include <string>
 
+#include "common/flags.hpp"
+#include "core/registry.hpp"
 #include "sim/engine.hpp"
 #include "sim/experiments.hpp"
 #include "sim/report.hpp"
+#include "sim/sweep.hpp"
 
 namespace {
 
@@ -50,33 +56,35 @@ BENCHMARK(BM_Exec)
     ->ArgsProduct({{0, 1, 2, 3}, {0, 1, 2}})
     ->Unit(benchmark::kMillisecond);
 
+risa::sim::SweepSpec fig12_spec() {
+  risa::sim::SweepSpec spec;
+  spec.scenarios = {{"paper", risa::sim::Scenario::paper_defaults()}};
+  spec.workloads = risa::sim::WorkloadSpec::azure_all();
+  spec.seeds = {risa::sim::kDefaultSeed};
+  spec.algorithms = risa::core::algorithm_names();
+  return spec;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string json_path = risa::sim::consume_emit_json_flag(
       argc, argv, "BENCH_scheduler_practical.json");
+  const int threads = risa::consume_threads_flag(argc, argv, /*absent=*/1);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  std::vector<risa::sim::SimMetrics> runs;
-  for (const auto& [label, workload] : subsets()) {
-    auto batch = risa::sim::run_all_algorithms(
-        risa::sim::Scenario::paper_defaults(), workload, label);
-    runs.insert(runs.end(), std::make_move_iterator(batch.begin()),
-                std::make_move_iterator(batch.end()));
-  }
+  const auto runs = risa::sim::metrics_of(
+      risa::sim::SweepRunner(threads).run(fig12_spec()));
   std::cout << "\n=== Figure 12: scheduler execution time, practical ===\n"
             << risa::sim::exec_time_table(runs, "fig12");
 
   if (!json_path.empty()) {
-    std::vector<risa::sim::SchedulerBenchEntry> entries;
-    for (const auto& [label, workload] : subsets()) {
-      for (const char* algo : {"NULB", "NALB", "RISA", "RISA-BF"}) {
-        entries.push_back(risa::sim::scheduler_bench_entry(
-            risa::sim::Scenario::paper_defaults(), algo, workload, label));
-      }
-    }
+    risa::sim::SweepSpec spec = fig12_spec();
+    spec.record_latency = true;
+    const auto entries = risa::sim::scheduler_bench_entries(
+        risa::sim::SweepRunner(1).run(spec));
     if (!risa::sim::write_scheduler_bench_json(
             json_path, "fig12_exec_practical", entries)) {
       return 1;

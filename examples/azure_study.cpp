@@ -4,39 +4,45 @@
 // round-trip latency.
 //
 //   $ ./azure_study [--seed=20231112] [--subset=all|3000|5000|7500]
+//                   [--threads=N]
 #include <iostream>
 
 #include "common/flags.hpp"
-#include "sim/engine.hpp"
 #include "sim/experiments.hpp"
 #include "sim/report.hpp"
+#include "sim/sweep.hpp"
 
 int main(int argc, char** argv) {
   risa::Flags flags;
   flags.define("seed", std::to_string(risa::sim::kDefaultSeed),
                "Workload RNG seed");
   flags.define("subset", "all", "Which subset to run: all | 3000 | 5000 | 7500");
-  try {
-    flags.parse(argc, argv);
-  } catch (const std::exception& e) {
-    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
-    return 1;
-  }
+  risa::define_threads_flag(flags);
+  if (!flags.parse_or_usage(argc, argv)) return 1;
 
   const auto seed = static_cast<std::uint64_t>(flags.i64("seed"));
   const std::string subset = flags.str("subset");
 
-  const auto scenario = risa::sim::Scenario::paper_defaults();
-  std::vector<risa::sim::SimMetrics> runs;
-  for (auto& [label, workload] : risa::sim::azure_workloads(seed)) {
-    if (subset != "all" && label.find(subset) == std::string::npos) continue;
-    std::cout << "Running " << label << " (" << workload.size()
-              << " VMs) x 4 algorithms...\n";
-    auto batch = risa::sim::run_all_algorithms(scenario, workload, label);
-    runs.insert(runs.end(), std::make_move_iterator(batch.begin()),
-                std::make_move_iterator(batch.end()));
+  risa::sim::SweepSpec spec;
+  spec.scenarios = {{"paper", risa::sim::Scenario::paper_defaults()}};
+  if (subset == "all") {
+    spec.workloads = risa::sim::WorkloadSpec::azure_all();
+  } else {
+    try {
+      spec.workloads = {risa::sim::WorkloadSpec::azure(subset)};
+    } catch (const std::exception&) {
+      std::cerr << "unknown subset '" << subset << "'\n";
+      return 1;
+    }
   }
-  std::cout << '\n';
+  spec.seeds = {seed};
+  spec.algorithms = risa::core::algorithm_names();
+
+  const risa::sim::SweepRunner runner(risa::thread_count(flags));
+  std::cout << "Running " << spec.workloads.size() << " subset(s) x "
+            << spec.algorithms.size() << " algorithms on "
+            << runner.threads() << " thread(s)...\n\n";
+  const auto runs = risa::sim::metrics_of(runner.run(spec));
 
   std::cout << "Figure 7 -- % inter-rack VM assignments:\n"
             << risa::sim::figure7_table(runs) << '\n'

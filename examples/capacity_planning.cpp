@@ -1,16 +1,18 @@
 // Capacity planning what-if: how many racks does a workload need under each
-// scheduler before drops appear?  Demonstrates sweeping ClusterConfig and
-// reading SimMetrics programmatically -- the kind of study a datacenter
-// operator would run with this library.
+// scheduler before drops appear?  Demonstrates sweeping ClusterConfig
+// through the scenario axis of a SweepSpec and reading SimMetrics
+// programmatically -- the kind of study a datacenter operator would run
+// with this library.
 //
 //   $ ./capacity_planning [--workload=azure-5000|azure-3000|azure-7500|synthetic]
+//                         [--threads=N]
 #include <iostream>
 
 #include "common/flags.hpp"
 #include "common/string_util.hpp"
 #include "common/table.hpp"
-#include "sim/engine.hpp"
 #include "sim/experiments.hpp"
+#include "sim/sweep.hpp"
 
 using namespace risa;
 
@@ -20,41 +22,42 @@ int main(int argc, char** argv) {
                "Workload: synthetic | azure-3000 | azure-5000 | azure-7500");
   flags.define("max-drop-pct", "1.0",
                "Acceptable drop rate (percent) for the sizing verdict");
-  try {
-    flags.parse(argc, argv);
-  } catch (const std::exception& e) {
-    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
-    return 1;
-  }
+  define_threads_flag(flags);
+  if (!flags.parse_or_usage(argc, argv)) return 1;
 
   const std::string which = flags.str("workload");
-  wl::Workload workload;
-  if (which == "synthetic") {
-    workload = sim::synthetic_workload();
-  } else {
-    for (auto& [label, w] : sim::azure_workloads()) {
-      if (to_lower(label) == which) workload = std::move(w);
-    }
-  }
-  if (workload.empty()) {
+  sim::SweepSpec spec;
+  try {
+    spec.workloads = {which == "synthetic" ? sim::WorkloadSpec::synthetic()
+                                           : sim::WorkloadSpec::azure(which)};
+  } catch (const std::exception&) {
     std::cerr << "unknown workload '" << which << "'\n";
     return 1;
   }
   const double max_drop = flags.f64("max-drop-pct") / 100.0;
 
-  std::cout << "Capacity planning for " << which << " (" << workload.size()
-            << " VMs), acceptable drop rate "
+  constexpr std::uint32_t kRacks[] = {6u, 9u, 12u, 15u, 18u};
+  for (std::uint32_t racks : kRacks) {
+    sim::Scenario scenario = sim::Scenario::paper_defaults();
+    scenario.cluster.racks = racks;
+    spec.scenarios.emplace_back(std::to_string(racks), scenario);
+  }
+  spec.seeds = {sim::kDefaultSeed};
+  spec.algorithms = core::algorithm_names();
+  const auto runs =
+      sim::metrics_of(sim::SweepRunner(thread_count(flags)).run(spec));
+
+  std::cout << "Capacity planning for " << which << " ("
+            << runs.front().total_vms << " VMs), acceptable drop rate "
             << TextTable::pct(max_drop, 1) << ":\n\n";
 
   TextTable t({"Racks", "Algorithm", "Placed", "Drop %", "Peak STO %",
                "Power kW", "Verdict"});
-  for (std::uint32_t racks : {6u, 9u, 12u, 15u, 18u}) {
-    for (const std::string& algo : core::algorithm_names()) {
-      sim::Scenario scenario = sim::Scenario::paper_defaults();
-      scenario.cluster.racks = racks;
-      sim::Engine engine(scenario, algo);
-      const sim::SimMetrics m = engine.run(workload, which);
-      t.add_row({std::to_string(racks), algo, std::to_string(m.placed),
+  for (std::size_t s = 0; s < spec.scenarios.size(); ++s) {
+    for (std::size_t a = 0; a < spec.algorithms.size(); ++a) {
+      const sim::SimMetrics& m = runs[spec.cell_index(s, 0, 0, a)];
+      t.add_row({spec.scenarios[s].first, m.algorithm,
+                 std::to_string(m.placed),
                  TextTable::pct(m.drop_fraction(), 2),
                  TextTable::pct(m.peak_utilization.storage(), 1),
                  TextTable::num(m.avg_optical_power_w / 1000.0, 2),

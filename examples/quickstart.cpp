@@ -18,12 +18,7 @@ int main(int argc, char** argv) {
   flags.define("algorithm", "RISA", "Scheduler: NULB | NALB | RISA | RISA-BF");
   flags.define("vms", "20", "Number of synthetic VMs to schedule");
   flags.define("seed", "1", "Workload RNG seed");
-  try {
-    flags.parse(argc, argv);
-  } catch (const std::exception& e) {
-    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
-    return 1;
-  }
+  if (!flags.parse_or_usage(argc, argv)) return 1;
 
   // 1. The paper's evaluation platform: 18 racks x 6 boxes x 8 bricks x 16
   //    units, two-tier optical fabric, Table 2 bandwidth demands.

@@ -38,12 +38,7 @@ int main(int argc, char** argv) {
   flags.define("trace-out", "", "Save the generated workload to this CSV trace");
   flags.define("timeline-csv", "", "Export a per-event time series to this CSV");
   flags.define("dry-run", "false", "Generate/convert workloads without simulating");
-  try {
-    flags.parse(argc, argv);
-  } catch (const std::exception& e) {
-    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
-    return 1;
-  }
+  if (!flags.parse_or_usage(argc, argv)) return 1;
 
   try {
     // 1. Scenario.

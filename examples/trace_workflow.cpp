@@ -16,12 +16,7 @@ using namespace risa;
 int main(int argc, char** argv) {
   Flags flags;
   flags.define("out", "/tmp/risa_azure3000_trace.csv", "Trace file to write");
-  try {
-    flags.parse(argc, argv);
-  } catch (const std::exception& e) {
-    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
-    return 1;
-  }
+  if (!flags.parse_or_usage(argc, argv)) return 1;
   const std::string path = flags.str("out");
 
   // 1. Generate the Azure-3000-like workload and persist it.
@@ -40,10 +35,11 @@ int main(int argc, char** argv) {
 
   // 3. Drive the simulator from the reloaded trace -- identical results to
   //    the in-memory workload, demonstrating trace-driven reproducibility.
-  sim::Engine from_memory(sim::Scenario::paper_defaults(), "RISA");
-  sim::Engine from_trace(sim::Scenario::paper_defaults(), "RISA");
-  const auto m1 = from_memory.run(original, "in-memory");
-  const auto m2 = from_trace.run(reloaded, "from-trace");
+  //    One engine serves both runs: run() restores the pristine state in
+  //    place, so back-to-back runs behave like fresh stacks.
+  sim::Engine engine(sim::Scenario::paper_defaults(), "RISA");
+  const auto m1 = engine.run(original, "in-memory");
+  const auto m2 = engine.run(reloaded, "from-trace");
   std::cout << "in-memory : placed " << m1.placed << ", power "
             << m1.avg_optical_power_w << " W\n"
             << "from-trace: placed " << m2.placed << ", power "

@@ -1,7 +1,11 @@
 #include "common/flags.hpp"
 
+#include <cstdlib>
+#include <iostream>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
+#include <thread>
 
 namespace risa {
 
@@ -75,6 +79,83 @@ double Flags::f64(const std::string& name) const { return std::stod(str(name)); 
 bool Flags::b(const std::string& name) const {
   const std::string v = str(name);
   return v == "true" || v == "1" || v == "yes";
+}
+
+bool Flags::parse_or_usage(int argc, const char* const* argv,
+                           std::vector<std::string>* positional_out) {
+  try {
+    std::vector<std::string> positional = parse(argc, argv);
+    if (positional_out != nullptr) {
+      *positional_out = std::move(positional);
+    } else if (!positional.empty()) {
+      throw std::runtime_error("unexpected positional argument '" +
+                               positional.front() + "'");
+    }
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n" << usage(argv[0]);
+    return false;
+  }
+  return true;
+}
+
+int default_thread_count() {
+  if (const char* env = std::getenv("RISA_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<int>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void define_threads_flag(Flags& flags, int default_value) {
+  flags.define("threads", std::to_string(default_value),
+               "Worker threads for the scenario sweep (0 = RISA_THREADS env "
+               "override, else hardware concurrency)");
+}
+
+int thread_count(const Flags& flags) {
+  return resolve_thread_count(flags.i64("threads"));
+}
+
+int resolve_thread_count(long long requested) {
+  return requested > 0 ? static_cast<int>(requested) : default_thread_count();
+}
+
+namespace {
+
+/// Strict integer parse for --threads values; malformed input must not be
+/// silently coerced (0 would resolve to "auto", overriding the serial
+/// default of the timing-fidelity benches).
+long long parse_threads_value(const char* text) {
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::cerr << "invalid --threads value '" << text << "'\n";
+    std::exit(1);
+  }
+  return v;
+}
+
+}  // namespace
+
+int consume_threads_flag(int& argc, char** argv, int absent_default) {
+  long long requested = absent_default;
+  int out = 1;
+  constexpr std::string_view kPrefix = "--threads=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      requested = parse_threads_value(argv[++i]);
+    } else if (arg.rfind(kPrefix, 0) == 0) {
+      // argv suffixes stay NUL-terminated, so .data() is a valid C string.
+      requested = parse_threads_value(arg.substr(kPrefix.size()).data());
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return resolve_thread_count(requested);
 }
 
 std::string Flags::usage(const std::string& program) const {

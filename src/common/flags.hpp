@@ -26,6 +26,13 @@ class Flags {
 
   [[nodiscard]] std::string usage(const std::string& program) const;
 
+  /// parse() with the standard CLI error policy: on failure, print the
+  /// error and usage to stderr and return false (the caller exits 1).
+  /// Positional arguments are rejected unless `positional_out` is given.
+  [[nodiscard]] bool parse_or_usage(int argc, const char* const* argv,
+                                    std::vector<std::string>* positional_out =
+                                        nullptr);
+
  private:
   struct Entry {
     std::string name;
@@ -39,5 +46,34 @@ class Flags {
 
   std::vector<Entry> entries_;
 };
+
+// --- Worker-thread count plumbing -------------------------------------------
+//
+// Every driver that fans a scenario matrix over the sweep runner takes the
+// same `--threads N` flag: 0 (the usual default) resolves to the RISA_THREADS
+// environment override when set, else to std::thread::hardware_concurrency.
+
+/// RISA_THREADS env override when positive, else hardware concurrency
+/// (minimum 1).
+[[nodiscard]] int default_thread_count();
+
+/// Define `--threads` on `flags`.  `default_value` 0 = auto (see above);
+/// timing-sensitive drivers (Figures 11/12) pass 1.
+void define_threads_flag(Flags& flags, int default_value = 0);
+
+/// Resolve the parsed `--threads` value: positive values pass through,
+/// everything else resolves via default_thread_count().
+[[nodiscard]] int thread_count(const Flags& flags);
+
+/// Resolve a raw requested count with the same rule (for callers without a
+/// Flags instance).
+[[nodiscard]] int resolve_thread_count(long long requested);
+
+/// Consume `--threads[=N]` / `--threads N` from argv before it reaches an
+/// argument parser that rejects foreign flags (the google-benchmark
+/// binaries), compacting argv/argc in place.  Returns the resolved count;
+/// when the flag is absent, resolves `absent_default` instead (0 = auto).
+[[nodiscard]] int consume_threads_flag(int& argc, char** argv,
+                                       int absent_default = 0);
 
 }  // namespace risa

@@ -1,0 +1,132 @@
+// A small fixed-size worker pool for the scenario-sweep layer.
+//
+// Design goals, in order: deterministic integration (results are written to
+// caller-owned slots, never through shared mutable aggregates), exception
+// transparency (the first worker exception is rethrown on the caller's
+// thread), and simplicity (mutex + condition variable; the sweep's unit of
+// work is an entire discrete-event simulation, so queue overhead is noise).
+//
+// run_indexed() is the primary entry point: it executes `fn(slot, index)`
+// for every index in [0, n) with dynamic load balancing over an atomic
+// cursor.  `slot` identifies the executing worker lane ([0, size())) and is
+// stable for the duration of one run_indexed call, which lets callers pin
+// per-lane state -- the sweep runner keeps one reusable simulation engine
+// per slot.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace risa {
+
+class ThreadPool {
+ public:
+  /// `threads` <= 0 asks for a single worker; callers wanting the machine
+  /// default resolve it first (common/flags: default_thread_count()).
+  explicit ThreadPool(int threads) {
+    const std::size_t n = threads > 0 ? static_cast<std::size_t>(threads) : 1;
+    workers_.reserve(n);
+    for (std::size_t w = 0; w < n; ++w) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue one job.  Exceptions escaping the job are captured; the first
+  /// one is rethrown from the next wait() on the submitting thread.
+  void submit(std::function<void()> job) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push(std::move(job));
+    }
+    cv_.notify_one();
+  }
+
+  /// Block until every submitted job has finished, then rethrow the first
+  /// captured job exception, if any.
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+    if (first_error_ != nullptr) {
+      std::exception_ptr err = first_error_;
+      first_error_ = nullptr;
+      std::rethrow_exception(err);
+    }
+  }
+
+  /// Run `fn(slot, index)` for every index in [0, n); blocks until done.
+  /// Indices are claimed dynamically from an atomic cursor, so long and
+  /// short work items balance across workers; each claimed index runs
+  /// exactly once regardless of worker count.
+  void run_indexed(std::size_t n,
+                   const std::function<void(std::size_t slot,
+                                            std::size_t index)>& fn) {
+    std::atomic<std::size_t> next{0};
+    for (std::size_t slot = 0; slot < size(); ++slot) {
+      submit([&, slot] {
+        for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+             i < n; i = next.fetch_add(1, std::memory_order_relaxed)) {
+          fn(slot, i);
+        }
+      });
+    }
+    wait();
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ with a drained queue
+        job = std::move(queue_.front());
+        queue_.pop();
+        ++running_;
+      }
+      try {
+        job();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (first_error_ == nullptr) first_error_ = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        --running_;
+      }
+      idle_cv_.notify_all();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;       // queue -> workers
+  std::condition_variable idle_cv_;  // workers -> wait()
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t running_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace risa

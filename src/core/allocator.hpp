@@ -61,6 +61,12 @@ class Allocator {
   /// refresh their internal bookkeeping.
   virtual void release(const Placement& placement);
 
+  /// Restore all per-run state (round-robin cursors, packing cursors,
+  /// seeded RNG streams, counters) to the just-constructed values so a
+  /// reused allocator behaves bit-for-bit like a fresh one.  The shared
+  /// context (cluster/fabric/circuits) is reset separately by its owner.
+  virtual void reset() {}
+
  protected:
   /// Commits boxes + circuits.  `policy` is the link-selection policy of
   /// the network phase.  Rolls everything back on failure.

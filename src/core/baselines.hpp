@@ -23,7 +23,7 @@ namespace risa::core {
 class RandomAllocator : public Allocator {
  public:
   explicit RandomAllocator(AllocContext ctx, std::uint64_t seed = 0x5eed)
-      : Allocator(ctx), rng_(seed) {}
+      : Allocator(ctx), seed_(seed), rng_(seed) {}
 
   [[nodiscard]] std::string_view name() const noexcept override {
     return "RANDOM";
@@ -32,7 +32,10 @@ class RandomAllocator : public Allocator {
   [[nodiscard]] Result<Placement, DropReason> try_place(
       const wl::VmRequest& vm) override;
 
+  void reset() override { rng_ = Rng(seed_); }
+
  private:
+  std::uint64_t seed_;
   Rng rng_;
 };
 

@@ -1,5 +1,6 @@
 #include "core/risa.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "core/nulb.hpp"
@@ -19,6 +20,13 @@ RisaAllocator::RisaAllocator(AllocContext ctx, RisaOptions options)
   }
   cursors_.assign(this->ctx().cluster->num_racks(),
                   PerResource<std::uint32_t>{0, 0, 0});
+}
+
+void RisaAllocator::reset() {
+  rr_next_rack_ = 0;
+  fallbacks_ = 0;
+  std::fill(cursors_.begin(), cursors_.end(),
+            PerResource<std::uint32_t>{0, 0, 0});
 }
 
 std::vector<RackId> RisaAllocator::intra_rack_pool(const UnitVector& units) const {

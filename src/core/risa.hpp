@@ -66,6 +66,8 @@ class RisaAllocator : public Allocator {
   [[nodiscard]] Result<Placement, DropReason> try_place(
       const wl::VmRequest& vm) override;
 
+  void reset() override;
+
   /// Number of placements that took the SUPER_RACK/NULB fallback path.
   [[nodiscard]] std::uint64_t fallback_count() const noexcept {
     return fallbacks_;

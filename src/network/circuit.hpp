@@ -55,6 +55,15 @@ class CircuitTable {
 
   [[nodiscard]] std::size_t active_count() const noexcept { return active_; }
 
+  /// Drop every record and restart circuit-id numbering WITHOUT releasing
+  /// bandwidth -- only valid after the fabric itself has been reset (the
+  /// engine-reuse path).  The hash table's bucket array is retained.
+  void clear() noexcept {
+    by_vm_.clear();
+    active_ = 0;
+    next_id_ = 0;
+  }
+
   /// Circuits held by one VM (empty when none).
   [[nodiscard]] std::vector<const Circuit*> circuits_of(VmId vm) const;
 

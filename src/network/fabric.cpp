@@ -1,5 +1,6 @@
 #include "network/fabric.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/string_util.hpp"
@@ -224,6 +225,18 @@ MbitsPerSec Fabric::rack_intra_available(RackId rack) const {
     throw std::out_of_range("Fabric: bad rack id");
   }
   return rack_intra_available_[rack.value()];
+}
+
+void Fabric::reset() {
+  intra_allocated_ = 0;
+  inter_allocated_ = 0;
+  std::fill(rack_intra_available_.begin(), rack_intra_available_.end(), 0);
+  for (Link& l : links_) {
+    l.reset();
+    if (l.kind() == LinkKind::BoxUplink) {
+      rack_intra_available_[l.rack().value()] += l.capacity();
+    }
+  }
 }
 
 void Fabric::check_invariants() const {

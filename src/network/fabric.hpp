@@ -156,6 +156,11 @@ class Fabric {
   /// boxes in that rack).  RISA's AVAIL_INTRA_RACK_NET filter.
   [[nodiscard]] MbitsPerSec rack_intra_available(RackId rack) const;
 
+  /// Restore every link to pristine (no reservations, no failures) and
+  /// rebuild the aggregates, reusing all existing storage -- the
+  /// engine-reuse path.  O(links) with zero heap allocation.
+  void reset();
+
   /// Verifies aggregates against recomputation; throws on divergence.
   void check_invariants() const;
 

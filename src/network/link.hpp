@@ -74,6 +74,12 @@ class Link {
   /// Return bandwidth; throws std::logic_error on over-release (caller bug).
   void release(MbitsPerSec bw);
 
+  /// Restore the pristine state (no reservations, not failed) in place.
+  void reset() noexcept {
+    allocated_ = 0;
+    failed_ = false;
+  }
+
  private:
   LinkId id_;
   LinkKind kind_;

@@ -8,21 +8,37 @@ namespace risa::sim {
 Engine::Engine(const Scenario& scenario, const std::string& algorithm)
     : scenario_(scenario), algorithm_(algorithm) {
   scenario_.validate();
-  reset();
-}
-
-void Engine::reset() {
   cluster_ = std::make_unique<topo::Cluster>(scenario_.cluster);
   fabric_ = std::make_unique<net::Fabric>(scenario_.cluster, scenario_.fabric);
   router_ = std::make_unique<net::Router>(*fabric_);
   circuits_ = std::make_unique<net::CircuitTable>(*router_);
+  allocator_ = core::make_allocator(algorithm_, context(), scenario_.allocator);
+}
+
+core::AllocContext Engine::context() noexcept {
   core::AllocContext ctx;
   ctx.cluster = cluster_.get();
   ctx.fabric = fabric_.get();
   ctx.router = router_.get();
   ctx.circuits = circuits_.get();
   ctx.bandwidth = scenario_.bandwidth;
-  allocator_ = core::make_allocator(algorithm_, ctx, scenario_.allocator);
+  return ctx;
+}
+
+void Engine::set_algorithm(const std::string& algorithm) {
+  if (algorithm == algorithm_) return;
+  // make_allocator validates the name; algorithm_ only changes on success.
+  allocator_ = core::make_allocator(algorithm, context(), scenario_.allocator);
+  algorithm_ = algorithm;
+}
+
+void Engine::reset() {
+  // Order matters only for clarity: circuits are records over fabric state,
+  // so both are wiped; nothing here touches the heap-allocated topology.
+  cluster_->reset();
+  fabric_->reset();
+  circuits_->clear();
+  allocator_->reset();
 }
 
 SimMetrics Engine::run(const wl::Workload& workload,
@@ -180,9 +196,14 @@ std::vector<SimMetrics> run_all_algorithms(const Scenario& scenario,
                                            const wl::Workload& workload,
                                            const std::string& workload_label) {
   std::vector<SimMetrics> out;
+  std::unique_ptr<Engine> engine;  // one stack, rebound per algorithm
   for (const std::string& algo : core::algorithm_names()) {
-    Engine engine(scenario, algo);
-    out.push_back(engine.run(workload, workload_label));
+    if (engine == nullptr) {
+      engine = std::make_unique<Engine>(scenario, algo);
+    } else {
+      engine->set_algorithm(algo);
+    }
+    out.push_back(engine->run(workload, workload_label));
   }
   return out;
 }

@@ -28,13 +28,32 @@ namespace risa::sim {
 
 class Engine {
  public:
-  /// Build a fresh stack for `scenario` with the named algorithm.
+  /// Build the stack for `scenario` with the named algorithm.  The heavy
+  /// components (cluster, fabric, router, circuit table) are built once
+  /// here and then *reused* across runs: run() wipes occupancy in place
+  /// instead of reallocating, so back-to-back runs are allocation-cheap
+  /// and a pool of engines can be pinned per worker thread (sim/sweep).
   Engine(const Scenario& scenario, const std::string& algorithm);
 
-  /// Replay `workload`; returns the collected metrics.  The engine is
-  /// single-shot per run: each call starts from a fresh cluster state.
+  /// Replay `workload`; returns the collected metrics.  Every call starts
+  /// from a pristine cluster state (reset() runs first), and a reused
+  /// engine produces bit-identical results to a freshly constructed one.
   [[nodiscard]] SimMetrics run(const wl::Workload& workload,
                                const std::string& workload_label);
+
+  /// Swap the scheduling algorithm without rebuilding the topology stack.
+  /// Only the allocator is reconstructed (a few hundred bytes), and only
+  /// when the name actually changes.
+  void set_algorithm(const std::string& algorithm);
+  [[nodiscard]] const std::string& algorithm() const noexcept {
+    return algorithm_;
+  }
+  [[nodiscard]] const Scenario& scenario() const noexcept { return scenario_; }
+
+  /// Restore the pristine state in place: box occupancy, link reservations,
+  /// circuit records and allocator cursors all return to their
+  /// just-constructed values with zero topology reallocation.
+  void reset();
 
   /// Optional time-series recording: when set, every placement/departure
   /// appends a TimelinePoint.  The pointer must outlive run(); pass nullptr
@@ -57,7 +76,7 @@ class Engine {
   [[nodiscard]] core::Allocator& allocator() noexcept { return *allocator_; }
 
  private:
-  void reset();
+  [[nodiscard]] core::AllocContext context() noexcept;
 
   Scenario scenario_;
   std::string algorithm_;
@@ -72,7 +91,9 @@ class Engine {
 
 /// Convenience: run all four paper algorithms over the same workload with
 /// identical scenario parameters; returns metrics in paper order
-/// (NULB, NALB, RISA, RISA-BF).
+/// (NULB, NALB, RISA, RISA-BF).  One engine stack is built and reused
+/// across the four runs (set_algorithm + in-place reset) -- no per-
+/// algorithm topology rebuild.  For parallel matrices use sim/sweep.
 [[nodiscard]] std::vector<SimMetrics> run_all_algorithms(
     const Scenario& scenario, const wl::Workload& workload,
     const std::string& workload_label);

@@ -3,7 +3,9 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string_view>
 
+#include "common/csv.hpp"
 #include "common/histogram.hpp"
 #include "common/string_util.hpp"
 #include "sim/engine.hpp"
@@ -167,6 +169,188 @@ SchedulerBenchEntry scheduler_bench_entry(const Scenario& scenario,
     e.p99_ns = h.percentile(99.0);
   }
   return e;
+}
+
+namespace {
+
+/// The unified per-cell field list, shared verbatim by the JSON and CSV
+/// emitters so the two formats cannot drift apart.
+struct CellField {
+  const char* key;
+  std::string (*render)(const SweepResult&);
+};
+
+std::string render_u64(std::uint64_t v) { return std::to_string(v); }
+
+const CellField kCellFields[] = {
+    {"scenario", [](const SweepResult& r) { return r.scenario; }},
+    {"workload", [](const SweepResult& r) { return r.metrics.workload; }},
+    {"seed", [](const SweepResult& r) { return render_u64(r.seed); }},
+    {"algorithm", [](const SweepResult& r) { return r.metrics.algorithm; }},
+    {"total_vms",
+     [](const SweepResult& r) { return render_u64(r.metrics.total_vms); }},
+    {"placed",
+     [](const SweepResult& r) { return render_u64(r.metrics.placed); }},
+    {"dropped",
+     [](const SweepResult& r) { return render_u64(r.metrics.dropped); }},
+    {"inter_rack",
+     [](const SweepResult& r) {
+       return render_u64(r.metrics.inter_rack_placements);
+     }},
+    {"any_pair_inter_rack",
+     [](const SweepResult& r) {
+       return render_u64(r.metrics.any_pair_inter_rack);
+     }},
+    {"fallbacks",
+     [](const SweepResult& r) {
+       return render_u64(r.metrics.fallback_placements);
+     }},
+    {"avg_cpu_util",
+     [](const SweepResult& r) {
+       return strformat("%.6f", r.metrics.avg_utilization.cpu());
+     }},
+    {"avg_ram_util",
+     [](const SweepResult& r) {
+       return strformat("%.6f", r.metrics.avg_utilization.ram());
+     }},
+    {"avg_sto_util",
+     [](const SweepResult& r) {
+       return strformat("%.6f", r.metrics.avg_utilization.storage());
+     }},
+    {"avg_intra_net_util",
+     [](const SweepResult& r) {
+       return strformat("%.6f", r.metrics.avg_intra_net_utilization);
+     }},
+    {"avg_inter_net_util",
+     [](const SweepResult& r) {
+       return strformat("%.6f", r.metrics.avg_inter_net_utilization);
+     }},
+    {"avg_optical_power_w",
+     [](const SweepResult& r) {
+       return strformat("%.3f", r.metrics.avg_optical_power_w);
+     }},
+    {"cpu_ram_rtt_ns",
+     [](const SweepResult& r) {
+       return strformat("%.3f", r.metrics.cpu_ram_latency_ns.count() > 0
+                                    ? r.metrics.cpu_ram_latency_ns.mean()
+                                    : 0.0);
+     }},
+    {"sched_s",
+     [](const SweepResult& r) {
+       return strformat("%.6f", r.metrics.scheduler_exec_seconds);
+     }},
+    {"horizon_tu",
+     [](const SweepResult& r) {
+       return strformat("%.6f", r.metrics.horizon_tu);
+     }},
+};
+
+/// Keys whose values are emitted as JSON strings rather than numbers.
+[[nodiscard]] bool is_string_field(const char* key) {
+  const std::string_view k = key;
+  return k == "scenario" || k == "workload" || k == "algorithm";
+}
+
+}  // namespace
+
+std::string sweep_json(const std::string& benchmark,
+                       const std::vector<SweepResult>& results) {
+  std::ostringstream os;
+  os << "{\n  \"benchmark\": \"" << benchmark << "\",\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    os << "    {";
+    bool first = true;
+    for (const CellField& f : kCellFields) {
+      if (!first) os << ", ";
+      first = false;
+      os << '"' << f.key << "\": ";
+      if (is_string_field(f.key)) {
+        os << '"' << f.render(results[i]) << '"';
+      } else {
+        os << f.render(results[i]);
+      }
+    }
+    os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+bool write_sweep_json(const std::string& path, const std::string& benchmark,
+                      const std::vector<SweepResult>& results) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "write_sweep_json: cannot open " << path << "\n";
+    return false;
+  }
+  out << sweep_json(benchmark, results);
+  out.flush();
+  if (!out) {
+    std::cerr << "write_sweep_json: write to " << path << " failed\n";
+    return false;
+  }
+  return true;
+}
+
+std::string sweep_csv(const std::vector<SweepResult>& results) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  std::vector<std::string> row;
+  for (const CellField& f : kCellFields) row.emplace_back(f.key);
+  writer.write_row(row);
+  for (const SweepResult& r : results) {
+    row.clear();
+    for (const CellField& f : kCellFields) row.push_back(f.render(r));
+    writer.write_row(row);
+  }
+  return os.str();
+}
+
+bool write_sweep_csv(const std::string& path,
+                     const std::vector<SweepResult>& results) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "write_sweep_csv: cannot open " << path << "\n";
+    return false;
+  }
+  out << sweep_csv(results);
+  out.flush();
+  if (!out) {
+    std::cerr << "write_sweep_csv: write to " << path << " failed\n";
+    return false;
+  }
+  return true;
+}
+
+std::vector<SchedulerBenchEntry> scheduler_bench_entries(
+    const std::vector<SweepResult>& results) {
+  std::vector<SchedulerBenchEntry> entries;
+  entries.reserve(results.size());
+  for (const SweepResult& r : results) {
+    if (r.latency_ns.empty() && r.metrics.total_vms > 0) {
+      throw std::invalid_argument(
+          "scheduler_bench_entries: sweep ran without record_latency");
+    }
+    SchedulerBenchEntry e;
+    e.workload = r.metrics.workload;
+    e.algorithm = r.metrics.algorithm;
+    e.total_vms = r.metrics.total_vms;
+    e.placed = r.metrics.placed;
+    e.dropped = r.metrics.dropped;
+    e.inter_rack = r.metrics.inter_rack_placements;
+    e.sched_s = r.metrics.scheduler_exec_seconds;
+    e.placements_per_sec =
+        e.sched_s > 0.0
+            ? static_cast<double>(r.metrics.total_vms) / e.sched_s
+            : 0.0;
+    if (!r.latency_ns.empty()) {
+      const Histogram h = Histogram::from_data(r.latency_ns, 1000);
+      e.p50_ns = h.percentile(50.0);
+      e.p99_ns = h.percentile(99.0);
+    }
+    entries.push_back(std::move(e));
+  }
+  return entries;
 }
 
 std::string scheduler_bench_json(const std::string& benchmark,

@@ -8,6 +8,7 @@
 #include "common/table.hpp"
 #include "sim/metrics.hpp"
 #include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
 #include "workload/vm.hpp"
 
 namespace risa::sim {
@@ -37,6 +38,23 @@ namespace risa::sim {
 /// Full diagnostic dump of every collected metric.
 [[nodiscard]] TextTable full_metrics_table(const std::vector<SimMetrics>& runs);
 
+// --- Unified sweep emitters --------------------------------------------------
+//
+// Every driver (figure benches, ablations, examples) emits machine-readable
+// results through these two functions, so output formats live in exactly one
+// place.  One row/object per sweep cell, stable key order, full SimMetrics.
+
+/// JSON document: {"benchmark": ..., "cells": [...]}.
+[[nodiscard]] std::string sweep_json(const std::string& benchmark,
+                                     const std::vector<SweepResult>& results);
+bool write_sweep_json(const std::string& path, const std::string& benchmark,
+                      const std::vector<SweepResult>& results);
+
+/// CSV: header + one row per cell (same fields as sweep_json).
+[[nodiscard]] std::string sweep_csv(const std::vector<SweepResult>& results);
+bool write_sweep_csv(const std::string& path,
+                     const std::vector<SweepResult>& results);
+
 // --- Scheduler perf baseline (BENCH_scheduler*.json) ------------------------
 //
 // The fig11/fig12 bench binaries emit a machine-readable baseline so every
@@ -63,6 +81,13 @@ struct SchedulerBenchEntry {
 [[nodiscard]] SchedulerBenchEntry scheduler_bench_entry(
     const Scenario& scenario, const std::string& algorithm,
     const wl::Workload& workload, const std::string& label);
+
+/// Distill baseline entries from a latency-recording sweep (the unified
+/// path: SweepRunner(1) with record_latency keeps the timed sections both
+/// single-threaded and serial, so sched_s stays comparable across
+/// baselines).  Throws std::invalid_argument when latency was not recorded.
+[[nodiscard]] std::vector<SchedulerBenchEntry> scheduler_bench_entries(
+    const std::vector<SweepResult>& results);
 
 /// Serialize entries as a stable-keyed JSON document.
 [[nodiscard]] std::string scheduler_bench_json(

@@ -1,0 +1,136 @@
+// The scenario-sweep layer: turns "one engine, one run" into "a
+// deterministic matrix of (scenario x workload x seed x algorithm) cells
+// executed on a thread pool".
+//
+// Determinism contract: every cell is a self-contained computation -- its
+// workload is generated from the cell's own seed (no shared RNG stream is
+// consumed across cells), the engine it runs on is reset to a pristine
+// state first, and its result is written to a slot owned by that cell
+// alone.  SweepRunner therefore yields byte-identical SimMetrics at every
+// thread count, including 1 (the single timing field,
+// scheduler_exec_seconds, is wall-clock and excluded from that contract;
+// see metrics_fingerprint).  Per-cell scheduler timing itself stays valid
+// under the pool because each cell's discrete-event loop -- including the
+// timed Allocator::try_place section -- executes on exactly one thread;
+// drivers reproducing Figures 11/12 run the sweep serially so concurrent
+// cells cannot inflate each other's wall-clock either (DESIGN.md §6).
+//
+// Engine pooling: each worker lane owns one reusable Engine, rebound to a
+// cell's algorithm via set_algorithm (allocator swap, no topology rebuild)
+// and rebuilt only when the lane crosses into a different scenario.  Cells
+// are expanded scenario-major so lanes cross scenarios O(scenarios) times,
+// not O(cells).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+#include "sim/scenario.hpp"
+#include "sim/timeline.hpp"
+#include "workload/vm.hpp"
+
+namespace risa::sim {
+
+/// A named workload generator.  `generate` must be a pure function of the
+/// seed (thread-safe by construction: each call owns its RNG), which is
+/// what makes the per-cell seeding scheme deterministic under threading.
+struct WorkloadSpec {
+  std::string label;
+  std::function<wl::Workload(std::uint64_t seed)> generate;
+
+  /// The paper's 2500-VM synthetic random workload (§5.1); `count`
+  /// overrides the VM count when positive.
+  [[nodiscard]] static WorkloadSpec synthetic(std::size_t count = 0);
+  /// One Azure-like subset (§5.2): "azure-3000" | "azure-5000" |
+  /// "azure-7500" (matching by label substring, case-insensitive).
+  [[nodiscard]] static WorkloadSpec azure(const std::string& subset);
+  /// All three Azure-like subsets in paper order.
+  [[nodiscard]] static std::vector<WorkloadSpec> azure_all();
+  /// A pre-materialized workload; the seed is ignored.  The workload is
+  /// shared (read-only) across all cells that use it.
+  [[nodiscard]] static WorkloadSpec fixed(std::string label, wl::Workload w);
+};
+
+/// The declarative matrix.  Cells expand in scenario-major order:
+///   for scenario / for workload / for seed / for algorithm
+/// which keeps per-lane engine rebuilds rare and matches the row order the
+/// paper's figure tables print (workload outer, algorithm inner).
+struct SweepSpec {
+  std::vector<std::pair<std::string, Scenario>> scenarios;
+  std::vector<WorkloadSpec> workloads;
+  std::vector<std::uint64_t> seeds;
+  std::vector<std::string> algorithms;
+  bool record_timeline = false;  ///< fill SweepResult::timeline per cell
+  bool record_latency = false;   ///< fill SweepResult::latency_ns per cell
+
+  void validate() const;
+
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return scenarios.size() * workloads.size() * seeds.size() *
+           algorithms.size();
+  }
+
+  /// Flat index of one cell in expansion (= result) order.
+  [[nodiscard]] std::size_t cell_index(std::size_t scenario,
+                                       std::size_t workload, std::size_t seed,
+                                       std::size_t algorithm) const noexcept {
+    return ((scenario * workloads.size() + workload) * seeds.size() + seed) *
+               algorithms.size() +
+           algorithm;
+  }
+
+  /// The full figure-suite matrix (Figures 5, 7-12 + §5.1 text): the paper
+  /// scenario, all four algorithms, Synthetic + the three Azure subsets.
+  [[nodiscard]] static SweepSpec figure_matrix(
+      std::uint64_t seed /* = kDefaultSeed (sim/experiments.hpp) */);
+};
+
+/// One executed cell, in expansion order.
+struct SweepResult {
+  std::size_t cell = 0;  ///< flat index (== position in the result vector)
+  std::size_t scenario_index = 0;
+  std::size_t workload_index = 0;
+  std::size_t seed_index = 0;
+  std::size_t algorithm_index = 0;
+  std::string scenario;   ///< scenario label
+  std::uint64_t seed = 0; ///< the cell's seed (workload RNG stream root)
+  SimMetrics metrics;     ///< carries the workload label and algorithm name
+  Timeline timeline;                ///< populated when record_timeline
+  std::vector<double> latency_ns;  ///< populated when record_latency
+};
+
+class SweepRunner {
+ public:
+  /// `threads` <= 0 resolves via default_thread_count() (RISA_THREADS env
+  /// override, else hardware concurrency).  Pass 1 for timing-faithful
+  /// serial execution (Figures 11/12).
+  explicit SweepRunner(int threads = 0);
+
+  [[nodiscard]] int threads() const noexcept { return threads_; }
+
+  /// Execute every cell; results are indexed by SweepSpec::cell_index and
+  /// independent of the thread count.  Throws the first worker exception.
+  [[nodiscard]] std::vector<SweepResult> run(const SweepSpec& spec) const;
+
+ private:
+  int threads_;
+};
+
+/// Extract just the metrics, in cell order -- the shape the report tables
+/// consume.
+[[nodiscard]] std::vector<SimMetrics> metrics_of(
+    const std::vector<SweepResult>& results);
+
+/// Canonical bit-exact digest of one SimMetrics, excluding the wall-clock
+/// field scheduler_exec_seconds (doubles are rendered from their IEEE-754
+/// bit patterns, so two digests match iff the metrics match bit-for-bit).
+/// Used by the determinism tests and available to drivers for run-to-run
+/// verification.
+[[nodiscard]] std::string metrics_fingerprint(const SimMetrics& m);
+
+}  // namespace risa::sim

@@ -95,6 +95,14 @@ class Box {
   /// Test/bench hook: snapshot of per-brick availability.
   [[nodiscard]] std::vector<Units> available_by_brick() const;
 
+  /// Restore the pristine state (all bricks free, online) in place -- the
+  /// engine-reuse path; no storage is reallocated.
+  void reset() noexcept {
+    for (Units& a : brick_allocated_) a = 0;
+    allocated_ = 0;
+    offline_ = false;
+  }
+
  private:
   BoxId id_;
   RackId rack_;

@@ -249,6 +249,16 @@ void Cluster::refresh_rack_aggregates(RackId rack_id, ResourceType t) {
   index_.update(rack_id, t, max_avail);
 }
 
+void Cluster::reset() {
+  for (Box& b : boxes_) b.reset();
+  total_available_ = total_capacity_;
+  for (std::uint32_t r = 0; r < config_.racks; ++r) {
+    for (ResourceType t : kAllResources) {
+      refresh_rack_aggregates(RackId{r}, t);
+    }
+  }
+}
+
 ClusterSnapshot Cluster::snapshot() const {
   ClusterSnapshot snap;
   snap.brick_available.reserve(boxes_.size());

@@ -213,6 +213,11 @@ class Cluster {
   [[nodiscard]] ClusterSnapshot snapshot() const;
   void restore(const ClusterSnapshot& snap);
 
+  /// Restore every box to pristine (all units free, online) and rebuild the
+  /// aggregates, reusing all existing storage -- the engine-reuse path.
+  /// O(boxes) with zero heap allocation, vs. a full reconstruction.
+  void reset();
+
   /// Verifies every aggregate against a from-scratch recomputation; throws
   /// std::logic_error on divergence.  Used by tests and debug builds.
   void check_invariants() const;

@@ -1,0 +1,78 @@
+// ThreadPool: completeness, lane stability, exception transparency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace risa {
+namespace {
+
+TEST(ThreadPool, RunIndexedVisitsEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.run_indexed(kN, [&](std::size_t, std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, LanesStayWithinPoolSize) {
+  ThreadPool pool(4);
+  ASSERT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> lane_hits(4);
+  pool.run_indexed(200, [&](std::size_t lane, std::size_t) {
+    ASSERT_LT(lane, 4u);
+    ++lane_hits[lane];
+  });
+  int total = 0;
+  for (auto& h : lane_hits) total += h.load();
+  EXPECT_EQ(total, 200);
+}
+
+TEST(ThreadPool, ZeroItemsIsHarmless) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.run_indexed(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, FirstJobExceptionIsRethrownOnCaller) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.run_indexed(50,
+                       [&](std::size_t, std::size_t i) {
+                         if (i == 17) throw std::runtime_error("cell 17");
+                       }),
+      std::runtime_error);
+  // The pool stays usable after a failed batch.
+  std::atomic<int> count{0};
+  pool.run_indexed(10, [&](std::size_t, std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, MoreThreadsThanItemsCompletes) {
+  ThreadPool pool(8);
+  std::atomic<int> count{0};
+  pool.run_indexed(3, [&](std::size_t, std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, SubmitAndWaitDrainsQueue) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&] { ++count; });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 32);
+}
+
+}  // namespace
+}  // namespace risa
