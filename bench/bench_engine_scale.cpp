@@ -1,0 +1,126 @@
+// Engine-scale churn: end-to-end DES throughput as the workload grows
+// from 10k to 500k VMs (google-benchmark harness).
+//
+// Where Figures 11/12 isolate the *policy* (sched_s = time inside
+// Allocator::try_place), this bench measures the *dispatch loop* around
+// it: sim_s (whole Engine::run wall time) and events/sec (one event per
+// arrival plus one per departure).  Under the paper's arrival process the
+// live-VM census is bounded (by lifetime/interarrival, and past ~10k VMs
+// by cluster capacity -- the cluster saturates and placements ride on
+// departures), so larger N means a longer steady-state churn phase at the
+// same heap depth -- exactly the regime the typed calendar + arrival
+// cursor design targets (DESIGN.md §7).
+//
+// Driver mode: `--emit_json[=path]` replays every (count x algorithm)
+// cell once through a serial latency-recording sweep and writes the
+// committed BENCH_engine.json baseline via the unified emitter.
+// CI smoke: `--benchmark_filter=10000$ --benchmark_min_time=...` runs
+// just the smallest count per algorithm.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/registry.hpp"
+#include "sim/engine.hpp"
+#include "sim/experiments.hpp"
+#include "sim/report.hpp"
+#include "sim/sweep.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+constexpr std::size_t kScaleCounts[] = {10'000, 50'000, 100'000, 500'000};
+
+const risa::wl::Workload& workload(std::size_t count) {
+  static std::map<std::size_t, risa::wl::Workload> cache;
+  auto it = cache.find(count);
+  if (it == cache.end()) {
+    risa::wl::SyntheticConfig cfg;
+    cfg.count = count;
+    it = cache.emplace(count, risa::wl::generate_synthetic(
+                                  cfg, risa::sim::kDefaultSeed)).first;
+  }
+  return it->second;
+}
+
+std::string scale_label(std::size_t count) {
+  return "synthetic-" + std::to_string(count);
+}
+
+void run_churn(benchmark::State& state, const char* algo) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const risa::wl::Workload& w = workload(count);
+  risa::sim::Engine engine(risa::sim::Scenario::paper_defaults(), algo);
+  double sim_seconds = 0.0;
+  double sched_seconds = 0.0;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const risa::sim::SimMetrics m = engine.run(w, scale_label(count));
+    sim_seconds += m.sim_wall_seconds;
+    sched_seconds += m.scheduler_exec_seconds;
+    events = m.events_executed;
+    benchmark::DoNotOptimize(m.placed);
+  }
+  state.counters["sim_s"] =
+      benchmark::Counter(sim_seconds, benchmark::Counter::kAvgIterations);
+  state.counters["sched_s"] =
+      benchmark::Counter(sched_seconds, benchmark::Counter::kAvgIterations);
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(events) * static_cast<double>(state.iterations()) /
+          sim_seconds,
+      benchmark::Counter::kDefaults);
+}
+
+void BM_Churn_Nulb(benchmark::State& s) { run_churn(s, "NULB"); }
+void BM_Churn_Nalb(benchmark::State& s) { run_churn(s, "NALB"); }
+void BM_Churn_Risa(benchmark::State& s) { run_churn(s, "RISA"); }
+void BM_Churn_RisaBf(benchmark::State& s) { run_churn(s, "RISA-BF"); }
+
+void scale_args(benchmark::internal::Benchmark* b) {
+  for (std::size_t count : kScaleCounts) {
+    b->Arg(static_cast<std::int64_t>(count));
+  }
+  b->Unit(benchmark::kMillisecond);
+}
+
+// No hardcoded MinTime (see bench_fig11): the CI smoke cap must win.
+BENCHMARK(BM_Churn_Nulb)->Apply(scale_args);
+BENCHMARK(BM_Churn_Nalb)->Apply(scale_args);
+BENCHMARK(BM_Churn_Risa)->Apply(scale_args);
+BENCHMARK(BM_Churn_RisaBf)->Apply(scale_args);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path =
+      risa::sim::consume_emit_json_flag(argc, argv, "BENCH_engine.json");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!json_path.empty()) {
+    // The committed baseline comes from one serial latency-recording sweep
+    // (SweepRunner(1)): each cell's sim_s/sched_s is measured alone, so the
+    // JSON is comparable run to run (DESIGN.md §5-6).
+    risa::sim::SweepSpec spec;
+    spec.scenarios = {{"paper", risa::sim::Scenario::paper_defaults()}};
+    for (std::size_t count : kScaleCounts) {
+      spec.workloads.push_back(risa::sim::WorkloadSpec::fixed(
+          scale_label(count), workload(count)));
+    }
+    spec.seeds = {risa::sim::kDefaultSeed};
+    spec.algorithms = risa::core::algorithm_names();
+    spec.record_latency = true;
+    const auto entries = risa::sim::scheduler_bench_entries(
+        risa::sim::SweepRunner(1).run(spec));
+    if (!risa::sim::write_scheduler_bench_json(json_path, "engine_scale_churn",
+                                               entries)) {
+      return 1;
+    }
+    std::cout << "\nwrote engine-scale baseline: " << json_path << "\n";
+  }
+  return 0;
+}

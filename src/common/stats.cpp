@@ -73,17 +73,17 @@ double Percentiles::percentile(double p) const {
   return samples_[rank - 1];
 }
 
-void CounterSet::increment(const std::string& key, std::int64_t by) {
+void CounterSet::increment(std::string_view key, std::int64_t by) {
   for (auto& [k, v] : items_) {
     if (k == key) {
       v += by;
       return;
     }
   }
-  items_.emplace_back(key, by);
+  items_.emplace_back(std::string(key), by);
 }
 
-std::int64_t CounterSet::get(const std::string& key) const {
+std::int64_t CounterSet::get(std::string_view key) const {
   for (const auto& [k, v] : items_) {
     if (k == key) return v;
   }

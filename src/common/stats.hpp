@@ -16,6 +16,7 @@
 #include <limits>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -104,11 +105,13 @@ class Percentiles {
 };
 
 /// Simple named counter map with deterministic ordering, for drop reasons
-/// and event tallies.
+/// and event tallies.  Keys are taken as string_view so hot callers (the
+/// engine's per-drop accounting) never materialize a std::string: a key is
+/// copied only the first time it appears.
 class CounterSet {
  public:
-  void increment(const std::string& key, std::int64_t by = 1);
-  [[nodiscard]] std::int64_t get(const std::string& key) const;
+  void increment(std::string_view key, std::int64_t by = 1);
+  [[nodiscard]] std::int64_t get(std::string_view key) const;
   [[nodiscard]] const std::vector<std::pair<std::string, std::int64_t>>& items() const noexcept {
     return items_;
   }

@@ -1,0 +1,179 @@
+// Open-addressing hash map from std::uint32_t keys to movable values.
+//
+// Built for the simulation hot paths (DESIGN.md §7): unlike
+// std::unordered_map, which heap-allocates one node per insertion, this map
+// stores slots inline in a single flat array, so steady-state churn
+// (insert on VM placement, erase on departure) performs zero heap
+// allocations once the table has grown to its peak occupancy.  The table
+// only allocates when it rehashes (amortized doubling at 3/4 load), and
+// clear() retains capacity for the engine-reuse path.
+//
+// Collision policy: linear probing with backward-shift deletion (no
+// tombstones, so lookup cost never degrades under sustained churn).  The
+// hash is a Fibonacci multiplier taking the top bits, which spreads the
+// dense sequential VM ids the workloads produce.
+//
+// Key restriction: 0xFFFFFFFF is reserved as the empty-slot sentinel.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace risa {
+
+template <typename V>
+class U32Map {
+ public:
+  static constexpr std::uint32_t kEmptyKey = 0xFFFFFFFFu;
+
+  /// Value for `key`, default-constructed and inserted when absent.
+  V& find_or_insert(std::uint32_t key) {
+    check_key(key);
+    if ((size_ + 1) * 4 > capacity() * 3) grow();
+    std::size_t i = home(key);
+    while (true) {
+      Slot& slot = slots_[i];
+      if (slot.key == key) return slot.value;
+      if (slot.key == kEmptyKey) {
+        slot.key = key;
+        // Slots vacated by erase()/clear() keep their moved-from value;
+        // hand every claimant a freshly constructed one.
+        slot.value = V{};
+        ++size_;
+        return slot.value;
+      }
+      i = next(i);
+    }
+  }
+
+  [[nodiscard]] V* find(std::uint32_t key) noexcept {
+    return const_cast<V*>(std::as_const(*this).find(key));
+  }
+
+  [[nodiscard]] const V* find(std::uint32_t key) const noexcept {
+    if (size_ == 0 || key == kEmptyKey) return nullptr;
+    std::size_t i = home(key);
+    while (true) {
+      const Slot& slot = slots_[i];
+      if (slot.key == key) return &slot.value;
+      if (slot.key == kEmptyKey) return nullptr;
+      i = next(i);
+    }
+  }
+
+  /// Remove `key`; returns false when absent.  Backward-shift deletion:
+  /// every displaced successor in the probe cluster moves one hole closer
+  /// to its home slot, so no tombstones accumulate.
+  bool erase(std::uint32_t key) noexcept {
+    if (size_ == 0 || key == kEmptyKey) return false;
+    std::size_t i = home(key);
+    while (true) {
+      Slot& slot = slots_[i];
+      if (slot.key == kEmptyKey) return false;
+      if (slot.key == key) break;
+      i = next(i);
+    }
+    // i holds the doomed entry; scan the cluster forward, moving back any
+    // entry whose probe distance reaches the hole.
+    std::size_t hole = i;
+    std::size_t probe = i;
+    while (true) {
+      probe = next(probe);
+      const Slot& cand = slots_[probe];
+      if (cand.key == kEmptyKey) break;
+      const std::size_t cand_home = home(cand.key);
+      const std::size_t cand_dist = distance(cand_home, probe);
+      if (cand_dist >= distance(hole, probe)) {
+        slots_[hole] = std::move(slots_[probe]);
+        hole = probe;
+      }
+    }
+    slots_[hole].key = kEmptyKey;
+    slots_[hole].value = V{};  // release value-owned resources eagerly
+    --size_;
+    return true;
+  }
+
+  /// Drop every entry, retaining table capacity.  Stale values stay in
+  /// their slots until find_or_insert reclaims them (see there).
+  void clear() noexcept {
+    if (size_ == 0) return;
+    for (Slot& slot : slots_) slot.key = kEmptyKey;
+    size_ = 0;
+  }
+
+  /// Pre-size so `n` entries fit without rehashing.
+  void reserve(std::size_t n) {
+    std::size_t want = kMinCapacity;
+    while (n * 4 > want * 3) want *= 2;
+    if (want > capacity()) rehash(want);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Invoke `fn(key, const V&)` for every entry, in unspecified order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    if (size_ == 0) return;
+    for (const Slot& slot : slots_) {
+      if (slot.key != kEmptyKey) fn(slot.key, slot.value);
+    }
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 16;  // power of two
+
+  struct Slot {
+    std::uint32_t key = kEmptyKey;
+    V value{};
+  };
+
+  static void check_key(std::uint32_t key) {
+    if (key == kEmptyKey) {
+      throw std::invalid_argument("U32Map: key 0xFFFFFFFF is reserved");
+    }
+  }
+
+  [[nodiscard]] std::size_t home(std::uint32_t key) const noexcept {
+    // Fibonacci hashing; the top log2(capacity) bits index the table.
+    return static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(key) * 0x9E3779B97F4A7C15ull) >> shift_);
+  }
+
+  [[nodiscard]] std::size_t next(std::size_t i) const noexcept {
+    return (i + 1) & (capacity() - 1);
+  }
+
+  /// Cyclic probe distance from `from` forward to `to`.
+  [[nodiscard]] std::size_t distance(std::size_t from,
+                                     std::size_t to) const noexcept {
+    return (to - from) & (capacity() - 1);
+  }
+
+  void grow() { rehash(slots_.empty() ? kMinCapacity : capacity() * 2); }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, Slot{});
+    shift_ = 64;
+    for (std::size_t c = new_capacity; c > 1; c /= 2) --shift_;
+    size_ = 0;
+    for (Slot& slot : old) {
+      if (slot.key == kEmptyKey) continue;
+      std::size_t i = home(slot.key);
+      while (slots_[i].key != kEmptyKey) i = next(i);
+      slots_[i] = std::move(slot);
+      ++size_;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+  unsigned shift_ = 64;  // 64 - log2(capacity); 64 while empty
+};
+
+}  // namespace risa

@@ -1,38 +1,119 @@
-// The event calendar: a binary min-heap keyed on (time, seq).
+// The event calendar: a d-ary min-heap keyed on (time, seq), templated
+// over the event payload.
+//
+//   * BasicCalendar<EventFn>      -- the generic closure calendar behind
+//     des::Simulator (tests, stochastic processes).
+//   * BasicCalendar<std::uint32_t> -- the engine's departures-only heap:
+//     a 24-byte POD entry, so push/pop never touch the allocator once the
+//     backing vector has grown to the peak live-VM count.
+//
+// The heap is hand-rolled (rather than std::priority_queue) for two
+// reasons: pop() moves the entry out instead of copying it (priority_queue
+// only exposes a const top()), and the arity is tunable -- the default 4
+// halves the tree depth, trading a few comparisons per level for
+// cache-friendlier sift paths on large heaps.
+//
+// reset(first_seq) restarts sequence numbering at an arbitrary base: the
+// engine numbers departures starting at the arrival count so the merged
+// arrival-cursor/departure-heap stream preserves the historical global
+// FIFO order (arrivals seeded seq 0..N-1 win every equal-time tie; see
+// DESIGN.md §7).
 #pragma once
 
-#include <queue>
+#include <algorithm>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "des/event.hpp"
 
 namespace risa::des {
 
-class Calendar {
+template <typename Payload, unsigned Arity = 4>
+class BasicCalendar {
+  static_assert(Arity >= 2, "BasicCalendar: arity must be at least 2");
+
  public:
-  void push(SimTime time, EventFn fn) {
-    heap_.push(Event{time, next_seq_++, std::move(fn)});
+  struct Entry {
+    SimTime time = 0.0;
+    std::uint64_t seq = 0;
+    Payload payload{};
+  };
+
+  void push(SimTime time, Payload payload) {
+    heap_.push_back(Entry{time, next_seq_++, std::move(payload)});
+    sift_up(heap_.size() - 1);
   }
 
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
-  [[nodiscard]] SimTime next_time() const { return heap_.top().time; }
+  [[nodiscard]] SimTime next_time() const noexcept { return heap_.front().time; }
+  [[nodiscard]] const Entry& top() const noexcept { return heap_.front(); }
 
-  /// Remove and return the earliest event.
-  [[nodiscard]] Event pop() {
-    // std::priority_queue::top() is const&; move out via const_cast is UB,
-    // so copy the small struct (fn is a shared-state function object; the
-    // copy is cheap relative to event handling).
-    Event e = heap_.top();
-    heap_.pop();
-    return e;
+  /// Remove and return the earliest event (moved out, never copied).
+  [[nodiscard]] Entry pop() {
+    Entry out = std::move(heap_.front());
+    if (heap_.size() > 1) {
+      heap_.front() = std::move(heap_.back());
+      heap_.pop_back();
+      sift_down(0);
+    } else {
+      heap_.pop_back();
+    }
+    return out;
   }
 
-  [[nodiscard]] std::uint64_t scheduled_total() const noexcept { return next_seq_; }
+  /// Drop every entry and restart sequence numbering at `first_seq`; the
+  /// backing vector's capacity is retained (the engine-reuse path).
+  void reset(std::uint64_t first_seq = 0) noexcept {
+    heap_.clear();
+    next_seq_ = first_seq;
+  }
+
+  void reserve(std::size_t capacity) { heap_.reserve(capacity); }
+
+  [[nodiscard]] std::uint64_t scheduled_total() const noexcept {
+    return next_seq_;
+  }
 
  private:
-  std::priority_queue<Event, std::vector<Event>, EventAfter> heap_;
+  /// Min-heap ordering: earliest time first, FIFO within equal times.
+  [[nodiscard]] static bool before(const Entry& a, const Entry& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / Arity;
+      if (!before(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    while (true) {
+      const std::size_t first_child = i * Arity + 1;
+      if (first_child >= n) break;
+      std::size_t best = first_child;
+      const std::size_t end_child = std::min(first_child + Arity, n);
+      for (std::size_t c = first_child + 1; c < end_child; ++c) {
+        if (before(heap_[c], heap_[best])) best = c;
+      }
+      if (!before(heap_[best], heap_[i])) break;
+      std::swap(heap_[i], heap_[best]);
+      i = best;
+    }
+  }
+
+  std::vector<Entry> heap_;
   std::uint64_t next_seq_ = 0;
 };
+
+/// The closure calendar des::Simulator runs on.
+using Calendar = BasicCalendar<EventFn>;
+using Event = Calendar::Entry;
 
 }  // namespace risa::des

@@ -1,11 +1,20 @@
 // Discrete-event primitives.
 //
-// Events are (time, sequence) ordered: the sequence number is a global
+// Events are (time, sequence) ordered: the sequence number is a
 // monotonically increasing counter so simultaneous events execute in
 // scheduling (FIFO) order -- determinism the reproduction depends on.
+//
+// Two event representations share that ordering contract (DESIGN.md §7):
+//   * the generic closure payload (EventFn) used by des::Simulator for
+//     tests and stochastic processes, where flexibility beats throughput;
+//   * typed POD payloads (a bare VM index in the engine's departure
+//     calendar; the arrival/departure distinction is the merge branch in
+//     Engine::run, not a stored tag) used by the simulation hot loop,
+//     where an event must cost zero heap allocations.
+// BasicCalendar (calendar.hpp) is templated over the payload so both ride
+// the same heap implementation and the same (time, seq) tie-breaking.
 #pragma once
 
-#include <cstdint>
 #include <functional>
 
 #include "common/units.hpp"
@@ -15,19 +24,5 @@ namespace risa::des {
 class Simulator;
 
 using EventFn = std::function<void(Simulator&)>;
-
-struct Event {
-  SimTime time = 0.0;
-  std::uint64_t seq = 0;
-  EventFn fn;
-};
-
-/// Min-heap ordering: earliest time first, FIFO within equal times.
-struct EventAfter {
-  [[nodiscard]] bool operator()(const Event& a, const Event& b) const noexcept {
-    if (a.time != b.time) return a.time > b.time;
-    return a.seq > b.seq;
-  }
-};
 
 }  // namespace risa::des

@@ -40,7 +40,7 @@ class Simulator {
       Event e = calendar_.pop();
       now_ = e.time;
       ++executed_;
-      e.fn(*this);
+      e.payload(*this);
     }
     return now_;
   }
@@ -51,7 +51,7 @@ class Simulator {
     Event e = calendar_.pop();
     now_ = e.time;
     ++executed_;
-    e.fn(*this);
+    e.payload(*this);
     return true;
   }
 

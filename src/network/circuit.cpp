@@ -10,7 +10,7 @@ Result<CircuitId, std::string> CircuitTable::establish(VmId vm, FlowKind flow,
     return Err<std::string>{reserved.error()};
   }
   const CircuitId id{next_id_++};
-  VmCircuits& vc = by_vm_[vm.value()];
+  VmCircuits& vc = by_vm_.find_or_insert(vm.value());
   Circuit circuit{id, vm, flow, bw, std::move(path)};
   if (vc.count < kInlineCircuits) {
     vc.inline_circuits[vc.count] = std::move(circuit);
@@ -23,31 +23,30 @@ Result<CircuitId, std::string> CircuitTable::establish(VmId vm, FlowKind flow,
 }
 
 std::size_t CircuitTable::teardown_vm(VmId vm) {
-  const auto it = by_vm_.find(vm.value());
-  if (it == by_vm_.end()) return 0;
-  VmCircuits& vc = it->second;
-  for (std::uint32_t i = 0; i < vc.count && i < kInlineCircuits; ++i) {
-    router_->release(vc.inline_circuits[i].path, vc.inline_circuits[i].bandwidth);
+  VmCircuits* vc = by_vm_.find(vm.value());
+  if (vc == nullptr) return 0;
+  for (std::uint32_t i = 0; i < vc->count && i < kInlineCircuits; ++i) {
+    router_->release(vc->inline_circuits[i].path,
+                     vc->inline_circuits[i].bandwidth);
   }
-  for (const Circuit& c : vc.overflow) {
+  for (const Circuit& c : vc->overflow) {
     router_->release(c.path, c.bandwidth);
   }
-  const std::size_t removed = vc.count;
+  const std::size_t removed = vc->count;
   active_ -= removed;
-  by_vm_.erase(it);
+  by_vm_.erase(vm.value());
   return removed;
 }
 
 std::vector<const Circuit*> CircuitTable::circuits_of(VmId vm) const {
   std::vector<const Circuit*> out;
-  const auto it = by_vm_.find(vm.value());
-  if (it == by_vm_.end()) return out;
-  const VmCircuits& vc = it->second;
-  out.reserve(vc.count);
-  for (std::uint32_t i = 0; i < vc.count && i < kInlineCircuits; ++i) {
-    out.push_back(&vc.inline_circuits[i]);
+  const VmCircuits* vc = by_vm_.find(vm.value());
+  if (vc == nullptr) return out;
+  out.reserve(vc->count);
+  for (std::uint32_t i = 0; i < vc->count && i < kInlineCircuits; ++i) {
+    out.push_back(&vc->inline_circuits[i]);
   }
-  for (const Circuit& c : vc.overflow) out.push_back(&c);
+  for (const Circuit& c : vc->overflow) out.push_back(&c);
   return out;
 }
 

@@ -5,15 +5,22 @@
 // path; teardown releases every hop.  The table is the source of truth for
 // "which optical resources does VM x hold", which the photonic power model
 // and the departure path of the simulator both consume.
+//
+// Storage is a flat open-addressing map (common/u32_map.hpp) keyed by VM
+// id: establish/teardown churn performs zero heap allocations once the
+// table has grown to the run's peak live-VM count, which keeps the timed
+// scheduler section (try_place -> commit -> establish) allocation-free in
+// steady state (DESIGN.md §7).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/expected.hpp"
 #include "common/types.hpp"
+#include "common/u32_map.hpp"
 #include "common/units.hpp"
 #include "network/path.hpp"
 #include "network/routing.hpp"
@@ -57,32 +64,48 @@ class CircuitTable {
 
   /// Drop every record and restart circuit-id numbering WITHOUT releasing
   /// bandwidth -- only valid after the fabric itself has been reset (the
-  /// engine-reuse path).  The hash table's bucket array is retained.
+  /// engine-reuse path).  The flat table's slot array is retained.
   void clear() noexcept {
     by_vm_.clear();
     active_ = 0;
     next_id_ = 0;
   }
 
-  /// Circuits held by one VM (empty when none).
+  /// Invoke `fn(const Circuit&)` for each circuit `vm` holds, in
+  /// establishment order, without allocating.  The engine's placement path
+  /// and the power ledger consume circuits through this.
+  template <typename Fn>
+  void for_each_circuit_of(VmId vm, Fn&& fn) const {
+    const VmCircuits* vc = by_vm_.find(vm.value());
+    if (vc == nullptr) return;
+    for (std::uint32_t i = 0; i < vc->count && i < kInlineCircuits; ++i) {
+      fn(vc->inline_circuits[i]);
+    }
+    for (const Circuit& c : vc->overflow) fn(c);
+  }
+
+  /// Circuits held by one VM (empty when none).  Allocates the returned
+  /// vector, and the pointers are invalidated by any later establish or
+  /// teardown (the flat table relocates slots) -- test/diagnostic
+  /// convenience; hot paths use for_each_circuit_of.
   [[nodiscard]] std::vector<const Circuit*> circuits_of(VmId vm) const;
 
   /// Iterate all active circuits (unspecified order).
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (const auto& [vm, vc] : by_vm_) {
+    by_vm_.for_each([&](std::uint32_t, const VmCircuits& vc) {
       for (std::uint32_t i = 0; i < vc.count && i < kInlineCircuits; ++i) {
         fn(vc.inline_circuits[i]);
       }
       for (const Circuit& c : vc.overflow) fn(c);
-    }
+    });
   }
 
  private:
   /// A VM holds two circuits (CPU-RAM, RAM-storage) in every current
-  /// scenario, stored inline in the single VM-keyed hash node so the
-  /// placement path costs one hash insertion, not three.  More circuits
-  /// per VM (future multi-flow models) spill to the overflow vector.
+  /// scenario, stored inline in the single VM-keyed table slot so the
+  /// placement path costs one probe, not three.  More circuits per VM
+  /// (future multi-flow models) spill to the overflow vector.
   static constexpr std::uint32_t kInlineCircuits = 2;
   struct VmCircuits {
     std::uint32_t count = 0;
@@ -91,7 +114,7 @@ class CircuitTable {
   };
 
   Router* router_;
-  std::unordered_map<std::uint32_t, VmCircuits> by_vm_;  // by vm id
+  U32Map<VmCircuits> by_vm_;  // by vm id
   std::size_t active_ = 0;
   std::uint32_t next_id_ = 0;
 };

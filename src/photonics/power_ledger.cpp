@@ -43,16 +43,15 @@ VmEnergy PowerLedger::charge_circuit(const net::Circuit& circuit,
   return e;
 }
 
-VmEnergy PowerLedger::charge_vm(
-    const std::vector<const net::Circuit*>& circuits, double lifetime_tu) {
+VmEnergy PowerLedger::charge_vm(const net::CircuitTable& table, VmId vm,
+                                double lifetime_tu) {
   VmEnergy sum;
-  for (const net::Circuit* c : circuits) {
-    if (c == nullptr) throw std::invalid_argument("charge_vm: null circuit");
-    const VmEnergy e = charge_circuit(*c, lifetime_tu);
+  table.for_each_circuit_of(vm, [&](const net::Circuit& c) {
+    const VmEnergy e = charge_circuit(c, lifetime_tu);
     sum.switch_switching_j += e.switch_switching_j;
     sum.switch_trimming_j += e.switch_trimming_j;
     sum.transceiver_j += e.transceiver_j;
-  }
+  });
   return sum;
 }
 

@@ -57,8 +57,10 @@ class PowerLedger {
   /// hop.  Returns the decomposition for metrics.
   VmEnergy charge_circuit(const net::Circuit& circuit, double lifetime_tu);
 
-  /// Convenience: charge both circuits of a placed VM.
-  VmEnergy charge_vm(const std::vector<const net::Circuit*>& circuits,
+  /// Charge every circuit `vm` currently holds in `table` (both circuits
+  /// of a placed VM), allocation-free via
+  /// CircuitTable::for_each_circuit_of.
+  VmEnergy charge_vm(const net::CircuitTable& table, VmId vm,
                      double lifetime_tu);
 
   [[nodiscard]] double total_energy_j() const noexcept { return total_.total_j(); }

@@ -1,6 +1,8 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <numeric>
 #include <stdexcept>
 
 namespace risa::sim {
@@ -43,6 +45,9 @@ void Engine::reset() {
 
 SimMetrics Engine::run(const wl::Workload& workload,
                        const std::string& workload_label) {
+  using Clock = std::chrono::steady_clock;
+  const auto run_t0 = Clock::now();
+
   reset();
 
   SimMetrics m;
@@ -63,18 +68,57 @@ SimMetrics Engine::run(const wl::Workload& workload,
     inter_util.update(t, fabric_->inter_utilization());
   };
 
-  std::unordered_map<std::uint32_t, core::Placement> live;
-  live.reserve(workload.size());
+  const std::size_t n = workload.size();
+
+  // Fail fast on malformed input, before any event mutates state: a
+  // negative lifetime would put a departure before its own arrival.
+  for (const wl::VmRequest& vm : workload) {
+    if (vm.lifetime < 0) {
+      throw std::invalid_argument("Engine: negative lifetime in workload");
+    }
+  }
+
+  // Arrival cursor: workload indices in (arrival, index) order.  The
+  // generators emit cumulative-gap arrivals, so the common case is a
+  // cheap is_sorted pass over an identity permutation; unsorted inputs
+  // pay one in-place sort.  Index order breaks ties, which equals the
+  // historical calendar order (arrival seq == workload index).
+  arrival_order_.resize(n);
+  std::iota(arrival_order_.begin(), arrival_order_.end(), 0u);
+  if (!std::is_sorted(workload.begin(), workload.end(),
+                      [](const wl::VmRequest& a, const wl::VmRequest& b) {
+                        return a.arrival < b.arrival;
+                      })) {
+    std::sort(arrival_order_.begin(), arrival_order_.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                if (workload[a].arrival != workload[b].arrival) {
+                  return workload[a].arrival < workload[b].arrival;
+                }
+                return a < b;
+              });
+  }
+
+  // Dense live-VM tables, indexed by workload VM index.  resize() only
+  // grows across reuse; the per-run O(N) flag clear replaces 2N hash-map
+  // operations with a memset.
+  if (placement_slots_.size() < n) placement_slots_.resize(n);
+  live_.assign(n, 0);
+  std::size_t live_count = 0;
+
+  // Departures restart their sequence numbering at N so every equal-time
+  // tie against a pending arrival (seq = workload index < N) resolves in
+  // the arrival's favor -- the exact order the closure calendar produced.
+  departures_.reset(/*first_seq=*/n);
 
   // Instantaneous optical holding power, maintained incrementally for the
   // timeline (per-VM deltas computed at placement/departure).
   double holding_power_w = 0.0;
-  std::unordered_map<std::uint32_t, double> holding_power_by_vm;
+  if (timeline_ != nullptr) holding_power_by_vm_.assign(n, 0.0);
   auto record_timeline = [&](SimTime t) {
     if (timeline_ == nullptr) return;
     TimelinePoint p;
     p.time = t;
-    p.active_vms = live.size();
+    p.active_vms = live_count;
     p.placed_total = m.placed;
     p.dropped_total = m.dropped;
     for (ResourceType ty : kAllResources) {
@@ -86,17 +130,27 @@ SimMetrics Engine::run(const wl::Workload& workload,
     timeline_->record(p);
   };
 
-  des::Simulator sim;
   sample_signals(0.0);
 
-  using Clock = std::chrono::steady_clock;
   std::chrono::nanoseconds sched_time{0};
+  SimTime now = 0.0;
+  std::size_t cursor = 0;
 
-  // Closures capture an index into `workload` (which outlives the event
-  // loop) instead of copying the VmRequest into every scheduled event.
-  for (std::size_t vm_index = 0; vm_index < workload.size(); ++vm_index) {
-    sim.schedule_at(workload[vm_index].arrival, [&, vm_index](des::Simulator& s) {
+  // The merged event loop.  Next event = min over the arrival cursor head
+  // (time = arrival, seq = index) and the departure heap top; at equal
+  // times the arrival's smaller seq wins, so the comparison reduces to
+  // arrival_time <= departure_time.
+  while (cursor < n || !departures_.empty()) {
+    const bool take_arrival =
+        cursor < n &&
+        (departures_.empty() ||
+         workload[arrival_order_[cursor]].arrival <= departures_.next_time());
+
+    if (take_arrival) {
+      const std::uint32_t vm_index = arrival_order_[cursor++];
       const wl::VmRequest& vm = workload[vm_index];
+      now = vm.arrival;
+
       const auto t0 = Clock::now();
       auto placed = allocator_->try_place(vm);
       const auto t1 = Clock::now();
@@ -108,11 +162,13 @@ SimMetrics Engine::run(const wl::Workload& workload,
 
       if (!placed.ok()) {
         ++m.dropped;
-        m.drops_by_reason.increment(std::string(core::name(placed.error())));
-        return;
+        m.drops_by_reason.increment(core::name(placed.error()));
+        continue;
       }
-      core::Placement& p =
-          live.emplace(vm.id.value(), std::move(placed.value())).first->second;
+      core::Placement& p = placement_slots_[vm_index];
+      p = std::move(placed.value());
+      live_[vm_index] = 1;
+      ++live_count;
       ++m.placed;
       if (p.inter_rack) ++m.any_pair_inter_rack;
       if (p.used_fallback) ++m.fallback_placements;
@@ -130,42 +186,43 @@ SimMetrics Engine::run(const wl::Workload& workload,
           scenario_.latency.rtt_ns(cpu_ram_inter, cross_pod));
 
       // Eq. (1) charges the full lifetime at establishment (T is known).
-      ledger.charge_vm(circuits_->circuits_of(vm.id), vm.lifetime);
+      ledger.charge_vm(*circuits_, vm.id, vm.lifetime);
 
       if (timeline_ != nullptr) {
         double vm_power = 0.0;
-        for (const net::Circuit* c : circuits_->circuits_of(vm.id)) {
+        circuits_->for_each_circuit_of(vm.id, [&](const net::Circuit& c) {
           vm_power +=
-              phot::circuit_holding_power_w(scenario_.photonics, *fabric_, *c);
-        }
+              phot::circuit_holding_power_w(scenario_.photonics, *fabric_, c);
+        });
         holding_power_w += vm_power;
-        holding_power_by_vm.emplace(vm.id.value(), vm_power);
+        holding_power_by_vm_[vm_index] = vm_power;
       }
 
-      sample_signals(s.now());
-      record_timeline(s.now());
-      s.schedule_at(vm.departure(), [&, id = vm.id](des::Simulator& s2) {
-        const auto it = live.find(id.value());
-        if (it == live.end()) {
-          throw std::logic_error("Engine: departure for unknown placement");
-        }
-        allocator_->release(it->second);
-        live.erase(it);
-        if (timeline_ != nullptr) {
-          const auto pit = holding_power_by_vm.find(id.value());
-          if (pit != holding_power_by_vm.end()) {
-            holding_power_w -= pit->second;
-            holding_power_by_vm.erase(pit);
-          }
-        }
-        sample_signals(s2.now());
-        record_timeline(s2.now());
-      });
-    });
+      sample_signals(now);
+      record_timeline(now);
+      departures_.push(vm.departure(), vm_index);
+    } else {
+      const auto e = departures_.pop();
+      now = e.time;
+      const std::uint32_t vm_index = e.payload;
+      if (!live_[vm_index]) {
+        throw std::logic_error("Engine: departure for unknown placement");
+      }
+      allocator_->release(placement_slots_[vm_index]);
+      live_[vm_index] = 0;
+      --live_count;
+      if (timeline_ != nullptr) {
+        holding_power_w -= holding_power_by_vm_[vm_index];
+        holding_power_by_vm_[vm_index] = 0.0;
+      }
+      sample_signals(now);
+      record_timeline(now);
+    }
   }
 
-  m.horizon_tu = sim.run();
+  m.horizon_tu = now;
   if (m.horizon_tu <= 0.0) m.horizon_tu = 1.0;  // degenerate empty workload
+  m.events_executed = static_cast<std::uint64_t>(n) + m.placed;
 
   m.scheduler_exec_seconds =
       std::chrono::duration<double>(sched_time).count();
@@ -183,12 +240,14 @@ SimMetrics Engine::run(const wl::Workload& workload,
   if (m.placed + m.dropped != m.total_vms) {
     throw std::logic_error("Engine: placement accounting mismatch");
   }
-  if (!live.empty()) {
+  if (live_count != 0) {
     throw std::logic_error("Engine: placements leaked past their departure");
   }
   cluster_->check_invariants();
   fabric_->check_invariants();
 
+  m.sim_wall_seconds =
+      std::chrono::duration<double>(Clock::now() - run_t0).count();
   return m;
 }
 

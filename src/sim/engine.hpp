@@ -7,16 +7,24 @@
 //                   failure: count a drop (the paper's algorithms never queue)
 // Departure event-> release circuits + compute units
 // After every event the time-weighted utilization integrals advance.
+//
+// The event loop is typed and allocation-free in steady state (DESIGN.md
+// §7): instead of heap-allocated closures in one big priority queue, the
+// workload's arrivals stream from a cursor sorted by (arrival, index)
+// while only departures live in a 4-ary POD min-heap, and the two streams
+// are merged on (time, seq).  Arrivals carry seq 0..N-1 (their workload
+// index) and departures number from N, which reproduces the historical
+// closure-calendar FIFO order exactly -- metrics are bit-identical to the
+// generic des::Simulator replaying the same workload.
 #pragma once
 
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/allocator.hpp"
 #include "core/registry.hpp"
-#include "des/simulator.hpp"
+#include "des/calendar.hpp"
 #include "network/circuit.hpp"
 #include "photonics/power_ledger.hpp"
 #include "sim/metrics.hpp"
@@ -38,6 +46,8 @@ class Engine {
   /// Replay `workload`; returns the collected metrics.  Every call starts
   /// from a pristine cluster state (reset() runs first), and a reused
   /// engine produces bit-identical results to a freshly constructed one.
+  /// The workload need not be sorted by arrival time: the engine orders
+  /// arrivals by (arrival, index) itself, matching calendar FIFO order.
   [[nodiscard]] SimMetrics run(const wl::Workload& workload,
                                const std::string& workload_label);
 
@@ -87,6 +97,21 @@ class Engine {
   std::unique_ptr<core::Allocator> allocator_;
   Timeline* timeline_ = nullptr;
   std::vector<double>* latency_sink_ = nullptr;
+
+  // --- Typed event-loop state, reused across runs (capacity retained) ----
+  /// Departures-only calendar: POD {time, seq, vm index} entries.  Its
+  /// size is the live-VM count, not the event count; seq numbering starts
+  /// at the workload size each run (arrivals own seq 0..N-1).
+  des::BasicCalendar<std::uint32_t, 4> departures_;
+  /// Workload indices in (arrival, index) order -- the arrival cursor.
+  std::vector<std::uint32_t> arrival_order_;
+  /// Dense live-placement slots indexed by workload VM index, gated by
+  /// live_ flags (a Placement slot is meaningful iff its flag is set).
+  std::vector<core::Placement> placement_slots_;
+  std::vector<std::uint8_t> live_;
+  /// Per-VM instantaneous optical holding power; sized only when a
+  /// timeline is recording.
+  std::vector<double> holding_power_by_vm_;
 };
 
 /// Convenience: run all four paper algorithms over the same workload with

@@ -64,6 +64,22 @@ struct SimMetrics {
   // inside Allocator::try_place across the run.
   double scheduler_exec_seconds = 0.0;
 
+  // End-to-end engine wall time: the whole Engine::run body (reset, event
+  // loop, metric finalization), wall-clock seconds.  sched_s isolates the
+  // policy; this captures the dispatch loop around it (DESIGN.md §7).
+  double sim_wall_seconds = 0.0;
+
+  // Discrete events executed: one per arrival plus one per departure
+  // (= total_vms + placed; deterministic, unlike the wall-clock fields).
+  std::uint64_t events_executed = 0;
+
+  /// Event throughput of the DES loop, events per wall-clock second.
+  [[nodiscard]] double events_per_sec() const noexcept {
+    return sim_wall_seconds > 0.0
+               ? static_cast<double>(events_executed) / sim_wall_seconds
+               : 0.0;
+  }
+
   // Simulated horizon (last event time), time units.
   double horizon_tu = 0.0;
 };

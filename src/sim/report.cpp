@@ -8,7 +8,6 @@
 #include "common/csv.hpp"
 #include "common/histogram.hpp"
 #include "common/string_util.hpp"
-#include "sim/engine.hpp"
 #include "sim/experiments.hpp"
 
 namespace risa::sim {
@@ -143,34 +142,6 @@ TextTable full_metrics_table(const std::vector<SimMetrics>& runs) {
   return t;
 }
 
-SchedulerBenchEntry scheduler_bench_entry(const Scenario& scenario,
-                                          const std::string& algorithm,
-                                          const wl::Workload& workload,
-                                          const std::string& label) {
-  Engine engine(scenario, algorithm);
-  std::vector<double> latencies_ns;
-  latencies_ns.reserve(workload.size());
-  engine.set_placement_latency_sink(&latencies_ns);
-  const SimMetrics m = engine.run(workload, label);
-
-  SchedulerBenchEntry e;
-  e.workload = label;
-  e.algorithm = m.algorithm;
-  e.total_vms = m.total_vms;
-  e.placed = m.placed;
-  e.dropped = m.dropped;
-  e.inter_rack = m.inter_rack_placements;
-  e.sched_s = m.scheduler_exec_seconds;
-  e.placements_per_sec =
-      e.sched_s > 0.0 ? static_cast<double>(m.total_vms) / e.sched_s : 0.0;
-  if (!latencies_ns.empty()) {
-    const Histogram h = Histogram::from_data(latencies_ns, 1000);
-    e.p50_ns = h.percentile(50.0);
-    e.p99_ns = h.percentile(99.0);
-  }
-  return e;
-}
-
 namespace {
 
 /// The unified per-cell field list, shared verbatim by the JSON and CSV
@@ -238,6 +209,14 @@ const CellField kCellFields[] = {
     {"sched_s",
      [](const SweepResult& r) {
        return strformat("%.6f", r.metrics.scheduler_exec_seconds);
+     }},
+    {"sim_s",
+     [](const SweepResult& r) {
+       return strformat("%.6f", r.metrics.sim_wall_seconds);
+     }},
+    {"events_per_sec",
+     [](const SweepResult& r) {
+       return strformat("%.0f", r.metrics.events_per_sec());
      }},
     {"horizon_tu",
      [](const SweepResult& r) {
@@ -343,6 +322,8 @@ std::vector<SchedulerBenchEntry> scheduler_bench_entries(
         e.sched_s > 0.0
             ? static_cast<double>(r.metrics.total_vms) / e.sched_s
             : 0.0;
+    e.sim_s = r.metrics.sim_wall_seconds;
+    e.events_per_sec = r.metrics.events_per_sec();
     if (!r.latency_ns.empty()) {
       const Histogram h = Histogram::from_data(r.latency_ns, 1000);
       e.p50_ns = h.percentile(50.0);
@@ -364,7 +345,9 @@ std::string scheduler_bench_json(const std::string& benchmark,
        << ", \"placed\": " << e.placed << ", \"dropped\": " << e.dropped
        << ", \"inter_rack\": " << e.inter_rack << ", \"sched_s\": "
        << strformat("%.6f", e.sched_s) << ", \"placements_per_sec\": "
-       << strformat("%.0f", e.placements_per_sec) << ", \"p50_ns\": "
+       << strformat("%.0f", e.placements_per_sec) << ", \"sim_s\": "
+       << strformat("%.6f", e.sim_s) << ", \"events_per_sec\": "
+       << strformat("%.0f", e.events_per_sec) << ", \"p50_ns\": "
        << strformat("%.0f", e.p50_ns) << ", \"p99_ns\": "
        << strformat("%.0f", e.p99_ns) << "}" << (i + 1 < entries.size() ? "," : "")
        << "\n";

@@ -72,15 +72,11 @@ struct SchedulerBenchEntry {
   std::uint64_t inter_rack = 0;
   double sched_s = 0.0;             ///< total seconds inside try_place
   double placements_per_sec = 0.0;  ///< attempts / sched_s
+  double sim_s = 0.0;               ///< end-to-end Engine::run wall seconds
+  double events_per_sec = 0.0;      ///< DES events / sim_s
   double p50_ns = 0.0;              ///< median per-placement latency
   double p99_ns = 0.0;
 };
-
-/// Replay `workload` under `algorithm` with per-placement latency
-/// recording and distill one baseline entry.
-[[nodiscard]] SchedulerBenchEntry scheduler_bench_entry(
-    const Scenario& scenario, const std::string& algorithm,
-    const wl::Workload& workload, const std::string& label);
 
 /// Distill baseline entries from a latency-recording sweep (the unified
 /// path: SweepRunner(1) with record_latency keeps the timed sections both

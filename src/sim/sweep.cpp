@@ -219,8 +219,11 @@ std::string metrics_fingerprint(const SimMetrics& m) {
                                                : 0.0);
   put_f64(os, m.cpu_ram_latency_ns.count() > 0 ? m.cpu_ram_latency_ns.max()
                                                : 0.0);
-  // scheduler_exec_seconds deliberately omitted: wall-clock, not a
-  // simulation output (see the determinism contract in sweep.hpp).
+  // scheduler_exec_seconds and sim_wall_seconds deliberately omitted:
+  // wall-clock, not simulation outputs (see the determinism contract in
+  // sweep.hpp).  events_executed is omitted too -- it is derivable
+  // (total_vms + placed), and keeping the field set frozen keeps digests
+  // comparable across engine generations.
   put_f64(os, m.horizon_tu);
   return os.str();
 }

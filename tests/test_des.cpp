@@ -1,6 +1,9 @@
 // Discrete-event kernel: ordering, determinism, processes.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -81,14 +84,153 @@ TEST(Calendar, PopOrdersByTimeThenSequence) {
   cal.push(1.0, [](Simulator&) {});
   cal.push(1.0, [](Simulator&) {});
   EXPECT_EQ(cal.size(), 3u);
-  Event a = cal.pop();
-  Event b = cal.pop();
-  Event c = cal.pop();
+  const Event a = cal.pop();
+  const Event b = cal.pop();
+  const Event c = cal.pop();
   EXPECT_DOUBLE_EQ(a.time, 1.0);
   EXPECT_DOUBLE_EQ(b.time, 1.0);
   EXPECT_LT(a.seq, b.seq);
   EXPECT_DOUBLE_EQ(c.time, 2.0);
   EXPECT_TRUE(cal.empty());
+}
+
+// --- Typed POD calendar (the engine's departure heap) ------------------------
+
+using PodCalendar = BasicCalendar<std::uint32_t, 4>;
+
+TEST(TypedCalendar, EqualTimestampsPopInFifoOrder) {
+  PodCalendar cal;
+  for (std::uint32_t i = 0; i < 64; ++i) cal.push(3.5, i);
+  std::uint64_t prev_seq = 0;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const auto e = cal.pop();
+    EXPECT_DOUBLE_EQ(e.time, 3.5);
+    EXPECT_EQ(e.payload, i);  // FIFO: payload pushed i-th pops i-th
+    if (i > 0) EXPECT_GT(e.seq, prev_seq);
+    prev_seq = e.seq;
+  }
+  EXPECT_TRUE(cal.empty());
+}
+
+TEST(TypedCalendar, RandomStressMatchesStableSort) {
+  // The 4-ary heap must order (time, seq) exactly like a stable sort of
+  // the push sequence by time.
+  Rng rng(7);
+  PodCalendar cal;
+  std::vector<std::pair<double, std::uint32_t>> ref;
+  for (std::uint32_t i = 0; i < 5000; ++i) {
+    // Coarse times force plenty of exact ties.
+    const double t = static_cast<double>(rng.uniform_int(0, 99));
+    cal.push(t, i);
+    ref.emplace_back(t, i);
+  }
+  std::stable_sort(ref.begin(), ref.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [t, payload] : ref) {
+    const auto e = cal.pop();
+    EXPECT_DOUBLE_EQ(e.time, t);
+    EXPECT_EQ(e.payload, payload);
+  }
+  EXPECT_TRUE(cal.empty());
+}
+
+TEST(TypedCalendar, InterleavedPushPopKeepsOrdering) {
+  Rng rng(11);
+  PodCalendar cal;
+  double last_popped = 0.0;
+  std::uint32_t id = 0;
+  for (int round = 0; round < 200; ++round) {
+    // Push a burst at or after the last popped time (no past scheduling,
+    // like departures), then drain a few.
+    const int burst = static_cast<int>(rng.uniform_int(1, 8));
+    for (int i = 0; i < burst; ++i) {
+      cal.push(last_popped + static_cast<double>(rng.uniform_int(0, 20)), id++);
+    }
+    const int drain = static_cast<int>(rng.uniform_int(0, 4));
+    for (int i = 0; i < drain && !cal.empty(); ++i) {
+      const auto e = cal.pop();
+      EXPECT_GE(e.time, last_popped);
+      last_popped = e.time;
+    }
+  }
+  while (!cal.empty()) {
+    const auto e = cal.pop();
+    EXPECT_GE(e.time, last_popped);
+    last_popped = e.time;
+  }
+}
+
+TEST(TypedCalendar, ResetRestartsSequenceAtGivenBase) {
+  PodCalendar cal;
+  cal.push(1.0, 0);
+  (void)cal.pop();
+  cal.reset(/*first_seq=*/1000);
+  cal.push(5.0, 7);
+  cal.push(5.0, 8);
+  const auto a = cal.pop();
+  const auto b = cal.pop();
+  EXPECT_EQ(a.seq, 1000u);
+  EXPECT_EQ(b.seq, 1001u);
+  EXPECT_EQ(cal.scheduled_total(), 1002u);
+}
+
+// The engine's merged stream: arrivals (sorted array, seq = index) against
+// a departures-only calendar whose seqs start at the arrival count.  The
+// merge rule "arrival wins when arrival_time <= departure_time" must
+// reproduce the order of one big (time, seq) heap holding both.
+TEST(TypedCalendar, SortedStreamMergeMatchesSingleHeap) {
+  Rng rng(23);
+  const std::uint32_t n = 400;
+  std::vector<double> arrival(n);
+  std::vector<double> lifetime(n);
+  double t = 0.0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    // Integer gaps (often zero) manufacture arrival/departure ties.
+    t += static_cast<double>(rng.uniform_int(0, 3));
+    arrival[i] = t;
+    lifetime[i] = static_cast<double>(rng.uniform_int(0, 12));
+  }
+
+  // Reference: one heap holding arrivals (pushed first: seq 0..n-1) and
+  // departures (pushed as their arrival executes).  Payload encodes
+  // (is_departure, index).
+  std::vector<std::pair<bool, std::uint32_t>> ref_order;
+  {
+    BasicCalendar<std::pair<bool, std::uint32_t>, 2> heap;
+    for (std::uint32_t i = 0; i < n; ++i) heap.push(arrival[i], {false, i});
+    while (!heap.empty()) {
+      const auto e = heap.pop();
+      ref_order.push_back(e.payload);
+      if (!e.payload.first) {
+        heap.push(e.time + lifetime[e.payload.second],
+                  {true, e.payload.second});
+      }
+    }
+  }
+
+  // Merged form: arrival cursor + departures-only calendar seeded at n.
+  std::vector<std::pair<bool, std::uint32_t>> merged_order;
+  {
+    PodCalendar departures;
+    departures.reset(/*first_seq=*/n);
+    std::uint32_t cursor = 0;
+    while (cursor < n || !departures.empty()) {
+      const bool take_arrival =
+          cursor < n &&
+          (departures.empty() || arrival[cursor] <= departures.next_time());
+      if (take_arrival) {
+        merged_order.emplace_back(false, cursor);
+        departures.push(arrival[cursor] + lifetime[cursor], cursor);
+        ++cursor;
+      } else {
+        const auto e = departures.pop();
+        merged_order.emplace_back(true, e.payload);
+      }
+    }
+  }
+
+  ASSERT_EQ(ref_order.size(), 2u * n);
+  EXPECT_EQ(merged_order, ref_order);
 }
 
 TEST(PoissonArrivals, FiresExactlyNTimesWithExpectedSpacing) {

@@ -115,7 +115,7 @@ TEST(PowerLedger, ChargesSwitchesAndTransceiversAlongPath) {
   ASSERT_TRUE(cid.ok());
 
   const double lifetime_tu = 50.0;
-  const VmEnergy e = ledger.charge_vm(table.circuits_of(VmId{1}), lifetime_tu);
+  const VmEnergy e = ledger.charge_vm(table, VmId{1}, lifetime_tu);
 
   const double expected_trim =
       0.9 * (11 + 15 + 11) * 0.02267 * lifetime_tu;  // alpha*n*P_trim*T
@@ -149,8 +149,8 @@ TEST(PowerLedger, InterRackCircuitCostsMore) {
                             std::move(inter.value()));
   ASSERT_TRUE(c1.ok());
   ASSERT_TRUE(c2.ok());
-  const VmEnergy ei = intra_ledger.charge_vm(table.circuits_of(VmId{1}), 10.0);
-  const VmEnergy ex = inter_ledger.charge_vm(table.circuits_of(VmId{2}), 10.0);
+  const VmEnergy ei = intra_ledger.charge_vm(table, VmId{1}, 10.0);
+  const VmEnergy ex = inter_ledger.charge_vm(table, VmId{2}, 10.0);
   // Inter-rack crosses 2 extra switches (incl. the 512-port core) and 2
   // extra transceiver hops -> strictly more of everything.
   EXPECT_GT(ex.switch_trimming_j, ei.switch_trimming_j);

@@ -116,6 +116,17 @@ TEST(Engine, EmptyWorkloadIsHarmless) {
   EXPECT_DOUBLE_EQ(m.avg_optical_power_w, 0.0);
 }
 
+TEST(Engine, NegativeLifetimeRejectedBeforeAnyEvent) {
+  Engine engine(Scenario::paper_defaults(), "RISA");
+  wl::Workload workload = small_workload(20);
+  workload[7].lifetime = -1.0;
+  EXPECT_THROW((void)engine.run(workload, "t"), std::invalid_argument);
+  // The engine must not have mutated any state: the next run is clean.
+  workload[7].lifetime = 1.0;
+  const SimMetrics m = engine.run(workload, "t");
+  EXPECT_EQ(m.placed + m.dropped, m.total_vms);
+}
+
 TEST(Engine, UnknownAlgorithmThrowsAtConstruction) {
   EXPECT_THROW(Engine(Scenario::paper_defaults(), "bogus"),
                std::invalid_argument);
