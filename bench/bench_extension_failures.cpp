@@ -1,150 +1,92 @@
 // Extension E-A6: resilience under box failures (the reliability angle of
 // the paper's related work, e.g. Radar [8] / Guo et al. [7]).
 //
-// Protocol: replay Azure-3000 in arrival order; when 1500 VMs have been
-// admitted, fail K random boxes.  Resident VMs on failed boxes are killed
-// (their circuits torn down, counted), and scheduling continues on the
-// degraded cluster.  Reported per scheduler: killed VMs, post-failure drop
-// rate, and post-failure inter-rack share -- quantifying how gracefully
-// each policy absorbs capacity loss.
+// Protocol: replay Azure-3000 through the Engine's merged lifecycle event
+// stream (DESIGN.md §8); when 1500 VMs have been admitted, fail K random
+// boxes (seeded draw, uniform over all types).  Resident VMs on failed
+// boxes are killed -- their photonic charging interval is settled at kill
+// time and their circuits torn down -- and scheduling continues on the
+// degraded cluster.  A retry variant requeues drops and kills with a
+// bounded budget.  The whole (fault plan x algorithm) matrix is one
+// SweepSpec cell grid: deterministic at any thread count, reported per
+// scheduler as killed VMs, final placement outcomes, inter-rack share and
+// degraded-operation time -- quantifying how gracefully each policy
+// absorbs capacity loss.
+//
+//   $ ./bench_extension_failures --threads=2
+//   $ ./bench_extension_failures --emit_json=BENCH_failures.json
 #include <iostream>
 
 #include "common/flags.hpp"
-#include "common/rng.hpp"
-#include "common/table.hpp"
-#include "common/thread_pool.hpp"
 #include "core/registry.hpp"
 #include "sim/experiments.hpp"
+#include "sim/report.hpp"
+#include "sim/sweep.hpp"
 
 using namespace risa;
 
 namespace {
 
-struct Outcome {
-  std::uint64_t killed = 0;
-  std::uint64_t placed_after = 0;
-  std::uint64_t dropped_after = 0;
-  std::uint64_t inter_rack_after = 0;
-};
-
-Outcome run(const std::string& algo, const wl::Workload& workload,
-            std::size_t fail_at, int failures, std::uint64_t seed) {
-  topo::Cluster cluster((topo::ClusterConfig()));
-  net::Fabric fabric(topo::ClusterConfig{}, net::FabricConfig{});
-  net::Router router(fabric);
-  net::CircuitTable circuits(router);
-  core::AllocContext ctx;
-  ctx.cluster = &cluster;
-  ctx.fabric = &fabric;
-  ctx.router = &router;
-  ctx.circuits = &circuits;
-  auto allocator = core::make_allocator(algo, ctx);
-
-  Outcome out;
-  std::vector<std::pair<double, core::Placement>> live;
-  bool failed_yet = false;
-  Rng rng(seed);
-
-  for (std::size_t i = 0; i < workload.size(); ++i) {
-    const wl::VmRequest& vm = workload[i];
-    // Departures before this arrival.
-    for (std::size_t j = 0; j < live.size();) {
-      if (live[j].first <= vm.arrival) {
-        allocator->release(live[j].second);
-        live[j] = std::move(live.back());
-        live.pop_back();
-      } else {
-        ++j;
-      }
-    }
-
-    if (!failed_yet && i == fail_at) {
-      failed_yet = true;
-      // Fail `failures` random boxes (uniform over all types).
-      for (int f = 0; f < failures; ++f) {
-        const BoxId victim{static_cast<std::uint32_t>(
-            rng.uniform_int(0, static_cast<std::int64_t>(cluster.num_boxes()) - 1))};
-        cluster.set_box_offline(victim, true);
-        // Kill resident VMs of that box.
-        for (std::size_t j = 0; j < live.size();) {
-          bool resident = false;
-          for (ResourceType t : kAllResources) {
-            if (live[j].second.box(t) == victim) resident = true;
-          }
-          if (resident) {
-            allocator->release(live[j].second);
-            live[j] = std::move(live.back());
-            live.pop_back();
-            ++out.killed;
-          } else {
-            ++j;
-          }
-        }
-      }
-    }
-
-    auto placed = allocator->try_place(vm);
-    if (placed.ok()) {
-      if (failed_yet) {
-        ++out.placed_after;
-        if (placed->rack(ResourceType::Cpu) != placed->rack(ResourceType::Ram)) {
-          ++out.inter_rack_after;
-        }
-      }
-      live.emplace_back(vm.departure(), std::move(placed.value()));
-    } else if (failed_yet) {
-      ++out.dropped_after;
-    }
+/// Fail `boxes` random boxes once 1500 VMs have been admitted.
+sim::FaultPlan fail_after_1500(std::uint32_t boxes, std::uint32_t retries) {
+  sim::FaultPlan plan;
+  sim::FaultAction fail;
+  fail.kind = sim::FaultAction::Kind::Fail;
+  fail.after_admissions = 1500;
+  fail.random_boxes = boxes;
+  plan.actions.push_back(fail);
+  plan.seed = 99;  // victim-draw stream, independent of the workload seed
+  if (retries > 0) {
+    plan.retry.max_attempts = retries;
+    plan.retry.delay_tu = 25.0;
   }
-  for (auto& [t, p] : live) allocator->release(p);
-  cluster.check_invariants();
-  fabric.check_invariants();
-  return out;
+  return plan;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   Flags flags;
+  flags.define("emit_json", "",
+               "Write the unified sweep JSON to this file "
+               "(BENCH_failures.json when given without a value)");
   define_threads_flag(flags);
   if (!flags.parse_or_usage(argc, argv)) return 1;
 
-  auto subsets = sim::azure_workloads();
-  const auto& [label, workload] = subsets[0];  // Azure-3000
-
-  std::cout << "=== Extension: resilience to box failures (" << label
-            << ", fail K boxes after 1500 admissions) ===\n";
-  TextTable t({"K failed", "Algorithm", "VMs killed", "Placed after",
-               "Dropped after", "Inter-rack % after"});
-  // Each (K, algorithm) protocol run owns a private stack and RNG, so the
-  // matrix parallelizes cell-wise exactly like an engine sweep.
-  const int fail_counts[] = {2, 6, 12};
-  const auto algos = core::algorithm_names();
-  std::vector<Outcome> outcomes(std::size(fail_counts) * algos.size());
-  ThreadPool pool(thread_count(flags));
-  pool.run_indexed(outcomes.size(), [&](std::size_t, std::size_t i) {
-    outcomes[i] = run(algos[i % algos.size()], workload, 1500,
-                      fail_counts[i / algos.size()], 99);
-  });
-  for (std::size_t k = 0; k < std::size(fail_counts); ++k) {
-    const int failures = fail_counts[k];
-    for (std::size_t a = 0; a < algos.size(); ++a) {
-      const std::string& algo = algos[a];
-      const Outcome& o = outcomes[k * algos.size() + a];
-      const double inter_pct =
-          o.placed_after > 0 ? 100.0 * static_cast<double>(o.inter_rack_after) /
-                                   static_cast<double>(o.placed_after)
-                             : 0.0;
-      t.add_row({std::to_string(failures), algo, std::to_string(o.killed),
-                 std::to_string(o.placed_after),
-                 std::to_string(o.dropped_after),
-                 TextTable::num(inter_pct, 1)});
-    }
+  sim::SweepSpec spec;
+  spec.scenarios = {{"paper", sim::Scenario::paper_defaults()}};
+  spec.workloads = {sim::WorkloadSpec::azure("azure-3000")};
+  spec.seeds = {sim::kDefaultSeed};
+  spec.algorithms = core::algorithm_names();
+  for (const std::uint32_t k : {2u, 6u, 12u}) {
+    spec.fault_plans.emplace_back("fail" + std::to_string(k),
+                                  fail_after_1500(k, 0));
   }
-  std::cout << t
+  // The requeue variant of the middle point: drops and kills get two
+  // deferred re-placement attempts each.
+  spec.fault_plans.emplace_back("fail6+retry", fail_after_1500(6, 2));
+
+  const sim::SweepRunner runner(thread_count(flags));
+  const auto results = runner.run(spec);
+
+  std::cout << "=== Extension: resilience to box failures (Azure-3000, fail "
+               "K boxes after 1500 admissions; "
+            << results.size() << " cells on " << runner.threads()
+            << " thread(s)) ===\n"
+            << sim::lifecycle_table(results)
             << "RISA keeps placing VMs intra-rack around offline boxes (its "
                "pool simply excludes\nracks whose surviving boxes are too "
                "small); the baselines keep scheduling but at\ntheir usual "
-               "inter-rack cost.\n";
+               "inter-rack cost.  The retry plan recovers most drops/kills "
+               "at the price\nof deferred placements.\n";
+
+  std::string json_path = flags.str("emit_json");
+  if (json_path == "true") json_path = "BENCH_failures.json";  // bare flag
+  if (!json_path.empty()) {
+    if (!sim::write_sweep_json(json_path, "extension_failures", results)) {
+      return 1;
+    }
+    std::cout << "wrote sweep JSON: " << json_path << '\n';
+  }
   return 0;
 }

@@ -19,6 +19,7 @@
 #include "common/flags.hpp"
 #include "sim/experiments.hpp"
 #include "sim/report.hpp"
+#include "sim/scenario_io.hpp"
 #include "sim/sweep.hpp"
 
 int main(int argc, char** argv) {
@@ -27,13 +28,24 @@ int main(int argc, char** argv) {
   flags.define("seed", std::to_string(sim::kDefaultSeed), "Workload RNG seed");
   flags.define("json", "", "Write the unified sweep JSON to this file");
   flags.define("csv", "", "Write the unified sweep CSV to this file");
+  flags.define("faults", "",
+               "FaultPlan JSON file applied to every cell of the matrix");
   flags.define("verify", "false",
                "Re-run the matrix serially and compare bit-exact digests");
   define_threads_flag(flags);
   if (!flags.parse_or_usage(argc, argv)) return 1;
 
   const auto seed = static_cast<std::uint64_t>(flags.i64("seed"));
-  const sim::SweepSpec spec = sim::SweepSpec::figure_matrix(seed);
+  sim::SweepSpec spec = sim::SweepSpec::figure_matrix(seed);
+  if (!flags.str("faults").empty()) {
+    const sim::FaultPlan plan = sim::load_fault_plan_file(flags.str("faults"));
+    // A one-entry fault axis (factor 1: cell count and indexing unchanged)
+    // so every result row carries the plan's label.
+    spec.fault_plans.emplace_back(flags.str("faults"), plan);
+    std::cout << "fault plan applied: " << plan.actions.size()
+              << " action(s), retry max_attempts=" << plan.retry.max_attempts
+              << "\n\n";
+  }
   const sim::SweepRunner runner(thread_count(flags));
 
   using Clock = std::chrono::steady_clock;
@@ -72,6 +84,10 @@ int main(int argc, char** argv) {
             << sim::exec_time_table(azure, "fig12") << '\n'
             << "=== Full metrics ===\n"
             << sim::full_metrics_table(runs);
+  if (!flags.str("faults").empty()) {
+    std::cout << "\n=== Lifecycle outcomes (fault plan) ===\n"
+              << sim::lifecycle_table(results);
+  }
 
   if (!flags.str("json").empty() &&
       !sim::write_sweep_json(flags.str("json"), "figure_suite", results)) {

@@ -33,6 +33,8 @@ int main(int argc, char** argv) {
                "synthetic | azure-3000 | azure-5000 | azure-7500");
   flags.define("seed", std::to_string(sim::kDefaultSeed), "Workload RNG seed");
   flags.define("scenario", "", "Scenario config file (see sim/scenario_io.hpp)");
+  flags.define("faults", "",
+               "FaultPlan JSON file: scripted box fail/repair + retry policy");
   flags.define("dump-scenario", "", "Write the resolved scenario to this file");
   flags.define("trace-in", "", "Load the workload from this CSV trace instead");
   flags.define("trace-out", "", "Save the generated workload to this CSV trace");
@@ -45,9 +47,25 @@ int main(int argc, char** argv) {
     sim::Scenario scenario = flags.str("scenario").empty()
                                  ? sim::Scenario::paper_defaults()
                                  : sim::load_scenario_file(flags.str("scenario"));
+    if (!flags.str("faults").empty()) {
+      scenario.faults = sim::load_fault_plan_file(flags.str("faults"));
+      std::cout << "fault plan: " << scenario.faults.actions.size()
+                << " action(s), retry max_attempts="
+                << scenario.faults.retry.max_attempts << '\n';
+    }
     if (!flags.str("dump-scenario").empty()) {
       sim::save_scenario_file(flags.str("dump-scenario"), scenario);
       std::cout << "scenario written to " << flags.str("dump-scenario") << '\n';
+      if (!scenario.faults.empty()) {
+        // The flat key=value format cannot express the fault plan; dump it
+        // alongside so the pair reproduces this run.
+        const std::string faults_path =
+            flags.str("dump-scenario") + ".faults.json";
+        sim::save_fault_plan_file(faults_path, scenario.faults);
+        std::cout << "fault plan written to " << faults_path
+                  << " (pass it back via --faults; the scenario file alone "
+                     "runs fault-free)\n";
+      }
     }
 
     // 2. Workload.
@@ -91,6 +109,12 @@ int main(int argc, char** argv) {
     const sim::SimMetrics m = engine.run(workload, label);
 
     std::cout << '\n' << sim::full_metrics_table({m});
+    if (m.killed > 0 || m.requeued > 0 || m.degraded_tu > 0.0) {
+      std::cout << "lifecycle: killed=" << m.killed
+                << " requeued=" << m.requeued
+                << " retry_placed=" << m.retry_placed << " degraded_tu="
+                << TextTable::num(m.degraded_tu, 1) << '\n';
+    }
     if (m.dropped > 0) {
       std::cout << "drops by reason:";
       for (const auto& [reason, count] : m.drops_by_reason.items()) {

@@ -1,0 +1,63 @@
+// Lifecycle events: the typed POD payload of the engine's merged DES
+// stream (DESIGN.md §8).
+//
+// PR 3 split the event loop into two streams -- a sorted arrival cursor
+// (seq 0..N-1, the workload index) merged against a departures-only POD
+// calendar numbered from N.  This header generalizes the calendar payload
+// from "a departing VM index" to a small tagged event so *every* injected
+// event family (departures, scripted box failures/repairs, retry
+// re-placements) shares one calendar and one (time, seq) total order:
+//
+//   * arrivals never enter the calendar -- they keep seq 0..N-1 through
+//     the cursor and win every equal-time tie against injected events;
+//   * injected events are numbered N, N+1, ... in push order, which is
+//     itself deterministic (scripted time-triggered events at reset, then
+//     departures/retries in placement order), so runs are bit-reproducible
+//     at any sweep thread count.
+//
+// The payload stays a 12-byte POD: calendar push/pop never touches the
+// allocator once the backing vector has grown to the peak pending-event
+// count (the PR 3 allocation-free contract).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace risa::des {
+
+/// Every event family of the simulation loop.  Arrival is listed for
+/// completeness (timeline/diagnostics); arrival events stream from the
+/// engine's sorted cursor and are never stored in the calendar.
+enum class LifecycleKind : std::uint8_t {
+  Arrival = 0,    ///< VM admission attempt (cursor stream, seq < N)
+  Departure = 1,  ///< end of a placement's holding interval
+  BoxFail = 2,    ///< scripted fault: a box goes offline, residents die
+  BoxRepair = 3,  ///< scripted repair: the box rejoins the pool
+  Retry = 4,      ///< re-placement attempt for a dropped/killed VM
+};
+
+[[nodiscard]] constexpr std::string_view name(LifecycleKind k) noexcept {
+  switch (k) {
+    case LifecycleKind::Arrival: return "arrival";
+    case LifecycleKind::Departure: return "departure";
+    case LifecycleKind::BoxFail: return "box-fail";
+    case LifecycleKind::BoxRepair: return "box-repair";
+    case LifecycleKind::Retry: return "retry";
+  }
+  return "?";
+}
+
+/// Calendar payload.  `subject` is the VM index (Departure/Retry) or the
+/// fault-plan action index (BoxFail/BoxRepair -- the action is resolved to
+/// concrete boxes when the event fires, so seeded random victim draws
+/// happen in stream order).  `epoch` tombstones stale departures: a VM
+/// killed by a box failure leaves its scheduled departure in the calendar,
+/// and a later retry placement opens a new epoch; a departure is executed
+/// only when its epoch matches the subject's current placement epoch.
+struct LifecycleEvent {
+  LifecycleKind kind = LifecycleKind::Departure;
+  std::uint32_t subject = 0;
+  std::uint32_t epoch = 0;
+};
+
+}  // namespace risa::des

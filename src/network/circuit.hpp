@@ -84,6 +84,13 @@ class CircuitTable {
     for (const Circuit& c : vc->overflow) fn(c);
   }
 
+  /// Number of circuits `vm` currently holds (0 when none) -- O(1) probe,
+  /// used by the lifecycle kill path's diagnostics and tests.
+  [[nodiscard]] std::size_t circuit_count_of(VmId vm) const {
+    const VmCircuits* vc = by_vm_.find(vm.value());
+    return vc == nullptr ? 0 : vc->count;
+  }
+
   /// Circuits held by one VM (empty when none).  Allocates the returned
   /// vector, and the pointers are invalidated by any later establish or
   /// teardown (the flat table relocates slots) -- test/diagnostic

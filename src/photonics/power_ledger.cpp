@@ -55,6 +55,30 @@ VmEnergy PowerLedger::charge_vm(const net::CircuitTable& table, VmId vm,
   return sum;
 }
 
+VmEnergy PowerLedger::refund_vm_truncation(const net::CircuitTable& table,
+                                           VmId vm, double unused_tu) {
+  VmEnergy refund;
+  if (unused_tu <= 0.0) return refund;  // interval ran to its prepaid end
+  table.for_each_circuit_of(vm, [&](const net::Circuit& c) {
+    for (SwitchId sw : c.path.switches) {
+      const auto& node = fabric_->switch_node(sw);
+      // Only the holding (trimming) term of Eq. (1) scales with duration;
+      // the switching term is sunk reconfiguration cost.
+      refund.switch_trimming_j +=
+          circuit_switch_energy(config_.switch_energy, node.ports, unused_tu)
+              .trimming_j;
+    }
+    const double unused_s =
+        unused_tu * config_.switch_energy.seconds_per_time_unit;
+    refund.transceiver_j += transceiver_energy_j(
+        config_.transceiver, c.bandwidth, c.path.hop_count(), unused_s);
+    ++refunded_;
+  });
+  total_.switch_trimming_j -= refund.switch_trimming_j;
+  total_.transceiver_j -= refund.transceiver_j;
+  return refund;
+}
+
 double PowerLedger::average_power_w(double horizon_tu) const {
   if (horizon_tu <= 0) {
     throw std::invalid_argument("average_power_w: non-positive horizon");

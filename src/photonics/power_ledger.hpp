@@ -2,6 +2,18 @@
 // to the average-power figure the paper reports (Figure 9: "power
 // consumption for optical components" = transceivers + all optical switch
 // energy, averaged over the simulated horizon).
+//
+// Charging is interval-based (DESIGN.md §8): a placement OPENS a charging
+// interval by prepaying the expected holding duration (charge_vm -- the
+// exact arithmetic and accumulation order of the historical
+// charge-full-lifetime-at-placement scheme, which is what keeps no-fault
+// runs bit-identical to PR 3), and a truncation (a box failure killing the
+// VM before its scheduled departure) SETTLES the interval at kill time by
+// refunding the unheld tail's duration-proportional energy
+// (refund_vm_truncation).  Switching energy is the one-time
+// reconfiguration term of Eq. (1) and is never refunded -- the circuit was
+// really established.  A placement that runs to its scheduled departure
+// needs no settlement: the prepaid interval already equals the held one.
 #pragma once
 
 #include <cstddef>
@@ -57,20 +69,36 @@ class PowerLedger {
   /// hop.  Returns the decomposition for metrics.
   VmEnergy charge_circuit(const net::Circuit& circuit, double lifetime_tu);
 
-  /// Charge every circuit `vm` currently holds in `table` (both circuits
-  /// of a placed VM), allocation-free via
+  /// Open the charging interval of `vm`'s circuits at its expected length:
+  /// charge every circuit `vm` currently holds in `table` (both circuits
+  /// of a placed VM) for `lifetime_tu`, allocation-free via
   /// CircuitTable::for_each_circuit_of.
   VmEnergy charge_vm(const net::CircuitTable& table, VmId vm,
                      double lifetime_tu);
 
+  /// Settle a truncated interval: the VM was killed `unused_tu` time units
+  /// before its prepaid interval ended.  Refunds the duration-proportional
+  /// components (switch trimming + transceiver) for the unheld tail of
+  /// every circuit `vm` still holds in `table`; call BEFORE the circuits
+  /// are torn down.  The one-time switching energy stays charged.  A
+  /// non-positive `unused_tu` is a no-op that leaves the totals bit-for-bit
+  /// untouched (the untruncated case).  Returns the refunded decomposition.
+  VmEnergy refund_vm_truncation(const net::CircuitTable& table, VmId vm,
+                                double unused_tu);
+
   [[nodiscard]] double total_energy_j() const noexcept { return total_.total_j(); }
   [[nodiscard]] const VmEnergy& totals() const noexcept { return total_; }
   [[nodiscard]] std::size_t circuits_charged() const noexcept { return charged_; }
+  /// Circuits whose interval was settled short by a truncation refund.
+  [[nodiscard]] std::size_t circuits_refunded() const noexcept {
+    return refunded_;
+  }
 
   /// Average power over a horizon of `horizon_tu` simulated time units.
   [[nodiscard]] double average_power_w(double horizon_tu) const;
 
-  /// Per-VM total-energy distribution (joules).
+  /// Per-circuit energy distribution (joules), recorded at interval OPEN
+  /// (prepaid values; truncation refunds do not retro-adjust samples).
   [[nodiscard]] const RunningStats& per_circuit_energy() const noexcept {
     return per_circuit_energy_;
   }
@@ -80,6 +108,7 @@ class PowerLedger {
   const net::Fabric* fabric_;
   VmEnergy total_{};
   std::size_t charged_ = 0;
+  std::size_t refunded_ = 0;
   RunningStats per_circuit_energy_;
 };
 

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/rng.hpp"
+
 namespace risa::sim {
 
 Engine::Engine(const Scenario& scenario, const std::string& algorithm)
@@ -46,6 +48,8 @@ void Engine::reset() {
 SimMetrics Engine::run(const wl::Workload& workload,
                        const std::string& workload_label) {
   using Clock = std::chrono::steady_clock;
+  using des::LifecycleEvent;
+  using des::LifecycleKind;
   const auto run_t0 = Clock::now();
 
   reset();
@@ -78,6 +82,18 @@ SimMetrics Engine::run(const wl::Workload& workload,
     }
   }
 
+  // The run's fault script (the scenario's, unless the sweep layer swapped
+  // in another plan for this cell).  `lifecycle` gates every fault-related
+  // branch so the empty-plan event loop stays byte-for-byte the PR 3 path.
+  const FaultPlan& plan = fault_plan();
+  plan.validate();
+  const bool lifecycle = !plan.empty();
+  for (const FaultAction& a : plan.actions) {
+    if (a.box != FaultAction::kNoBox && a.box >= cluster_->num_boxes()) {
+      throw std::invalid_argument("Engine: FaultAction box id out of range");
+    }
+  }
+
   // Arrival cursor: workload indices in (arrival, index) order.  The
   // generators emit cumulative-gap arrivals, so the common case is a
   // cheap is_sorted pass over an identity permutation; unsorted inputs
@@ -105,13 +121,47 @@ SimMetrics Engine::run(const wl::Workload& workload,
   live_.assign(n, 0);
   std::size_t live_count = 0;
 
-  // Departures restart their sequence numbering at N so every equal-time
-  // tie against a pending arrival (seq = workload index < N) resolves in
-  // the arrival's favor -- the exact order the closure calendar produced.
-  departures_.reset(/*first_seq=*/n);
+  // Injected events restart their sequence numbering at N so every
+  // equal-time tie against a pending arrival (seq = workload index < N)
+  // resolves in the arrival's favor -- the exact order the closure
+  // calendar produced, extended verbatim to fault/retry events.
+  events_.reset(/*first_seq=*/n);
+
+  // Lifecycle state: compiled fault triggers + per-VM interval/retry
+  // bookkeeping.  Time-triggered actions enter the calendar up front (in
+  // plan order, so their seq assignment is deterministic); admission-
+  // triggered ones wait in a threshold-sorted queue and are injected at
+  // the admission that crosses their threshold.
+  Rng fault_rng(plan.seed);
+  std::size_t admissions = 0;
+  std::size_t next_admission_action = 0;
+  if (lifecycle) {
+    place_epoch_.assign(n, 0);
+    place_time_.assign(n, 0.0);
+    expected_hold_.assign(n, 0.0);
+    attempts_.assign(n, 0);
+    ever_placed_.assign(n, 0);
+    admission_actions_.clear();
+    for (std::uint32_t i = 0; i < plan.actions.size(); ++i) {
+      const FaultAction& a = plan.actions[i];
+      const LifecycleKind kind = a.kind == FaultAction::Kind::Fail
+                                     ? LifecycleKind::BoxFail
+                                     : LifecycleKind::BoxRepair;
+      if (a.time_triggered()) {
+        events_.push(a.at_time, LifecycleEvent{kind, i, 0});
+      } else {
+        admission_actions_.push_back(i);
+      }
+    }
+    std::stable_sort(admission_actions_.begin(), admission_actions_.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return plan.actions[a].after_admissions <
+                              plan.actions[b].after_admissions;
+                     });
+  }
 
   // Instantaneous optical holding power, maintained incrementally for the
-  // timeline (per-VM deltas computed at placement/departure).
+  // timeline (per-VM deltas computed at placement/departure/kill).
   double holding_power_w = 0.0;
   if (timeline_ != nullptr) holding_power_by_vm_.assign(n, 0.0);
   auto record_timeline = [&](SimTime t) {
@@ -121,6 +171,8 @@ SimMetrics Engine::run(const wl::Workload& workload,
     p.active_vms = live_count;
     p.placed_total = m.placed;
     p.dropped_total = m.dropped;
+    p.killed_total = m.killed;
+    p.offline_boxes = cluster_->offline_box_count();
     for (ResourceType ty : kAllResources) {
       p.utilization[ty] = cluster_->utilization(ty);
     }
@@ -135,94 +187,267 @@ SimMetrics Engine::run(const wl::Workload& workload,
   std::chrono::nanoseconds sched_time{0};
   SimTime now = 0.0;
   std::size_t cursor = 0;
+  std::uint64_t executed = 0;
+
+  // Degraded-operation integral: simulated time spent with >= 1 box
+  // offline, accumulated per inter-event gap (state is piecewise constant
+  // between events, exactly like the utilization signals).
+  SimTime last_event_t = 0.0;
+  auto note_time = [&](SimTime t) {
+    if (cluster_->offline_box_count() > 0) m.degraded_tu += t - last_event_t;
+    last_event_t = t;
+  };
+
+  // One placement attempt (arrival or retry) for `vm_index`, holding for
+  // `expected` time units when it sticks.  On success all metrics/state
+  // updates happen here -- in the exact order of the historical arrival
+  // path, which keeps the empty-plan run bit-identical.  On failure the
+  // reason lands in `drop_reason` and the caller applies its retry/drop
+  // policy.
+  core::DropReason drop_reason{};
+  auto admit = [&](std::uint32_t vm_index, double expected) -> bool {
+    const wl::VmRequest& vm = workload[vm_index];
+    const auto t0 = Clock::now();
+    auto placed = allocator_->try_place(vm);
+    const auto t1 = Clock::now();
+    sched_time += t1 - t0;
+    if (latency_sink_ != nullptr) {
+      latency_sink_->push_back(
+          std::chrono::duration<double, std::nano>(t1 - t0).count());
+    }
+
+    if (!placed.ok()) {
+      drop_reason = placed.error();
+      return false;
+    }
+    core::Placement& p = placement_slots_[vm_index];
+    p = std::move(placed.value());
+    live_[vm_index] = 1;
+    ++live_count;
+    ++admissions;
+    if (!lifecycle) {
+      ++m.placed;
+    } else if (!ever_placed_[vm_index]) {
+      ++m.placed;
+      ever_placed_[vm_index] = 1;
+    }
+    if (p.inter_rack) ++m.any_pair_inter_rack;
+    if (p.used_fallback) ++m.fallback_placements;
+
+    // Figures 5/7/10 count a VM as inter-rack when its CPU and RAM racks
+    // differ; the same flag drives the RTT sample (pod-aware in the
+    // three-tier extension).  Counted per placement event, so a requeued
+    // VM's re-placement samples again (diagnostic semantics under faults;
+    // identical to the historical per-VM count when the plan is empty).
+    const bool cpu_ram_inter =
+        p.rack(ResourceType::Cpu) != p.rack(ResourceType::Ram);
+    if (cpu_ram_inter) ++m.inter_rack_placements;
+    const bool cross_pod =
+        cpu_ram_inter && !fabric_->same_pod(p.rack(ResourceType::Cpu),
+                                            p.rack(ResourceType::Ram));
+    m.cpu_ram_latency_ns.add(
+        scenario_.latency.rtt_ns(cpu_ram_inter, cross_pod));
+
+    // Open the photonic charging interval at its expected length (Eq. (1)
+    // prepay; a later kill settles the difference -- DESIGN.md §8).
+    ledger.charge_vm(*circuits_, vm.id, expected);
+
+    if (timeline_ != nullptr) {
+      double vm_power = 0.0;
+      circuits_->for_each_circuit_of(vm.id, [&](const net::Circuit& c) {
+        vm_power +=
+            phot::circuit_holding_power_w(scenario_.photonics, *fabric_, c);
+      });
+      holding_power_w += vm_power;
+      holding_power_by_vm_[vm_index] = vm_power;
+    }
+
+    sample_signals(now);
+    record_timeline(now);
+    std::uint32_t epoch = 0;
+    if (lifecycle) {
+      place_time_[vm_index] = now;
+      expected_hold_[vm_index] = expected;
+      epoch = ++place_epoch_[vm_index];
+    }
+    events_.push(now + expected,
+                 LifecycleEvent{LifecycleKind::Departure, vm_index, epoch});
+    return true;
+  };
+
+  // Inject admission-triggered fault actions whose threshold the latest
+  // successful placement crossed.  They enter the merged stream at `now`
+  // (seq > N), so they fire after the admission that tripped them and
+  // before any later-time event -- deterministically.
+  auto fire_admission_triggers = [&] {
+    while (next_admission_action < admission_actions_.size()) {
+      const std::uint32_t ai = admission_actions_[next_admission_action];
+      const FaultAction& a = plan.actions[ai];
+      if (a.after_admissions > static_cast<std::int64_t>(admissions)) break;
+      ++next_admission_action;
+      const LifecycleKind kind = a.kind == FaultAction::Kind::Fail
+                                     ? LifecycleKind::BoxFail
+                                     : LifecycleKind::BoxRepair;
+      events_.push(now, LifecycleEvent{kind, ai, 0});
+    }
+  };
+
+  // Requeue `vm_index` when the retry budget allows; returns whether a
+  // RETRY event was scheduled.
+  auto requeue = [&](std::uint32_t vm_index) -> bool {
+    if (plan.retry.max_attempts == 0 ||
+        attempts_[vm_index] >= plan.retry.max_attempts) {
+      return false;
+    }
+    ++attempts_[vm_index];
+    ++m.requeued;
+    events_.push(now + plan.retry.delay_tu,
+                 LifecycleEvent{LifecycleKind::Retry, vm_index, 0});
+    return true;
+  };
+
+  // Kill a resident VM at `now`: settle its charging interval, tear down
+  // circuits + compute, and requeue the remaining hold when policy allows.
+  auto kill_vm = [&](std::uint32_t vm_index) {
+    const wl::VmRequest& vm = workload[vm_index];
+    const double held = now - place_time_[vm_index];
+    const double unused = expected_hold_[vm_index] - held;
+    ledger.refund_vm_truncation(*circuits_, vm.id, unused);
+    allocator_->release(placement_slots_[vm_index]);
+    live_[vm_index] = 0;
+    --live_count;
+    ++m.killed;
+    if (timeline_ != nullptr) {
+      holding_power_w -= holding_power_by_vm_[vm_index];
+      holding_power_by_vm_[vm_index] = 0.0;
+    }
+    if (unused > 0.0) {
+      expected_hold_[vm_index] = unused;  // the re-placement's hold
+      (void)requeue(vm_index);
+    }
+  };
+
+  // Execute one scripted fail/repair action.  Random victims are drawn
+  // here, in merged-stream order, from the plan's own RNG stream.
+  // Transitions are idempotent (re-failing an offline box is a no-op), so
+  // duplicate random draws are harmless.
+  auto execute_action = [&](std::uint32_t action_index, bool fail) {
+    const FaultAction& a = plan.actions[action_index];
+    const std::uint32_t draws = a.box != FaultAction::kNoBox ? 1 : a.random_boxes;
+    for (std::uint32_t k = 0; k < draws; ++k) {
+      const BoxId victim =
+          a.box != FaultAction::kNoBox
+              ? BoxId{a.box}
+              : BoxId{static_cast<std::uint32_t>(fault_rng.uniform_int(
+                    0, static_cast<std::int64_t>(cluster_->num_boxes()) - 1))};
+      if (cluster_->box_unchecked(victim).offline() == fail) continue;
+      cluster_->set_box_offline(victim, fail);
+      if (!fail) continue;
+      // Offline-box teardown: every resident VM dies with its circuits.
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (!live_[i]) continue;
+        const core::Placement& p = placement_slots_[i];
+        for (ResourceType t : kAllResources) {
+          if (p.box(t) == victim) {
+            kill_vm(i);
+            break;
+          }
+        }
+      }
+    }
+    sample_signals(now);
+    record_timeline(now);
+  };
 
   // The merged event loop.  Next event = min over the arrival cursor head
-  // (time = arrival, seq = index) and the departure heap top; at equal
-  // times the arrival's smaller seq wins, so the comparison reduces to
-  // arrival_time <= departure_time.
-  while (cursor < n || !departures_.empty()) {
+  // (time = arrival, seq = index) and the injected-event heap top; at
+  // equal times the arrival's smaller seq wins, so the comparison reduces
+  // to arrival_time <= injected_time.
+  while (cursor < n || !events_.empty()) {
     const bool take_arrival =
         cursor < n &&
-        (departures_.empty() ||
-         workload[arrival_order_[cursor]].arrival <= departures_.next_time());
+        (events_.empty() ||
+         workload[arrival_order_[cursor]].arrival <= events_.next_time());
 
     if (take_arrival) {
       const std::uint32_t vm_index = arrival_order_[cursor++];
       const wl::VmRequest& vm = workload[vm_index];
       now = vm.arrival;
+      if (lifecycle) note_time(now);
+      ++executed;
 
-      const auto t0 = Clock::now();
-      auto placed = allocator_->try_place(vm);
-      const auto t1 = Clock::now();
-      sched_time += t1 - t0;
-      if (latency_sink_ != nullptr) {
-        latency_sink_->push_back(
-            std::chrono::duration<double, std::nano>(t1 - t0).count());
-      }
-
-      if (!placed.ok()) {
-        ++m.dropped;
-        m.drops_by_reason.increment(core::name(placed.error()));
+      if (!admit(vm_index, vm.lifetime)) {
+        if (!lifecycle || !requeue(vm_index)) {
+          ++m.dropped;
+          m.drops_by_reason.increment(core::name(drop_reason));
+        }
         continue;
       }
-      core::Placement& p = placement_slots_[vm_index];
-      p = std::move(placed.value());
-      live_[vm_index] = 1;
-      ++live_count;
-      ++m.placed;
-      if (p.inter_rack) ++m.any_pair_inter_rack;
-      if (p.used_fallback) ++m.fallback_placements;
-
-      // Figures 5/7/10 count a VM as inter-rack when its CPU and RAM racks
-      // differ; the same flag drives the RTT sample (pod-aware in the
-      // three-tier extension).
-      const bool cpu_ram_inter =
-          p.rack(ResourceType::Cpu) != p.rack(ResourceType::Ram);
-      if (cpu_ram_inter) ++m.inter_rack_placements;
-      const bool cross_pod =
-          cpu_ram_inter && !fabric_->same_pod(p.rack(ResourceType::Cpu),
-                                              p.rack(ResourceType::Ram));
-      m.cpu_ram_latency_ns.add(
-          scenario_.latency.rtt_ns(cpu_ram_inter, cross_pod));
-
-      // Eq. (1) charges the full lifetime at establishment (T is known).
-      ledger.charge_vm(*circuits_, vm.id, vm.lifetime);
-
-      if (timeline_ != nullptr) {
-        double vm_power = 0.0;
-        circuits_->for_each_circuit_of(vm.id, [&](const net::Circuit& c) {
-          vm_power +=
-              phot::circuit_holding_power_w(scenario_.photonics, *fabric_, c);
-        });
-        holding_power_w += vm_power;
-        holding_power_by_vm_[vm_index] = vm_power;
-      }
-
-      sample_signals(now);
-      record_timeline(now);
-      departures_.push(vm.departure(), vm_index);
+      if (lifecycle) fire_admission_triggers();
     } else {
-      const auto e = departures_.pop();
-      now = e.time;
-      const std::uint32_t vm_index = e.payload;
-      if (!live_[vm_index]) {
-        throw std::logic_error("Engine: departure for unknown placement");
+      const auto e = events_.pop();
+      switch (e.payload.kind) {
+        case LifecycleKind::Departure: {
+          const std::uint32_t vm_index = e.payload.subject;
+          if (!live_[vm_index] ||
+              (lifecycle && e.payload.epoch != place_epoch_[vm_index])) {
+            if (!lifecycle) {
+              throw std::logic_error("Engine: departure for unknown placement");
+            }
+            break;  // tombstone: this placement was killed by a box failure
+          }
+          now = e.time;
+          if (lifecycle) note_time(now);
+          ++executed;
+          allocator_->release(placement_slots_[vm_index]);
+          live_[vm_index] = 0;
+          --live_count;
+          if (timeline_ != nullptr) {
+            holding_power_w -= holding_power_by_vm_[vm_index];
+            holding_power_by_vm_[vm_index] = 0.0;
+          }
+          sample_signals(now);
+          record_timeline(now);
+          break;
+        }
+        case LifecycleKind::BoxFail:
+        case LifecycleKind::BoxRepair: {
+          now = e.time;
+          note_time(now);
+          ++executed;
+          execute_action(e.payload.subject,
+                         e.payload.kind == LifecycleKind::BoxFail);
+          break;
+        }
+        case LifecycleKind::Retry: {
+          const std::uint32_t vm_index = e.payload.subject;
+          now = e.time;
+          note_time(now);
+          ++executed;
+          const double expected = ever_placed_[vm_index]
+                                      ? expected_hold_[vm_index]
+                                      : workload[vm_index].lifetime;
+          if (admit(vm_index, expected)) {
+            ++m.retry_placed;
+            fire_admission_triggers();
+          } else if (!requeue(vm_index) && !ever_placed_[vm_index]) {
+            // Retry budget exhausted for a VM that never ran: a final drop
+            // (killed VMs already count in `placed`; their lost remainder
+            // is visible through `killed` and the settled energy).
+            ++m.dropped;
+            m.drops_by_reason.increment(core::name(drop_reason));
+          }
+          break;
+        }
+        case LifecycleKind::Arrival:
+          throw std::logic_error("Engine: arrival event in injected calendar");
       }
-      allocator_->release(placement_slots_[vm_index]);
-      live_[vm_index] = 0;
-      --live_count;
-      if (timeline_ != nullptr) {
-        holding_power_w -= holding_power_by_vm_[vm_index];
-        holding_power_by_vm_[vm_index] = 0.0;
-      }
-      sample_signals(now);
-      record_timeline(now);
     }
   }
 
   m.horizon_tu = now;
   if (m.horizon_tu <= 0.0) m.horizon_tu = 1.0;  // degenerate empty workload
-  m.events_executed = static_cast<std::uint64_t>(n) + m.placed;
+  m.events_executed = executed;
 
   m.scheduler_exec_seconds =
       std::chrono::duration<double>(sched_time).count();

@@ -1,21 +1,30 @@
 // The DDC simulation engine: owns one cluster + fabric + allocator stack
 // and replays a workload through the discrete-event kernel.
 //
-// Arrival event  -> Allocator::try_place (wall-clock timed: Figures 11-12)
-//                   success: record placement, charge Eq.(1)+transceiver
-//                            energy for the VM's lifetime, schedule departure
-//                   failure: count a drop (the paper's algorithms never queue)
-// Departure event-> release circuits + compute units
+// Arrival event   -> Allocator::try_place (wall-clock timed: Figures 11-12)
+//                    success: record placement, open the photonic charging
+//                             interval (Eq.(1)+transceiver energy for the
+//                             expected hold), schedule departure
+//                    failure: drop, or requeue when the FaultPlan's retry
+//                             policy allows (the paper's algorithms never
+//                             queue; an empty plan keeps that semantics)
+// Departure event -> release circuits + compute units
+// BoxFail event   -> box offline, resident VMs killed (power interval
+//                    settled at kill time, circuits torn down), optional
+//                    requeue of the victims
+// BoxRepair event -> box rejoins the pool
+// Retry event     -> re-placement attempt for a dropped/killed VM
 // After every event the time-weighted utilization integrals advance.
 //
 // The event loop is typed and allocation-free in steady state (DESIGN.md
-// §7): instead of heap-allocated closures in one big priority queue, the
-// workload's arrivals stream from a cursor sorted by (arrival, index)
-// while only departures live in a 4-ary POD min-heap, and the two streams
-// are merged on (time, seq).  Arrivals carry seq 0..N-1 (their workload
-// index) and departures number from N, which reproduces the historical
-// closure-calendar FIFO order exactly -- metrics are bit-identical to the
-// generic des::Simulator replaying the same workload.
+// §7-§8): the workload's arrivals stream from a cursor sorted by
+// (arrival, index) while every *injected* event -- departures, scripted
+// faults/repairs, retries -- lives in one 4-ary POD min-heap of
+// des::LifecycleEvent, and the two streams are merged on (time, seq).
+// Arrivals carry seq 0..N-1 (their workload index) and injected events
+// number from N, which preserves the historical closure-calendar FIFO
+// order exactly: with an empty FaultPlan the metrics are bit-identical to
+// the generic des::Simulator replaying the same workload.
 #pragma once
 
 #include <memory>
@@ -25,6 +34,7 @@
 #include "core/allocator.hpp"
 #include "core/registry.hpp"
 #include "des/calendar.hpp"
+#include "des/lifecycle.hpp"
 #include "network/circuit.hpp"
 #include "photonics/power_ledger.hpp"
 #include "sim/metrics.hpp"
@@ -60,22 +70,32 @@ class Engine {
   }
   [[nodiscard]] const Scenario& scenario() const noexcept { return scenario_; }
 
+  /// Override the scenario's FaultPlan for subsequent runs without
+  /// rebuilding the stack -- the sweep layer's fault axis (one engine,
+  /// many plans).  The plan must outlive the runs; nullptr restores the
+  /// scenario's own plan.
+  void set_fault_plan(const FaultPlan* plan) noexcept { fault_plan_ = plan; }
+  [[nodiscard]] const FaultPlan& fault_plan() const noexcept {
+    return fault_plan_ != nullptr ? *fault_plan_ : scenario_.faults;
+  }
+
   /// Restore the pristine state in place: box occupancy, link reservations,
   /// circuit records and allocator cursors all return to their
   /// just-constructed values with zero topology reallocation.
   void reset();
 
   /// Optional time-series recording: when set, every placement/departure
-  /// appends a TimelinePoint.  The pointer must outlive run(); pass nullptr
-  /// to disable.  Recording is skipped inside the timed scheduler section,
+  /// (and every fault/repair/kill under a nonempty FaultPlan) appends a
+  /// TimelinePoint.  The pointer must outlive run(); pass nullptr to
+  /// disable.  Recording is skipped inside the timed scheduler section,
   /// so Figures 11/12 are unaffected.
   void set_timeline(Timeline* timeline) noexcept { timeline_ = timeline; }
 
   /// Optional per-placement latency recording: when set, every
   /// Allocator::try_place appends its wall-clock duration in nanoseconds
-  /// (success or drop).  The vector must outlive run(); pass nullptr to
-  /// disable.  Samples are taken outside the timed section, so
-  /// scheduler_exec_seconds is unaffected.
+  /// (success or drop, arrivals and retries alike).  The vector must
+  /// outlive run(); pass nullptr to disable.  Samples are taken outside
+  /// the timed section, so scheduler_exec_seconds is unaffected.
   void set_placement_latency_sink(std::vector<double>* sink) noexcept {
     latency_sink_ = sink;
   }
@@ -97,12 +117,15 @@ class Engine {
   std::unique_ptr<core::Allocator> allocator_;
   Timeline* timeline_ = nullptr;
   std::vector<double>* latency_sink_ = nullptr;
+  const FaultPlan* fault_plan_ = nullptr;  ///< non-owning per-run override
 
   // --- Typed event-loop state, reused across runs (capacity retained) ----
-  /// Departures-only calendar: POD {time, seq, vm index} entries.  Its
-  /// size is the live-VM count, not the event count; seq numbering starts
-  /// at the workload size each run (arrivals own seq 0..N-1).
-  des::BasicCalendar<std::uint32_t, 4> departures_;
+  /// Injected-event calendar: POD {time, seq, LifecycleEvent} entries
+  /// (departures + scripted faults/repairs + retries).  Its size is
+  /// bounded by live VMs + pending injections, not the event count; seq
+  /// numbering starts at the workload size each run (arrivals own seq
+  /// 0..N-1).
+  des::BasicCalendar<des::LifecycleEvent, 4> events_;
   /// Workload indices in (arrival, index) order -- the arrival cursor.
   std::vector<std::uint32_t> arrival_order_;
   /// Dense live-placement slots indexed by workload VM index, gated by
@@ -112,6 +135,23 @@ class Engine {
   /// Per-VM instantaneous optical holding power; sized only when a
   /// timeline is recording.
   std::vector<double> holding_power_by_vm_;
+
+  // --- Lifecycle state, sized only when the run's FaultPlan is nonempty --
+  /// Placement epoch per VM: bumped on every successful placement, carried
+  /// by departure events to tombstone departures of killed placements.
+  std::vector<std::uint32_t> place_epoch_;
+  /// Time the current placement opened, and its expected hold (the prepaid
+  /// charging interval; rewritten to the remaining hold when a kill
+  /// requeues the VM).
+  std::vector<SimTime> place_time_;
+  std::vector<double> expected_hold_;
+  /// Retry attempts consumed per VM (bounded by RetryPolicy::max_attempts).
+  std::vector<std::uint32_t> attempts_;
+  /// Whether the VM was ever successfully placed (final-outcome
+  /// accounting: placed/dropped stay per-VM even under requeue).
+  std::vector<std::uint8_t> ever_placed_;
+  /// Admission-count-triggered action indices, sorted by threshold.
+  std::vector<std::uint32_t> admission_actions_;
 };
 
 /// Convenience: run all four paper algorithms over the same workload with

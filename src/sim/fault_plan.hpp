@@ -1,0 +1,106 @@
+// Declarative fault scripting for one simulation run (DESIGN.md §8).
+//
+// A FaultPlan lists box fail/repair actions -- triggered at an absolute
+// simulated time or after the K-th successful admission -- plus a bounded
+// retry/requeue policy for VMs that are dropped at admission or killed by
+// a failure.  The plan is data, not behavior: the engine compiles it into
+// lifecycle events on the merged DES stream (des/lifecycle.hpp), so fault
+// scenarios inherit the sweep layer's bit-exact thread-count determinism.
+// An empty plan reproduces the paper's semantics exactly (no failures,
+// drops are final).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace risa::sim {
+
+/// One scripted box transition.  Exactly one trigger (`at_time` >= 0 XOR
+/// `after_admissions` >= 0) and exactly one victim form (`box` set XOR
+/// `random_boxes` > 0) must be given.  Random victims are drawn uniformly
+/// over all boxes from the plan's seeded RNG stream *when the event
+/// fires*, so draws consume the stream in merged-event order and the whole
+/// run stays deterministic.  Failing an already-offline box (or repairing
+/// an online one) is a no-op, matching Cluster::set_box_offline.
+struct FaultAction {
+  enum class Kind : std::uint8_t { Fail = 0, Repair = 1 };
+  static constexpr std::uint32_t kNoBox = 0xffffffffu;
+
+  Kind kind = Kind::Fail;
+  double at_time = -1.0;               ///< >= 0: fire at this simulated time
+  /// >= 1: fire right after the K-th successful admission (a threshold
+  /// never reached never fires).  "Before anything places" is a time
+  /// trigger (`at_time = 0`), not an admission count of zero.
+  std::int64_t after_admissions = -1;
+  std::uint32_t box = kNoBox;          ///< explicit victim box id, or
+  std::uint32_t random_boxes = 0;      ///< number of seeded random victims
+
+  [[nodiscard]] bool time_triggered() const noexcept { return at_time >= 0.0; }
+
+  void validate() const {
+    if (time_triggered() == (after_admissions >= 0)) {
+      throw std::invalid_argument(
+          "FaultAction: exactly one of at_time / after_admissions required");
+    }
+    if (!time_triggered() && after_admissions == 0) {
+      throw std::invalid_argument(
+          "FaultAction: after_admissions must be >= 1 (use at_time = 0 to "
+          "fire before any placement)");
+    }
+    if ((box == kNoBox) == (random_boxes == 0)) {
+      throw std::invalid_argument(
+          "FaultAction: exactly one of box / random_boxes required");
+    }
+  }
+
+  friend bool operator==(const FaultAction&, const FaultAction&) = default;
+};
+
+/// Bounded requeue policy for drops and kills.  `max_attempts` is the
+/// number of *retry* attempts each VM may consume beyond its initial
+/// admission try; 0 keeps the paper's drops-are-final semantics.  Each
+/// retry fires `delay_tu` after the drop/kill (or the previous failed
+/// retry) as a RETRY event on the merged stream.
+struct RetryPolicy {
+  std::uint32_t max_attempts = 0;
+  double delay_tu = 0.0;
+
+  void validate() const {
+    if (delay_tu < 0.0) {
+      throw std::invalid_argument("RetryPolicy: negative delay");
+    }
+    if (max_attempts > 0 && delay_tu <= 0.0) {
+      throw std::invalid_argument(
+          "RetryPolicy: retries require a positive delay (a zero delay would "
+          "re-attempt at the same instant the failure was observed)");
+    }
+  }
+
+  friend bool operator==(const RetryPolicy&, const RetryPolicy&) = default;
+};
+
+struct FaultPlan {
+  std::vector<FaultAction> actions;
+  RetryPolicy retry{};
+  /// RNG root for random victim draws; independent of the workload seed so
+  /// fault randomness never perturbs workload generation.
+  std::uint64_t seed = 0;
+
+  /// True when the plan changes nothing: the engine's empty-plan fast path
+  /// is bit-identical to the pre-lifecycle event loop.
+  [[nodiscard]] bool empty() const noexcept {
+    return actions.empty() && retry.max_attempts == 0;
+  }
+
+  void validate() const {
+    for (const FaultAction& a : actions) a.validate();
+    retry.validate();
+  }
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+};
+
+}  // namespace risa::sim

@@ -32,6 +32,20 @@ struct SimMetrics {
   std::uint64_t fallback_placements = 0;  ///< RISA SUPER_RACK path uses
   CounterSet drops_by_reason;
 
+  // Lifecycle outcomes (DESIGN.md §8).  All zero when the scenario's
+  // FaultPlan is empty; deliberately EXCLUDED from metrics_fingerprint so
+  // the frozen digest field set stays comparable across engine generations.
+  /// Placements terminated early because their box went offline.  A killed
+  /// VM still counts in `placed` (it was admitted); kills are orthogonal.
+  std::uint64_t killed = 0;
+  /// RETRY events scheduled (one per requeue of a dropped or killed VM).
+  std::uint64_t requeued = 0;
+  /// Successful placements that happened via a RETRY event (re-admission
+  /// of a dropped VM or re-placement of a killed one).
+  std::uint64_t retry_placed = 0;
+  /// Simulated time with at least one box offline (degraded operation).
+  double degraded_tu = 0.0;
+
   [[nodiscard]] double inter_rack_fraction() const noexcept {
     return total_vms > 0 ? static_cast<double>(inter_rack_placements) /
                                static_cast<double>(total_vms)

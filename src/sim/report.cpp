@@ -142,6 +142,22 @@ TextTable full_metrics_table(const std::vector<SimMetrics>& runs) {
   return t;
 }
 
+TextTable lifecycle_table(const std::vector<SweepResult>& results) {
+  TextTable t({"Fault plan", "Workload", "Algorithm", "Killed", "Requeued",
+               "Retry-placed", "Placed", "Dropped", "Inter-rack %",
+               "Degraded tu"});
+  for (const SweepResult& r : results) {
+    const SimMetrics& m = r.metrics;
+    t.add_row({r.fault_plan, m.workload, m.algorithm,
+               std::to_string(m.killed), std::to_string(m.requeued),
+               std::to_string(m.retry_placed), std::to_string(m.placed),
+               std::to_string(m.dropped),
+               TextTable::num(m.inter_rack_fraction() * 100.0, 2),
+               TextTable::num(m.degraded_tu, 1)});
+  }
+  return t;
+}
+
 namespace {
 
 /// The unified per-cell field list, shared verbatim by the JSON and CSV
@@ -157,6 +173,7 @@ const CellField kCellFields[] = {
     {"scenario", [](const SweepResult& r) { return r.scenario; }},
     {"workload", [](const SweepResult& r) { return r.metrics.workload; }},
     {"seed", [](const SweepResult& r) { return render_u64(r.seed); }},
+    {"fault_plan", [](const SweepResult& r) { return r.fault_plan; }},
     {"algorithm", [](const SweepResult& r) { return r.metrics.algorithm; }},
     {"total_vms",
      [](const SweepResult& r) { return render_u64(r.metrics.total_vms); }},
@@ -175,6 +192,16 @@ const CellField kCellFields[] = {
     {"fallbacks",
      [](const SweepResult& r) {
        return render_u64(r.metrics.fallback_placements);
+     }},
+    {"killed",
+     [](const SweepResult& r) { return render_u64(r.metrics.killed); }},
+    {"requeued",
+     [](const SweepResult& r) { return render_u64(r.metrics.requeued); }},
+    {"retry_placed",
+     [](const SweepResult& r) { return render_u64(r.metrics.retry_placed); }},
+    {"degraded_tu",
+     [](const SweepResult& r) {
+       return strformat("%.6f", r.metrics.degraded_tu);
      }},
     {"avg_cpu_util",
      [](const SweepResult& r) {
@@ -227,7 +254,8 @@ const CellField kCellFields[] = {
 /// Keys whose values are emitted as JSON strings rather than numbers.
 [[nodiscard]] bool is_string_field(const char* key) {
   const std::string_view k = key;
-  return k == "scenario" || k == "workload" || k == "algorithm";
+  return k == "scenario" || k == "workload" || k == "algorithm" ||
+         k == "fault_plan";
 }
 
 }  // namespace

@@ -38,6 +38,12 @@ namespace risa::sim {
 /// Full diagnostic dump of every collected metric.
 [[nodiscard]] TextTable full_metrics_table(const std::vector<SimMetrics>& runs);
 
+/// Lifecycle outcomes of a fault-scenario sweep (DESIGN.md §8): per cell,
+/// the kill/requeue/retry counters, final placement outcomes and the
+/// degraded-operation time.  One row per sweep cell, labeled by the cell's
+/// fault plan.
+[[nodiscard]] TextTable lifecycle_table(const std::vector<SweepResult>& results);
+
 // --- Unified sweep emitters --------------------------------------------------
 //
 // Every driver (figure benches, ablations, examples) emits machine-readable

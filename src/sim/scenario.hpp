@@ -11,6 +11,7 @@
 #include "network/bandwidth.hpp"
 #include "network/fabric.hpp"
 #include "photonics/power_ledger.hpp"
+#include "sim/fault_plan.hpp"
 #include "topology/config.hpp"
 
 namespace risa::sim {
@@ -49,12 +50,16 @@ struct Scenario {
   phot::PhotonicConfig photonics{};
   LatencyModel latency{};
   core::AllocatorOptions allocator{};
+  /// Scripted box failures/repairs + retry policy (DESIGN.md §8).  Empty by
+  /// default: the paper's scenarios have no faults and drops are final.
+  FaultPlan faults{};
 
   void validate() const {
     cluster.validate();
     fabric.validate();
     photonics.validate();
     latency.validate();
+    faults.validate();
   }
 
   /// The paper's evaluation platform with all defaults.

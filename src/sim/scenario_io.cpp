@@ -1,5 +1,8 @@
 #include "sim/scenario_io.hpp"
 
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <functional>
 #include <sstream>
@@ -365,6 +368,238 @@ void save_scenario_file(const std::string& path, const Scenario& scenario) {
   if (!os) throw std::runtime_error("scenario: cannot open " + path);
   save_scenario(os, scenario);
   if (!os) throw std::runtime_error("scenario: write failed: " + path);
+}
+
+// --- FaultPlan JSON ---------------------------------------------------------
+
+namespace {
+
+/// Render a double so it parses back to the same bits (%.17g is exact for
+/// IEEE-754 binary64) while keeping round values short.
+std::string json_number(double v) {
+  std::string s = strformat("%.17g", v);
+  const std::string shorter = strformat("%.15g", v);
+  if (std::strtod(shorter.c_str(), nullptr) == v) return shorter;
+  return s;
+}
+
+/// Minimal cursor-based parser for the fixed FaultPlan schema.  Not a
+/// general JSON library: it understands exactly the objects, arrays,
+/// strings and numbers the schema uses, and treats everything unknown as
+/// an error with position context.
+class JsonCursor {
+ public:
+  explicit JsonCursor(std::string_view s) : s_(s) {}
+
+  void skip_ws() {
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t' ||
+                              s_[i_] == '\n' || s_[i_] == '\r')) {
+      ++i_;
+    }
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    skip_ws();
+    if (i_ < s_.size() && s_[i_] == c) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) {
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  [[nodiscard]] bool at_end() {
+    skip_ws();
+    return i_ >= s_.size();
+  }
+
+  [[nodiscard]] std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (i_ < s_.size() && s_[i_] != '"') {
+      if (s_[i_] == '\\') fail("escape sequences not supported");
+      out.push_back(s_[i_++]);
+    }
+    if (i_ >= s_.size()) fail("unterminated string");
+    ++i_;  // closing quote
+    return out;
+  }
+
+  [[nodiscard]] double parse_number() {
+    skip_ws();
+    const std::size_t start = i_;
+    while (i_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[i_])) != 0 ||
+            s_[i_] == '-' || s_[i_] == '+' || s_[i_] == '.' ||
+            s_[i_] == 'e' || s_[i_] == 'E')) {
+      ++i_;
+    }
+    if (i_ == start) fail("expected a number");
+    const std::string token{s_.substr(start, i_ - start)};
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail("malformed number '" + token + "'");
+    return v;
+  }
+
+  /// Iterate "key": value members of an object whose '{' is next.
+  /// `member` is called with each key and must consume the value.
+  template <typename Fn>
+  void parse_object(Fn&& member) {
+    expect('{');
+    if (consume('}')) return;
+    do {
+      const std::string key = parse_string();
+      expect(':');
+      member(key);
+    } while (consume(','));
+    expect('}');
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw std::runtime_error("fault plan JSON (offset " + std::to_string(i_) +
+                             "): " + msg);
+  }
+
+ private:
+  std::string_view s_;
+  std::size_t i_ = 0;
+};
+
+std::uint64_t as_u64(JsonCursor& c, double v, const char* what) {
+  // Range-check BEFORE the cast: casting an out-of-range double to uint64
+  // is undefined behavior, and !(v >= 0) also rejects NaN.  2^64 is
+  // exactly representable, so the upper bound is a plain compare.
+  constexpr double kTwoPow64 = 18446744073709551616.0;
+  if (!(v >= 0.0) || v >= kTwoPow64 ||
+      v != static_cast<double>(static_cast<std::uint64_t>(v))) {
+    c.fail(std::string(what) + " must be a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+std::uint32_t as_u32(JsonCursor& c, double v, const char* what) {
+  const std::uint64_t u = as_u64(c, v, what);
+  if (u > 0xffffffffull) {
+    c.fail(std::string(what) + " exceeds the 32-bit range");
+  }
+  return static_cast<std::uint32_t>(u);
+}
+
+FaultAction parse_action(JsonCursor& c) {
+  FaultAction a;
+  bool kind_seen = false;
+  c.parse_object([&](const std::string& key) {
+    if (key == "action") {
+      const std::string kind = c.parse_string();
+      if (kind == "fail") {
+        a.kind = FaultAction::Kind::Fail;
+      } else if (kind == "repair") {
+        a.kind = FaultAction::Kind::Repair;
+      } else {
+        c.fail("unknown action '" + kind + "' (fail | repair)");
+      }
+      kind_seen = true;
+    } else if (key == "at_time") {
+      a.at_time = c.parse_number();
+    } else if (key == "after_admissions") {
+      a.after_admissions =
+          static_cast<std::int64_t>(as_u64(c, c.parse_number(), "after_admissions"));
+    } else if (key == "box") {
+      a.box = as_u32(c, c.parse_number(), "box");
+    } else if (key == "random_boxes") {
+      a.random_boxes = as_u32(c, c.parse_number(), "random_boxes");
+    } else {
+      c.fail("unknown action key '" + key + "'");
+    }
+  });
+  if (!kind_seen) c.fail("action object missing \"action\"");
+  return a;
+}
+
+}  // namespace
+
+std::string fault_plan_json(const FaultPlan& plan) {
+  std::ostringstream os;
+  os << "{\n  \"seed\": " << plan.seed << ",\n  \"retry\": {\"max_attempts\": "
+     << plan.retry.max_attempts << ", \"delay_tu\": "
+     << json_number(plan.retry.delay_tu) << "},\n  \"actions\": [";
+  for (std::size_t i = 0; i < plan.actions.size(); ++i) {
+    const FaultAction& a = plan.actions[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"action\": \""
+       << (a.kind == FaultAction::Kind::Fail ? "fail" : "repair") << '"';
+    if (a.time_triggered()) {
+      os << ", \"at_time\": " << json_number(a.at_time);
+    } else {
+      os << ", \"after_admissions\": " << a.after_admissions;
+    }
+    if (a.box != FaultAction::kNoBox) {
+      os << ", \"box\": " << a.box;
+    } else {
+      os << ", \"random_boxes\": " << a.random_boxes;
+    }
+    os << '}';
+  }
+  os << (plan.actions.empty() ? "]\n" : "\n  ]\n") << "}\n";
+  return os.str();
+}
+
+FaultPlan parse_fault_plan_json(std::string_view json) {
+  JsonCursor c(json);
+  FaultPlan plan;
+  c.parse_object([&](const std::string& key) {
+    if (key == "seed") {
+      plan.seed = as_u64(c, c.parse_number(), "seed");
+    } else if (key == "retry") {
+      c.parse_object([&](const std::string& rkey) {
+        if (rkey == "max_attempts") {
+          plan.retry.max_attempts =
+              as_u32(c, c.parse_number(), "max_attempts");
+        } else if (rkey == "delay_tu") {
+          plan.retry.delay_tu = c.parse_number();
+        } else {
+          c.fail("unknown retry key '" + rkey + "'");
+        }
+      });
+    } else if (key == "actions") {
+      c.expect('[');
+      if (!c.consume(']')) {
+        do {
+          plan.actions.push_back(parse_action(c));
+        } while (c.consume(','));
+        c.expect(']');
+      }
+    } else {
+      c.fail("unknown key '" + key + "'");
+    }
+  });
+  if (!c.at_end()) c.fail("trailing content after plan object");
+  try {
+    plan.validate();
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string("fault plan JSON: ") + e.what());
+  }
+  return plan;
+}
+
+FaultPlan load_fault_plan_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("fault plan: cannot open " + path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return parse_fault_plan_json(buf.str());
+}
+
+void save_fault_plan_file(const std::string& path, const FaultPlan& plan) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("fault plan: cannot open " + path);
+  os << fault_plan_json(plan);
+  if (!os) throw std::runtime_error("fault plan: write failed: " + path);
 }
 
 }  // namespace risa::sim

@@ -13,6 +13,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "sim/scenario.hpp"
 
@@ -26,5 +27,34 @@ namespace risa::sim {
 /// Serialize every tunable of `scenario` (inverse of load_scenario).
 void save_scenario(std::ostream& os, const Scenario& scenario);
 void save_scenario_file(const std::string& path, const Scenario& scenario);
+
+// --- FaultPlan JSON ---------------------------------------------------------
+//
+// Fault scripts are list-structured (N actions, each with its own trigger
+// and victim form), which the flat `key = value` scenario format cannot
+// express; they round-trip through a small JSON document instead:
+//
+//   {
+//     "seed": 99,
+//     "retry": {"max_attempts": 2, "delay_tu": 25},
+//     "actions": [
+//       {"action": "fail",   "at_time": 120,           "box": 3},
+//       {"action": "repair", "at_time": 500,           "box": 3},
+//       {"action": "fail",   "after_admissions": 1500, "random_boxes": 2}
+//     ]
+//   }
+//
+// Unknown keys are an error (typos must surface); omitted keys keep their
+// defaults; the parsed plan is validated.  parse(fault_plan_json(p)) == p.
+
+/// Serialize a plan as the JSON document above.
+[[nodiscard]] std::string fault_plan_json(const FaultPlan& plan);
+
+/// Parse the JSON document; throws std::runtime_error with context on
+/// malformed input, unknown keys, or a plan that fails validation.
+[[nodiscard]] FaultPlan parse_fault_plan_json(std::string_view json);
+
+[[nodiscard]] FaultPlan load_fault_plan_file(const std::string& path);
+void save_fault_plan_file(const std::string& path, const FaultPlan& plan);
 
 }  // namespace risa::sim

@@ -79,6 +79,12 @@ void SweepSpec::validate() const {
       throw std::invalid_argument("SweepSpec: malformed workload spec");
     }
   }
+  for (const auto& [label, plan] : fault_plans) {
+    if (label.empty()) {
+      throw std::invalid_argument("SweepSpec: unlabeled fault plan");
+    }
+    plan.validate();
+  }
 }
 
 SweepSpec SweepSpec::figure_matrix(std::uint64_t seed) {
@@ -128,6 +134,8 @@ std::vector<SweepResult> SweepRunner::run(const SweepSpec& spec) const {
     std::size_t rest = i;
     const std::size_t a = rest % spec.algorithms.size();
     rest /= spec.algorithms.size();
+    const std::size_t f = rest % spec.fault_count();
+    rest /= spec.fault_count();
     const std::size_t s = rest % spec.seeds.size();
     rest /= spec.seeds.size();
     const std::size_t w = rest % spec.workloads.size();
@@ -147,10 +155,16 @@ std::vector<SweepResult> SweepRunner::run(const SweepSpec& spec) const {
     r.scenario_index = sc;
     r.workload_index = w;
     r.seed_index = s;
+    r.fault_index = f;
     r.algorithm_index = a;
     r.scenario = spec.scenarios[sc].first;
+    r.fault_plan =
+        spec.fault_plans.empty() ? "none" : spec.fault_plans[f].first;
     r.seed = spec.seeds[s];
 
+    // The cell's fault plan (the scenario's own when the axis is unused).
+    engine->set_fault_plan(
+        spec.fault_plans.empty() ? nullptr : &spec.fault_plans[f].second);
     engine->set_timeline(spec.record_timeline ? &r.timeline : nullptr);
     if (spec.record_latency) {
       r.latency_ns.reserve(workloads[w * spec.seeds.size() + s].size());
@@ -162,6 +176,7 @@ std::vector<SweepResult> SweepRunner::run(const SweepSpec& spec) const {
                             spec.workloads[w].label);
     engine->set_timeline(nullptr);
     engine->set_placement_latency_sink(nullptr);
+    engine->set_fault_plan(nullptr);
   });
 
   return results;

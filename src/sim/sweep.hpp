@@ -57,7 +57,7 @@ struct WorkloadSpec {
 };
 
 /// The declarative matrix.  Cells expand in scenario-major order:
-///   for scenario / for workload / for seed / for algorithm
+///   for scenario / for workload / for seed / for fault plan / for algorithm
 /// which keeps per-lane engine rebuilds rare and matches the row order the
 /// paper's figure tables print (workload outer, algorithm inner).
 struct SweepSpec {
@@ -65,23 +65,46 @@ struct SweepSpec {
   std::vector<WorkloadSpec> workloads;
   std::vector<std::uint64_t> seeds;
   std::vector<std::string> algorithms;
+  /// Optional labeled fault-plan axis (DESIGN.md §8).  Empty (the usual
+  /// case) leaves every scenario's own plan in force and contributes no
+  /// axis factor, so existing specs and cell indices are unchanged.  When
+  /// nonempty, each cell's plan *overrides* the scenario's -- one engine
+  /// stack per lane serves every plan (no topology rebuild), and fault
+  /// matrices inherit the bit-exact thread-count determinism because the
+  /// plan's RNG stream is private to the cell's run.
+  std::vector<std::pair<std::string, FaultPlan>> fault_plans;
   bool record_timeline = false;  ///< fill SweepResult::timeline per cell
   bool record_latency = false;   ///< fill SweepResult::latency_ns per cell
 
   void validate() const;
 
+  /// Fault-axis factor: 1 when the axis is unused.
+  [[nodiscard]] std::size_t fault_count() const noexcept {
+    return fault_plans.empty() ? 1 : fault_plans.size();
+  }
+
   [[nodiscard]] std::size_t cell_count() const noexcept {
     return scenarios.size() * workloads.size() * seeds.size() *
-           algorithms.size();
+           fault_count() * algorithms.size();
   }
 
   /// Flat index of one cell in expansion (= result) order.
   [[nodiscard]] std::size_t cell_index(std::size_t scenario,
                                        std::size_t workload, std::size_t seed,
+                                       std::size_t fault,
                                        std::size_t algorithm) const noexcept {
-    return ((scenario * workloads.size() + workload) * seeds.size() + seed) *
+    return (((scenario * workloads.size() + workload) * seeds.size() + seed) *
+                fault_count() +
+            fault) *
                algorithms.size() +
            algorithm;
+  }
+
+  /// Legacy four-axis form (fault axis unused or index 0).
+  [[nodiscard]] std::size_t cell_index(std::size_t scenario,
+                                       std::size_t workload, std::size_t seed,
+                                       std::size_t algorithm) const noexcept {
+    return cell_index(scenario, workload, seed, 0, algorithm);
   }
 
   /// The full figure-suite matrix (Figures 5, 7-12 + §5.1 text): the paper
@@ -96,8 +119,10 @@ struct SweepResult {
   std::size_t scenario_index = 0;
   std::size_t workload_index = 0;
   std::size_t seed_index = 0;
+  std::size_t fault_index = 0;
   std::size_t algorithm_index = 0;
   std::string scenario;   ///< scenario label
+  std::string fault_plan; ///< fault-plan label ("none" when axis unused)
   std::uint64_t seed = 0; ///< the cell's seed (workload RNG stream root)
   SimMetrics metrics;     ///< carries the workload label and algorithm name
   Timeline timeline;                ///< populated when record_timeline

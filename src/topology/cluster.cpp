@@ -228,9 +228,11 @@ void Cluster::set_box_offline(BoxId box_id, bool offline) {
   if (offline) {
     total_available_[b.type()] -= b.available_units();
     b.set_offline(true);
+    ++offline_boxes_;
   } else {
     b.set_offline(false);
     total_available_[b.type()] += b.available_units();
+    --offline_boxes_;
   }
   refresh_rack_aggregates(b.rack(), b.type());
 }
@@ -252,6 +254,7 @@ void Cluster::refresh_rack_aggregates(RackId rack_id, ResourceType t) {
 void Cluster::reset() {
   for (Box& b : boxes_) b.reset();
   total_available_ = total_capacity_;
+  offline_boxes_ = 0;
   for (std::uint32_t r = 0; r < config_.racks; ++r) {
     for (ResourceType t : kAllResources) {
       refresh_rack_aggregates(RackId{r}, t);
@@ -273,6 +276,7 @@ void Cluster::restore(const ClusterSnapshot& snap) {
     throw std::invalid_argument("Cluster::restore: snapshot shape mismatch");
   }
   total_available_ = PerResource<Units>{0, 0, 0};
+  offline_boxes_ = 0;  // snapshots carry occupancy only; rebuilt boxes are online
   for (std::size_t i = 0; i < boxes_.size(); ++i) {
     Box& b = boxes_[i];
     const auto& avail = snap.brick_available[i];
@@ -316,7 +320,9 @@ void Cluster::restore(const ClusterSnapshot& snap) {
 void Cluster::check_invariants() const {
   PerResource<Units> cap{0, 0, 0};
   PerResource<Units> avail{0, 0, 0};
+  std::uint32_t offline = 0;
   for (const Box& b : boxes_) {
+    if (b.offline()) ++offline;
     if (b.raw_available_units() < 0 ||
         b.raw_available_units() > b.capacity_units()) {
       throw std::logic_error("Cluster invariant: box availability out of range");
@@ -344,6 +350,9 @@ void Cluster::check_invariants() const {
     if (avail[t] != total_available_[t]) {
       throw std::logic_error("Cluster invariant: availability aggregate mismatch");
     }
+  }
+  if (offline != offline_boxes_) {
+    throw std::logic_error("Cluster invariant: offline-box count mismatch");
   }
   for (const Rack& rk : racks_) {
     for (ResourceType t : kAllResources) {

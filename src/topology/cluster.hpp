@@ -195,6 +195,13 @@ class Cluster {
   /// resident VMs are killed.
   void set_box_offline(BoxId box, bool offline);
 
+  /// Boxes currently offline, maintained incrementally by
+  /// set_box_offline/reset -- the engine's degraded-operation signal (the
+  /// lifecycle subsystem reads this per event, so it must be O(1)).
+  [[nodiscard]] std::uint32_t offline_box_count() const noexcept {
+    return offline_boxes_;
+  }
+
   /// The incremental rack-availability index (kept in lock-step with the
   /// per-rack aggregates by every mutation).
   [[nodiscard]] const RackAvailabilityIndex& rack_index() const noexcept {
@@ -231,6 +238,7 @@ class Cluster {
   PerResource<std::vector<BoxId>> by_type_;
   PerResource<Units> total_capacity_{0, 0, 0};
   PerResource<Units> total_available_{0, 0, 0};
+  std::uint32_t offline_boxes_ = 0;
   RackAvailabilityIndex index_;
 };
 

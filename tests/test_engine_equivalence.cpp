@@ -131,6 +131,16 @@ void expect_equivalent(const wl::Workload& workload, const std::string& label) {
         << label << " / " << algo;
     EXPECT_EQ(typed.events_executed, ref.events_executed)
         << label << " / " << algo;
+
+    // Lifecycle contract (DESIGN.md §8): an explicitly-installed empty
+    // FaultPlan must leave the merged stream bit-identical to the
+    // pre-lifecycle loop -- the whole figure matrix passes through here.
+    const FaultPlan empty;
+    engine.set_fault_plan(&empty);
+    const SimMetrics gated = engine.run(workload, label);
+    EXPECT_EQ(metrics_fingerprint(gated), metrics_fingerprint(ref))
+        << label << " / " << algo << " (explicit empty FaultPlan)";
+    EXPECT_EQ(gated.events_executed, ref.events_executed);
   }
 }
 

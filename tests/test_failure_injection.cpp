@@ -83,6 +83,78 @@ TEST(BoxFailure, WholeTypeFailureDropsEverything) {
   EXPECT_EQ(placed.error(), core::DropReason::NoComputeResources);
 }
 
+TEST(BoxFailure, OfflineTeardownWithLiveCircuitsReleasesEveryReservation) {
+  // Place a batch of VMs, take a box offline, tear down every resident
+  // placement (the engine's kill path): afterwards no lane/link holds a
+  // reservation for the victims, the circuit table has no trace of them,
+  // and the incremental availability index still equals a naive rescan
+  // (check_invariants recomputes every aggregate from scratch).
+  topo::Cluster cluster((topo::ClusterConfig()));
+  net::Fabric fabric(topo::ClusterConfig{}, net::FabricConfig{});
+  net::Router router(fabric);
+  net::CircuitTable circuits(router);
+  core::AllocContext ctx;
+  ctx.cluster = &cluster;
+  ctx.fabric = &fabric;
+  ctx.router = &router;
+  ctx.circuits = &circuits;
+  auto nulb = core::make_allocator("NULB", ctx);
+
+  std::vector<core::Placement> live;
+  for (std::uint32_t i = 0; i < 24; ++i) {
+    auto placed = nulb->try_place(sim::toy_vm(i, 16, 24.0, 128.0));
+    ASSERT_TRUE(placed.ok());
+    live.push_back(std::move(placed.value()));
+  }
+  ASSERT_EQ(circuits.active_count(), 2 * live.size());
+  const MbitsPerSec intra_held = fabric.intra_allocated();
+  ASSERT_GT(intra_held, 0);
+
+  // NULB packs box 0 first: it must host residents.
+  const BoxId victim = cluster.boxes_of_type(ResourceType::Cpu)[0];
+  cluster.set_box_offline(victim, true);
+  EXPECT_EQ(cluster.offline_box_count(), 1u);
+
+  std::size_t killed = 0;
+  for (std::size_t i = 0; i < live.size();) {
+    bool resident = false;
+    for (ResourceType t : kAllResources) {
+      if (live[i].box(t) == victim) resident = true;
+    }
+    if (!resident) {
+      ++i;
+      continue;
+    }
+    const VmId vm = live[i].vm;
+    ASSERT_EQ(circuits.circuit_count_of(vm), 2u);
+    nulb->release(live[i]);
+    EXPECT_EQ(circuits.circuit_count_of(vm), 0u);
+    live[i] = std::move(live.back());
+    live.pop_back();
+    ++killed;
+  }
+  ASSERT_GT(killed, 0u);
+  EXPECT_EQ(circuits.active_count(), 2 * live.size());
+  // Index vs naive rescan (and every other aggregate) after the offline
+  // churn: check_invariants throws on any divergence.
+  cluster.check_invariants();
+  fabric.check_invariants();
+
+  // Release the survivors: every lane/link reservation must return.
+  for (auto& p : live) nulb->release(p);
+  EXPECT_EQ(circuits.active_count(), 0u);
+  EXPECT_EQ(fabric.intra_allocated(), 0);
+  EXPECT_EQ(fabric.inter_allocated(), 0);
+  for (std::size_t l = 0; l < fabric.num_links(); ++l) {
+    EXPECT_EQ(fabric.link(LinkId{static_cast<std::uint32_t>(l)}).allocated(), 0)
+        << "link " << l;
+  }
+  cluster.set_box_offline(victim, false);
+  EXPECT_EQ(cluster.offline_box_count(), 0u);
+  cluster.check_invariants();
+  fabric.check_invariants();
+}
+
 TEST(LinkFailure, FailedLinkLeavesRackAggregate) {
   net::Fabric fabric(topo::ClusterConfig{}, net::FabricConfig{});
   const LinkId victim = fabric.box_uplinks(BoxId{0})[0];

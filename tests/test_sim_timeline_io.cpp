@@ -91,9 +91,9 @@ TEST(Timeline, CsvRoundTripShape) {
   const auto rows = CsvReader::read_all(ss);
   ASSERT_EQ(rows.size(), timeline.size() + 1);  // header + points
   EXPECT_EQ(rows[0][0], "time");
-  EXPECT_EQ(rows[0].size(), 10u);
+  EXPECT_EQ(rows[0].size(), 12u);
   for (std::size_t i = 1; i < rows.size(); ++i) {
-    ASSERT_EQ(rows[i].size(), 10u);
+    ASSERT_EQ(rows[i].size(), 12u);
   }
 }
 
