@@ -30,6 +30,8 @@ int main(int argc, char** argv) {
   flags.define("csv", "", "Write the unified sweep CSV to this file");
   flags.define("faults", "",
                "FaultPlan JSON file applied to every cell of the matrix");
+  flags.define("migrations", "",
+               "MigrationPlan JSON file applied to every cell of the matrix");
   flags.define("verify", "false",
                "Re-run the matrix serially and compare bit-exact digests");
   define_threads_flag(flags);
@@ -45,6 +47,15 @@ int main(int argc, char** argv) {
     std::cout << "fault plan applied: " << plan.actions.size()
               << " action(s), retry max_attempts=" << plan.retry.max_attempts
               << "\n\n";
+  }
+  if (!flags.str("migrations").empty()) {
+    const sim::MigrationPlan plan =
+        sim::load_migration_plan_file(flags.str("migrations"));
+    // Same one-entry-axis trick as --faults: factor 1, labeled rows.
+    spec.migration_plans.emplace_back(flags.str("migrations"), plan);
+    std::cout << "migration plan applied: period=" << plan.period_tu
+              << " tu, per_sweep=" << plan.per_sweep_budget
+              << ", total_budget=" << plan.total_budget << "\n\n";
   }
   const sim::SweepRunner runner(thread_count(flags));
 
@@ -87,6 +98,10 @@ int main(int argc, char** argv) {
   if (!flags.str("faults").empty()) {
     std::cout << "\n=== Lifecycle outcomes (fault plan) ===\n"
               << sim::lifecycle_table(results);
+  }
+  if (!flags.str("migrations").empty()) {
+    std::cout << "\n=== Defragmentation outcomes (migration plan) ===\n"
+              << sim::migration_table(results);
   }
 
   if (!flags.str("json").empty() &&

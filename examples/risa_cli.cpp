@@ -34,7 +34,10 @@ int main(int argc, char** argv) {
   flags.define("seed", std::to_string(sim::kDefaultSeed), "Workload RNG seed");
   flags.define("scenario", "", "Scenario config file (see sim/scenario_io.hpp)");
   flags.define("faults", "",
-               "FaultPlan JSON file: scripted box fail/repair + retry policy");
+               "FaultPlan JSON file: scripted box/link fail/repair + retry "
+               "policy");
+  flags.define("migrations", "",
+               "MigrationPlan JSON file: periodic defragmentation sweeps");
   flags.define("dump-scenario", "", "Write the resolved scenario to this file");
   flags.define("trace-in", "", "Load the workload from this CSV trace instead");
   flags.define("trace-out", "", "Save the generated workload to this CSV trace");
@@ -53,6 +56,14 @@ int main(int argc, char** argv) {
                 << " action(s), retry max_attempts="
                 << scenario.faults.retry.max_attempts << '\n';
     }
+    if (!flags.str("migrations").empty()) {
+      scenario.migrations =
+          sim::load_migration_plan_file(flags.str("migrations"));
+      std::cout << "migration plan: period="
+                << scenario.migrations.period_tu << " tu, per_sweep="
+                << scenario.migrations.per_sweep_budget << ", total_budget="
+                << scenario.migrations.total_budget << '\n';
+    }
     if (!flags.str("dump-scenario").empty()) {
       sim::save_scenario_file(flags.str("dump-scenario"), scenario);
       std::cout << "scenario written to " << flags.str("dump-scenario") << '\n';
@@ -65,6 +76,13 @@ int main(int argc, char** argv) {
         std::cout << "fault plan written to " << faults_path
                   << " (pass it back via --faults; the scenario file alone "
                      "runs fault-free)\n";
+      }
+      if (!scenario.migrations.empty()) {
+        const std::string mig_path =
+            flags.str("dump-scenario") + ".migrations.json";
+        sim::save_migration_plan_file(mig_path, scenario.migrations);
+        std::cout << "migration plan written to " << mig_path
+                  << " (pass it back via --migrations)\n";
       }
     }
 
@@ -114,6 +132,12 @@ int main(int argc, char** argv) {
                 << " requeued=" << m.requeued
                 << " retry_placed=" << m.retry_placed << " degraded_tu="
                 << TextTable::num(m.degraded_tu, 1) << '\n';
+    }
+    if (m.migrated > 0 || !scenario.migrations.empty()) {
+      std::cout << "migrations: migrated=" << m.migrated
+                << " interrack_recovered=" << m.interrack_vms_recovered
+                << " migration_tu=" << TextTable::num(m.migration_tu, 1)
+                << '\n';
     }
     if (m.dropped > 0) {
       std::cout << "drops by reason:";

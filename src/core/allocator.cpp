@@ -17,6 +17,13 @@ Result<Placement, DropReason> Allocator::commit(const wl::VmRequest& vm,
   placement.demand = ctx_.bandwidth.demand(units);
   placement.used_fallback = used_fallback;
 
+  // Circuits the VM already holds before this commit.  Zero at admission;
+  // nonzero on the migration path, where the old placement's circuits stay
+  // live while the new ones are established (make-before-break) -- a
+  // failed commit must roll back only the circuits IT opened.
+  const auto held_before =
+      static_cast<std::uint32_t>(ctx_.circuits->circuit_count_of(vm.id));
+
   // --- Compute phase commit ---------------------------------------------
   std::size_t committed = 0;
   for (ResourceType t : kAllResources) {
@@ -70,7 +77,8 @@ Result<Placement, DropReason> Allocator::commit(const wl::VmRequest& vm,
                            placement.rack(ResourceType::Storage),
                            placement.demand.ram_sto);
   if (!ram_sto.ok()) {
-    ctx_.circuits->teardown_vm(vm.id);  // undo the CPU-RAM circuit
+    // Undo the CPU-RAM circuit this commit opened, and nothing else.
+    ctx_.circuits->teardown_suffix(vm.id, held_before);
     rollback_compute();
     return Err{DropReason::NoNetworkResources};
   }

@@ -34,6 +34,9 @@ enum class LifecycleKind : std::uint8_t {
   BoxFail = 2,    ///< scripted fault: a box goes offline, residents die
   BoxRepair = 3,  ///< scripted repair: the box rejoins the pool
   Retry = 4,      ///< re-placement attempt for a dropped/killed VM
+  LinkFail = 5,   ///< scripted fault: a fabric link dies, circuits over it too
+  LinkRepair = 6, ///< scripted repair: the link admits circuits again
+  Migrate = 7,    ///< defragmentation sweep: re-place worst-spread live VMs
 };
 
 [[nodiscard]] constexpr std::string_view name(LifecycleKind k) noexcept {
@@ -43,17 +46,22 @@ enum class LifecycleKind : std::uint8_t {
     case LifecycleKind::BoxFail: return "box-fail";
     case LifecycleKind::BoxRepair: return "box-repair";
     case LifecycleKind::Retry: return "retry";
+    case LifecycleKind::LinkFail: return "link-fail";
+    case LifecycleKind::LinkRepair: return "link-repair";
+    case LifecycleKind::Migrate: return "migrate";
   }
   return "?";
 }
 
-/// Calendar payload.  `subject` is the VM index (Departure/Retry) or the
-/// fault-plan action index (BoxFail/BoxRepair -- the action is resolved to
-/// concrete boxes when the event fires, so seeded random victim draws
-/// happen in stream order).  `epoch` tombstones stale departures: a VM
-/// killed by a box failure leaves its scheduled departure in the calendar,
-/// and a later retry placement opens a new epoch; a departure is executed
-/// only when its epoch matches the subject's current placement epoch.
+/// Calendar payload.  `subject` is the VM index (Departure/Retry), the
+/// fault-plan action index (BoxFail/BoxRepair/LinkFail/LinkRepair -- the
+/// action is resolved to concrete victims when the event fires, so seeded
+/// random draws happen in stream order), or the sweep ordinal (Migrate).
+/// `epoch` tombstones stale departures: a VM killed by a failure -- or
+/// re-placed by a migration sweep -- leaves its scheduled departure in the
+/// calendar, and the next successful placement opens a new epoch; a
+/// departure is executed only when its epoch matches the subject's current
+/// placement epoch.
 struct LifecycleEvent {
   LifecycleKind kind = LifecycleKind::Departure;
   std::uint32_t subject = 0;

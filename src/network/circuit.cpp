@@ -38,6 +38,43 @@ std::size_t CircuitTable::teardown_vm(VmId vm) {
   return removed;
 }
 
+std::size_t CircuitTable::teardown_prefix(VmId vm, std::uint32_t k) {
+  VmCircuits* vc = by_vm_.find(vm.value());
+  if (vc == nullptr || k == 0) return 0;
+  if (k > vc->count) k = vc->count;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const Circuit& c = slot(*vc, i);
+    router_->release(c.path, c.bandwidth);
+  }
+  for (std::uint32_t i = k; i < vc->count; ++i) {
+    slot(*vc, i - k) = std::move(slot(*vc, i));
+  }
+  vc->count -= k;
+  const std::uint32_t keep_overflow =
+      vc->count > kInlineCircuits ? vc->count - kInlineCircuits : 0;
+  while (vc->overflow.size() > keep_overflow) vc->overflow.pop_back();
+  active_ -= k;
+  if (vc->count == 0) by_vm_.erase(vm.value());
+  return k;
+}
+
+std::size_t CircuitTable::teardown_suffix(VmId vm, std::uint32_t keep) {
+  VmCircuits* vc = by_vm_.find(vm.value());
+  if (vc == nullptr || keep >= vc->count) return 0;
+  const std::uint32_t removed = vc->count - keep;
+  for (std::uint32_t i = keep; i < vc->count; ++i) {
+    const Circuit& c = slot(*vc, i);
+    router_->release(c.path, c.bandwidth);
+  }
+  vc->count = keep;
+  const std::uint32_t keep_overflow =
+      keep > kInlineCircuits ? keep - kInlineCircuits : 0;
+  while (vc->overflow.size() > keep_overflow) vc->overflow.pop_back();
+  active_ -= removed;
+  if (vc->count == 0) by_vm_.erase(vm.value());
+  return removed;
+}
+
 std::vector<const Circuit*> CircuitTable::circuits_of(VmId vm) const {
   std::vector<const Circuit*> out;
   const VmCircuits* vc = by_vm_.find(vm.value());

@@ -60,6 +60,19 @@ class CircuitTable {
   /// number of circuits removed (0 when the VM holds none).
   std::size_t teardown_vm(VmId vm);
 
+  /// Tear down the first `k` circuits of `vm` in establishment order,
+  /// releasing their bandwidth; later circuits keep their order.  The
+  /// migration commit path: a re-placed VM briefly holds old + new
+  /// circuits, and the old ones are exactly the prefix.  Returns the
+  /// number removed (clamped to what the VM holds).
+  std::size_t teardown_prefix(VmId vm, std::uint32_t k);
+
+  /// Tear down every circuit of `vm` AFTER the first `keep`, releasing
+  /// their bandwidth -- the migration rollback path (drop the freshly
+  /// established circuits, keep the original placement's).  Returns the
+  /// number removed.
+  std::size_t teardown_suffix(VmId vm, std::uint32_t keep);
+
   [[nodiscard]] std::size_t active_count() const noexcept { return active_; }
 
   /// Drop every record and restart circuit-id numbering WITHOUT releasing
@@ -119,6 +132,12 @@ class CircuitTable {
     std::array<Circuit, kInlineCircuits> inline_circuits;
     std::vector<Circuit> overflow;
   };
+
+  /// Circuit at position `i` in establishment order (inline slots first).
+  [[nodiscard]] static Circuit& slot(VmCircuits& vc, std::uint32_t i) {
+    return i < kInlineCircuits ? vc.inline_circuits[i]
+                               : vc.overflow[i - kInlineCircuits];
+  }
 
   Router* router_;
   U32Map<VmCircuits> by_vm_;  // by vm id

@@ -207,6 +207,11 @@ void Fabric::release(LinkId id, MbitsPerSec bw) {
 void Fabric::set_link_failed(LinkId id, bool failed) {
   Link& l = link(id);
   if (l.failed() == failed) return;
+  if (failed) {
+    ++failed_links_;
+  } else {
+    --failed_links_;
+  }
   if (l.kind() == LinkKind::BoxUplink) {
     if (failed) {
       rack_intra_available_[l.rack().value()] -= l.available();
@@ -230,6 +235,7 @@ MbitsPerSec Fabric::rack_intra_available(RackId rack) const {
 void Fabric::reset() {
   intra_allocated_ = 0;
   inter_allocated_ = 0;
+  failed_links_ = 0;
   std::fill(rack_intra_available_.begin(), rack_intra_available_.end(), 0);
   for (Link& l : links_) {
     l.reset();
@@ -241,11 +247,13 @@ void Fabric::reset() {
 
 void Fabric::check_invariants() const {
   MbitsPerSec intra_cap = 0, intra_alloc = 0, inter_cap = 0, inter_alloc = 0;
+  std::uint32_t failed = 0;
   std::vector<MbitsPerSec> rack_avail(rack_intra_available_.size(), 0);
   for (const Link& l : links_) {
     if (l.allocated() < 0 || l.allocated() > l.capacity()) {
       throw std::logic_error("Fabric invariant: link allocation out of range");
     }
+    if (l.failed()) ++failed;
     if (l.kind() == LinkKind::BoxUplink) {
       intra_cap += l.capacity();
       intra_alloc += l.allocated();
@@ -258,6 +266,9 @@ void Fabric::check_invariants() const {
   if (intra_cap != intra_capacity_ || intra_alloc != intra_allocated_ ||
       inter_cap != inter_capacity_ || inter_alloc != inter_allocated_) {
     throw std::logic_error("Fabric invariant: tier aggregate mismatch");
+  }
+  if (failed != failed_links_) {
+    throw std::logic_error("Fabric invariant: failed-link count mismatch");
   }
   for (std::size_t r = 0; r < rack_avail.size(); ++r) {
     if (rack_avail[r] != rack_intra_available_[r]) {

@@ -136,6 +136,13 @@ class Fabric {
   /// bandwidth leaves the per-rack availability aggregate until repaired.
   void set_link_failed(LinkId id, bool failed);
 
+  /// Links currently failed, maintained incrementally by set_link_failed /
+  /// reset -- the engine's degraded-operation signal for link faults (read
+  /// per event, so it must be O(1); mirrors Cluster::offline_box_count).
+  [[nodiscard]] std::uint32_t failed_link_count() const noexcept {
+    return failed_links_;
+  }
+
   // --- Aggregates ---------------------------------------------------------
   [[nodiscard]] MbitsPerSec intra_capacity() const noexcept { return intra_capacity_; }
   [[nodiscard]] MbitsPerSec intra_allocated() const noexcept { return intra_allocated_; }
@@ -176,6 +183,7 @@ class Fabric {
   std::vector<std::vector<LinkId>> rack_uplinks_;  // by rack id
   std::vector<std::vector<LinkId>> pod_uplinks_;   // by pod index (3-tier)
   std::vector<MbitsPerSec> rack_intra_available_;  // by rack id
+  std::uint32_t failed_links_ = 0;
   MbitsPerSec intra_capacity_ = 0;
   MbitsPerSec intra_allocated_ = 0;
   MbitsPerSec inter_capacity_ = 0;

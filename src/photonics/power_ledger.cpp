@@ -55,25 +55,46 @@ VmEnergy PowerLedger::charge_vm(const net::CircuitTable& table, VmId vm,
   return sum;
 }
 
+void PowerLedger::accumulate_circuit_refund(const net::Circuit& circuit,
+                                            double unused_tu,
+                                            VmEnergy& refund) {
+  for (SwitchId sw : circuit.path.switches) {
+    const auto& node = fabric_->switch_node(sw);
+    // Only the holding (trimming) term of Eq. (1) scales with duration;
+    // the switching term is sunk reconfiguration cost.
+    refund.switch_trimming_j +=
+        circuit_switch_energy(config_.switch_energy, node.ports, unused_tu)
+            .trimming_j;
+  }
+  const double unused_s =
+      unused_tu * config_.switch_energy.seconds_per_time_unit;
+  refund.transceiver_j += transceiver_energy_j(
+      config_.transceiver, circuit.bandwidth, circuit.path.hop_count(),
+      unused_s);
+  ++refunded_;
+}
+
 VmEnergy PowerLedger::refund_vm_truncation(const net::CircuitTable& table,
                                            VmId vm, double unused_tu) {
   VmEnergy refund;
   if (unused_tu <= 0.0) return refund;  // interval ran to its prepaid end
+  // One accumulator across all circuits, subtracted from the totals once:
+  // the exact FP accumulation order of the historical kill path (frozen --
+  // see the header).  The per-circuit settlement below shares the helper
+  // but subtracts per circuit.
   table.for_each_circuit_of(vm, [&](const net::Circuit& c) {
-    for (SwitchId sw : c.path.switches) {
-      const auto& node = fabric_->switch_node(sw);
-      // Only the holding (trimming) term of Eq. (1) scales with duration;
-      // the switching term is sunk reconfiguration cost.
-      refund.switch_trimming_j +=
-          circuit_switch_energy(config_.switch_energy, node.ports, unused_tu)
-              .trimming_j;
-    }
-    const double unused_s =
-        unused_tu * config_.switch_energy.seconds_per_time_unit;
-    refund.transceiver_j += transceiver_energy_j(
-        config_.transceiver, c.bandwidth, c.path.hop_count(), unused_s);
-    ++refunded_;
+    accumulate_circuit_refund(c, unused_tu, refund);
   });
+  total_.switch_trimming_j -= refund.switch_trimming_j;
+  total_.transceiver_j -= refund.transceiver_j;
+  return refund;
+}
+
+VmEnergy PowerLedger::refund_circuit_truncation(const net::Circuit& circuit,
+                                                double unused_tu) {
+  VmEnergy refund;
+  if (unused_tu <= 0.0) return refund;  // interval ran to its prepaid end
+  accumulate_circuit_refund(circuit, unused_tu, refund);
   total_.switch_trimming_j -= refund.switch_trimming_j;
   total_.transceiver_j -= refund.transceiver_j;
   return refund;

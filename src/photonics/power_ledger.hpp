@@ -86,6 +86,17 @@ class PowerLedger {
   VmEnergy refund_vm_truncation(const net::CircuitTable& table, VmId vm,
                                 double unused_tu);
 
+  /// Per-circuit variant of the truncation settlement, for callers that
+  /// retire a SUBSET of a VM's circuits (the migration path: the old
+  /// circuits settle at the sweep instant while the freshly established
+  /// ones open their own intervals).  Shares the refund arithmetic with
+  /// refund_vm_truncation but subtracts from the totals per circuit; the
+  /// kill path keeps its whole-VM accumulate-then-subtract order, which is
+  /// frozen bit-for-bit (DESIGN.md §8.4).  Non-positive `unused_tu` is a
+  /// no-op.
+  VmEnergy refund_circuit_truncation(const net::Circuit& circuit,
+                                     double unused_tu);
+
   [[nodiscard]] double total_energy_j() const noexcept { return total_.total_j(); }
   [[nodiscard]] const VmEnergy& totals() const noexcept { return total_; }
   [[nodiscard]] std::size_t circuits_charged() const noexcept { return charged_; }
@@ -104,6 +115,12 @@ class PowerLedger {
   }
 
  private:
+  /// Append one circuit's duration-proportional refund terms (per-switch
+  /// trimming, then transceiver -- the shared arithmetic of both public
+  /// settlement entry points) into `refund` and count the circuit.
+  void accumulate_circuit_refund(const net::Circuit& circuit,
+                                 double unused_tu, VmEnergy& refund);
+
   PhotonicConfig config_;
   const net::Fabric* fabric_;
   VmEnergy total_{};

@@ -1,11 +1,13 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <numeric>
 #include <stdexcept>
 
 #include "common/rng.hpp"
+#include "sim/migration.hpp"
 
 namespace risa::sim {
 
@@ -82,15 +84,24 @@ SimMetrics Engine::run(const wl::Workload& workload,
     }
   }
 
-  // The run's fault script (the scenario's, unless the sweep layer swapped
-  // in another plan for this cell).  `lifecycle` gates every fault-related
-  // branch so the empty-plan event loop stays byte-for-byte the PR 3 path.
+  // The run's fault and migration scripts (the scenario's, unless the
+  // sweep layer swapped in other plans for this cell).  `lifecycle` gates
+  // every injected-event branch so the empty-plans event loop stays
+  // byte-for-byte the PR 3 path; `migrating` gates the sweep machinery on
+  // top of it (an empty MigrationPlan is bit-identical to the fault-only
+  // PR 4 loop).
   const FaultPlan& plan = fault_plan();
   plan.validate();
-  const bool lifecycle = !plan.empty();
+  const MigrationPlan& mig = migration_plan();
+  mig.validate();
+  const bool migrating = !mig.empty();
+  const bool lifecycle = !plan.empty() || migrating;
   for (const FaultAction& a : plan.actions) {
     if (a.box != FaultAction::kNoBox && a.box >= cluster_->num_boxes()) {
       throw std::invalid_argument("Engine: FaultAction box id out of range");
+    }
+    if (a.link != FaultAction::kNoLink && a.link >= fabric_->num_links()) {
+      throw std::invalid_argument("Engine: FaultAction link id out of range");
     }
   }
 
@@ -135,6 +146,15 @@ SimMetrics Engine::run(const wl::Workload& workload,
   Rng fault_rng(plan.seed);
   std::size_t admissions = 0;
   std::size_t next_admission_action = 0;
+  auto action_kind = [](const FaultAction& a) {
+    switch (a.kind) {
+      case FaultAction::Kind::Fail: return LifecycleKind::BoxFail;
+      case FaultAction::Kind::Repair: return LifecycleKind::BoxRepair;
+      case FaultAction::Kind::LinkFail: return LifecycleKind::LinkFail;
+      case FaultAction::Kind::LinkRepair: return LifecycleKind::LinkRepair;
+    }
+    throw std::logic_error("Engine: bad FaultAction kind");
+  };
   if (lifecycle) {
     place_epoch_.assign(n, 0);
     place_time_.assign(n, 0.0);
@@ -144,11 +164,8 @@ SimMetrics Engine::run(const wl::Workload& workload,
     admission_actions_.clear();
     for (std::uint32_t i = 0; i < plan.actions.size(); ++i) {
       const FaultAction& a = plan.actions[i];
-      const LifecycleKind kind = a.kind == FaultAction::Kind::Fail
-                                     ? LifecycleKind::BoxFail
-                                     : LifecycleKind::BoxRepair;
       if (a.time_triggered()) {
-        events_.push(a.at_time, LifecycleEvent{kind, i, 0});
+        events_.push(a.at_time, LifecycleEvent{action_kind(a), i, 0});
       } else {
         admission_actions_.push_back(i);
       }
@@ -158,6 +175,17 @@ SimMetrics Engine::run(const wl::Workload& workload,
                        return plan.actions[a].after_admissions <
                               plan.actions[b].after_admissions;
                      });
+  }
+
+  // Migration budget + the seed sweep event.  Pushed after the
+  // time-triggered fault actions so the injected seq assignment is
+  // deterministic: plan actions in plan order, then the first MIGRATE,
+  // then stream-order events (DESIGN.md §9 extends the §8 contract).
+  std::uint32_t migration_budget = 0;
+  if (migrating) {
+    migration_budget = mig.total_budget;
+    events_.push(mig.first_sweep_time(),
+                 LifecycleEvent{LifecycleKind::Migrate, 0, 0});
   }
 
   // Instantaneous optical holding power, maintained incrementally for the
@@ -172,7 +200,9 @@ SimMetrics Engine::run(const wl::Workload& workload,
     p.placed_total = m.placed;
     p.dropped_total = m.dropped;
     p.killed_total = m.killed;
+    p.migrated_total = m.migrated;
     p.offline_boxes = cluster_->offline_box_count();
+    p.failed_links = fabric_->failed_link_count();
     for (ResourceType ty : kAllResources) {
       p.utilization[ty] = cluster_->utilization(ty);
     }
@@ -190,11 +220,14 @@ SimMetrics Engine::run(const wl::Workload& workload,
   std::uint64_t executed = 0;
 
   // Degraded-operation integral: simulated time spent with >= 1 box
-  // offline, accumulated per inter-event gap (state is piecewise constant
-  // between events, exactly like the utilization signals).
+  // offline or link failed, accumulated per inter-event gap (state is
+  // piecewise constant between events, exactly like the utilization
+  // signals).
   SimTime last_event_t = 0.0;
   auto note_time = [&](SimTime t) {
-    if (cluster_->offline_box_count() > 0) m.degraded_tu += t - last_event_t;
+    if (cluster_->offline_box_count() > 0 || fabric_->failed_link_count() > 0) {
+      m.degraded_tu += t - last_event_t;
+    }
     last_event_t = t;
   };
 
@@ -285,15 +318,16 @@ SimMetrics Engine::run(const wl::Workload& workload,
       const FaultAction& a = plan.actions[ai];
       if (a.after_admissions > static_cast<std::int64_t>(admissions)) break;
       ++next_admission_action;
-      const LifecycleKind kind = a.kind == FaultAction::Kind::Fail
-                                     ? LifecycleKind::BoxFail
-                                     : LifecycleKind::BoxRepair;
-      events_.push(now, LifecycleEvent{kind, ai, 0});
+      events_.push(now, LifecycleEvent{action_kind(a), ai, 0});
     }
   };
 
   // Requeue `vm_index` when the retry budget allows; returns whether a
-  // RETRY event was scheduled.
+  // RETRY event was scheduled.  `pending_retries` keeps the migration
+  // schedule alive across windows where every VM is dead but re-placements
+  // are still coming (the post-failure stragglers are exactly what the
+  // sweeps exist to recover).
+  std::size_t pending_retries = 0;
   auto requeue = [&](std::uint32_t vm_index) -> bool {
     if (plan.retry.max_attempts == 0 ||
         attempts_[vm_index] >= plan.retry.max_attempts) {
@@ -301,6 +335,7 @@ SimMetrics Engine::run(const wl::Workload& workload,
     }
     ++attempts_[vm_index];
     ++m.requeued;
+    ++pending_retries;
     events_.push(now + plan.retry.delay_tu,
                  LifecycleEvent{LifecycleKind::Retry, vm_index, 0});
     return true;
@@ -329,34 +364,213 @@ SimMetrics Engine::run(const wl::Workload& workload,
 
   // Execute one scripted fail/repair action.  Random victims are drawn
   // here, in merged-stream order, from the plan's own RNG stream.
-  // Transitions are idempotent (re-failing an offline box is a no-op), so
-  // duplicate random draws are harmless.
+  // Transitions are idempotent (re-failing an offline victim is a no-op),
+  // so duplicate random draws are harmless.
   auto execute_action = [&](std::uint32_t action_index, bool fail) {
     const FaultAction& a = plan.actions[action_index];
-    const std::uint32_t draws = a.box != FaultAction::kNoBox ? 1 : a.random_boxes;
-    for (std::uint32_t k = 0; k < draws; ++k) {
-      const BoxId victim =
-          a.box != FaultAction::kNoBox
-              ? BoxId{a.box}
-              : BoxId{static_cast<std::uint32_t>(fault_rng.uniform_int(
-                    0, static_cast<std::int64_t>(cluster_->num_boxes()) - 1))};
-      if (cluster_->box_unchecked(victim).offline() == fail) continue;
-      cluster_->set_box_offline(victim, fail);
-      if (!fail) continue;
-      // Offline-box teardown: every resident VM dies with its circuits.
-      for (std::uint32_t i = 0; i < n; ++i) {
-        if (!live_[i]) continue;
-        const core::Placement& p = placement_slots_[i];
-        for (ResourceType t : kAllResources) {
-          if (p.box(t) == victim) {
-            kill_vm(i);
-            break;
+    if (a.targets_links()) {
+      const std::uint32_t draws =
+          a.link != FaultAction::kNoLink ? 1 : a.random_links;
+      for (std::uint32_t k = 0; k < draws; ++k) {
+        const LinkId victim =
+            a.link != FaultAction::kNoLink
+                ? LinkId{a.link}
+                : LinkId{static_cast<std::uint32_t>(fault_rng.uniform_int(
+                      0,
+                      static_cast<std::int64_t>(fabric_->num_links()) - 1))};
+        if (fabric_->link(victim).failed() == fail) continue;
+        fabric_->set_link_failed(victim, fail);
+        if (!fail) continue;
+        // Dead-link teardown: every live VM holding a circuit that
+        // traverses the failed link dies (scanned in VM-index order, so
+        // kills -- and their requeues -- are deterministic).
+        for (std::uint32_t i = 0; i < n; ++i) {
+          if (!live_[i]) continue;
+          bool hit = false;
+          circuits_->for_each_circuit_of(
+              workload[i].id, [&](const net::Circuit& c) {
+                for (const LinkId lid : c.path.links) {
+                  if (lid == victim) {
+                    hit = true;
+                    break;
+                  }
+                }
+              });
+          if (hit) kill_vm(i);
+        }
+      }
+    } else {
+      const std::uint32_t draws =
+          a.box != FaultAction::kNoBox ? 1 : a.random_boxes;
+      for (std::uint32_t k = 0; k < draws; ++k) {
+        const BoxId victim =
+            a.box != FaultAction::kNoBox
+                ? BoxId{a.box}
+                : BoxId{static_cast<std::uint32_t>(fault_rng.uniform_int(
+                      0,
+                      static_cast<std::int64_t>(cluster_->num_boxes()) - 1))};
+        if (cluster_->box_unchecked(victim).offline() == fail) continue;
+        cluster_->set_box_offline(victim, fail);
+        if (!fail) continue;
+        // Offline-box teardown: every resident VM dies with its circuits.
+        for (std::uint32_t i = 0; i < n; ++i) {
+          if (!live_[i]) continue;
+          const core::Placement& p = placement_slots_[i];
+          for (ResourceType t : kAllResources) {
+            if (p.box(t) == victim) {
+              kill_vm(i);
+              break;
+            }
           }
         }
       }
     }
     sample_signals(now);
     record_timeline(now);
+  };
+
+  // One live-migration attempt at `now` (DESIGN.md §9).  Make-before-
+  // break: the new placement is established through the normal allocator
+  // path while the old one still holds its resources (the old boxes are
+  // temporarily taken offline so the search cannot pick them -- restored
+  // before any signal is sampled), then the old circuits and compute are
+  // retired atomically.  The PowerLedger settles with a prepay-and-settle
+  // split: the old circuits are charged through now + cost (the double-
+  // charge window while state drains), the new ones prepay the remaining
+  // hold.  Returns whether the migration committed.
+  auto try_migrate = [&](std::uint32_t vm_index) -> bool {
+    const wl::VmRequest& vm = workload[vm_index];
+    core::Placement& old_p = placement_slots_[vm_index];
+    const int old_score = migration_spread_score(old_p, *fabric_);
+    const double remaining =
+        place_time_[vm_index] + expected_hold_[vm_index] - now;
+    // remaining > cost is guaranteed by the sweep's candidate filter
+    // (same instant, same inputs); both are still needed for settlement.
+    const double cost = migration_cost_tu(
+        mig, vm.ram_mb, old_p.demand.cpu_ram,
+        scenario_.photonics.switch_energy.seconds_per_time_unit);
+    const auto k_old =
+        static_cast<std::uint32_t>(circuits_->circuit_count_of(vm.id));
+
+    // Exclude the current boxes from the search (they are distinct: one
+    // box per resource type), remembering exactly what we toggled.
+    std::array<BoxId, kNumResourceTypes> toggled;
+    std::size_t n_toggled = 0;
+    for (ResourceType t : kAllResources) {
+      const BoxId b = old_p.box(t);
+      if (!cluster_->box_unchecked(b).offline()) {
+        cluster_->set_box_offline(b, true);
+        toggled[n_toggled++] = b;
+      }
+    }
+    // Not counted into scheduler_exec_seconds or the latency sink:
+    // Figures 11/12 measure admission scheduling only.
+    auto placed = allocator_->try_place(vm);
+    for (std::size_t k = 0; k < n_toggled; ++k) {
+      cluster_->set_box_offline(toggled[k], false);
+    }
+    if (!placed.ok()) return false;  // nowhere better; placement untouched
+
+    core::Placement new_p = std::move(placed.value());
+    if (mig.only_if_improves &&
+        migration_spread_score(new_p, *fabric_) >= old_score) {
+      // No improvement: roll the fresh placement back untouched.  Its
+      // circuits are exactly the suffix after the old placement's.
+      circuits_->teardown_suffix(vm.id, k_old);
+      for (ResourceType t : kAllResources) {
+        cluster_->release(new_p.compute[index(t)]);
+      }
+      return false;
+    }
+
+    // Settle the ledger at the migration instant: the old circuits (the
+    // prefix, in establishment order) refund their tail beyond the cost
+    // window; the new ones open an interval for the remaining hold.
+    std::size_t pos = 0;
+    circuits_->for_each_circuit_of(vm.id, [&](const net::Circuit& c) {
+      if (pos < k_old) {
+        ledger.refund_circuit_truncation(c, remaining - cost);
+      } else {
+        ledger.charge_circuit(c, remaining);
+      }
+      ++pos;
+    });
+
+    // Retire the old placement: circuits, then compute.
+    circuits_->teardown_prefix(vm.id, k_old);
+    const bool was_inter =
+        old_p.rack(ResourceType::Cpu) != old_p.rack(ResourceType::Ram);
+    for (ResourceType t : kAllResources) {
+      cluster_->release(old_p.compute[index(t)]);
+    }
+
+    const bool now_inter =
+        new_p.rack(ResourceType::Cpu) != new_p.rack(ResourceType::Ram);
+    old_p = std::move(new_p);  // placement_slots_[vm_index]
+    place_time_[vm_index] = now;
+    expected_hold_[vm_index] = remaining;
+    const std::uint32_t epoch = ++place_epoch_[vm_index];
+    events_.push(now + remaining,
+                 LifecycleEvent{LifecycleKind::Departure, vm_index, epoch});
+
+    ++m.migrated;
+    m.migration_tu += cost;
+    if (was_inter && !now_inter) ++m.interrack_vms_recovered;
+
+    if (timeline_ != nullptr) {
+      double vm_power = 0.0;
+      circuits_->for_each_circuit_of(vm.id, [&](const net::Circuit& c) {
+        vm_power +=
+            phot::circuit_holding_power_w(scenario_.photonics, *fabric_, c);
+      });
+      holding_power_w += vm_power - holding_power_by_vm_[vm_index];
+      holding_power_by_vm_[vm_index] = vm_power;
+    }
+    sample_signals(now);
+    record_timeline(now);
+    return true;
+  };
+
+  // One defragmentation sweep at `now`: gather the spread live VMs whose
+  // remaining hold outlasts their migration cost, rank them worst-first,
+  // and attempt up to the per-sweep budget.  Allocation-free after the
+  // scratch arena warms up.
+  auto run_migration_sweep = [&] {
+    if (mig.skip_while_degraded && (cluster_->offline_box_count() > 0 ||
+                                    fabric_->failed_link_count() > 0)) {
+      return;
+    }
+    mig_keys_.clear();
+    std::size_t live = 0, spread = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (!live_[i]) continue;
+      ++live;
+      const core::Placement& p = placement_slots_[i];
+      const int score = migration_spread_score(p, *fabric_);
+      if (score <= 0) continue;
+      ++spread;  // counts toward the fraction trigger even when doomed
+      // Filter doomed candidates here, not in try_migrate: a near-departure
+      // VM ranked first would otherwise burn a per-sweep attempt slot that
+      // a long-lived straggler could have used.
+      const double remaining = place_time_[i] + expected_hold_[i] - now;
+      const double cost = migration_cost_tu(
+          mig, workload[i].ram_mb, p.demand.cpu_ram,
+          scenario_.photonics.switch_energy.seconds_per_time_unit);
+      if (remaining <= cost) continue;
+      mig_keys_.push_back(pack_candidate(score, i));
+    }
+    if (mig_keys_.empty() || live == 0) return;
+    if (static_cast<double>(spread) <
+        mig.min_interrack_fraction * static_cast<double>(live)) {
+      return;
+    }
+    const std::size_t budget = std::min<std::size_t>(
+        mig_keys_.size(),
+        std::min<std::size_t>(mig.per_sweep_budget, migration_budget));
+    rank_worst_spread(mig_keys_, budget);
+    for (std::size_t k = 0; k < budget; ++k) {
+      if (try_migrate(candidate_index(mig_keys_[k]))) --migration_budget;
+    }
   };
 
   // The merged event loop.  Next event = min over the arrival cursor head
@@ -411,16 +625,38 @@ SimMetrics Engine::run(const wl::Workload& workload,
           break;
         }
         case LifecycleKind::BoxFail:
-        case LifecycleKind::BoxRepair: {
+        case LifecycleKind::BoxRepair:
+        case LifecycleKind::LinkFail:
+        case LifecycleKind::LinkRepair: {
           now = e.time;
           note_time(now);
           ++executed;
           execute_action(e.payload.subject,
-                         e.payload.kind == LifecycleKind::BoxFail);
+                         e.payload.kind == LifecycleKind::BoxFail ||
+                             e.payload.kind == LifecycleKind::LinkFail);
+          break;
+        }
+        case LifecycleKind::Migrate: {
+          // A sweep landing after the run's real work (no pending arrivals,
+          // nothing live, no retries in flight) is skipped like a
+          // tombstone: it neither advances the horizon nor reschedules, so
+          // periodic plans terminate.
+          if (cursor >= n && live_count == 0 && pending_retries == 0) break;
+          now = e.time;
+          note_time(now);
+          ++executed;
+          run_migration_sweep();
+          if (migration_budget > 0 &&
+              (cursor < n || live_count > 0 || pending_retries > 0)) {
+            events_.push(now + mig.period_tu,
+                         LifecycleEvent{LifecycleKind::Migrate,
+                                        e.payload.subject + 1, 0});
+          }
           break;
         }
         case LifecycleKind::Retry: {
           const std::uint32_t vm_index = e.payload.subject;
+          --pending_retries;
           now = e.time;
           note_time(now);
           ++executed;

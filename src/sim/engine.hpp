@@ -13,7 +13,14 @@
 //                    settled at kill time, circuits torn down), optional
 //                    requeue of the victims
 // BoxRepair event -> box rejoins the pool
+// LinkFail event  -> link fails; VMs whose circuits traverse it are killed
+//                    (same settlement as a box kill), optional requeue
+// LinkRepair event-> link admits circuits again
 // Retry event     -> re-placement attempt for a dropped/killed VM
+// Migrate event   -> defragmentation sweep (DESIGN.md §9): worst-spread
+//                    live VMs re-placed with their current boxes excluded,
+//                    old circuits retired, power settled with a
+//                    double-charge window of the migration cost
 // After every event the time-weighted utilization integrals advance.
 //
 // The event loop is typed and allocation-free in steady state (DESIGN.md
@@ -79,6 +86,17 @@ class Engine {
     return fault_plan_ != nullptr ? *fault_plan_ : scenario_.faults;
   }
 
+  /// Override the scenario's MigrationPlan for subsequent runs -- the
+  /// sweep layer's migration axis.  Same lifetime contract as
+  /// set_fault_plan; nullptr restores the scenario's own plan.
+  void set_migration_plan(const MigrationPlan* plan) noexcept {
+    migration_plan_ = plan;
+  }
+  [[nodiscard]] const MigrationPlan& migration_plan() const noexcept {
+    return migration_plan_ != nullptr ? *migration_plan_
+                                      : scenario_.migrations;
+  }
+
   /// Restore the pristine state in place: box occupancy, link reservations,
   /// circuit records and allocator cursors all return to their
   /// just-constructed values with zero topology reallocation.
@@ -118,6 +136,7 @@ class Engine {
   Timeline* timeline_ = nullptr;
   std::vector<double>* latency_sink_ = nullptr;
   const FaultPlan* fault_plan_ = nullptr;  ///< non-owning per-run override
+  const MigrationPlan* migration_plan_ = nullptr;  ///< same, migration axis
 
   // --- Typed event-loop state, reused across runs (capacity retained) ----
   /// Injected-event calendar: POD {time, seq, LifecycleEvent} entries
@@ -152,6 +171,10 @@ class Engine {
   std::vector<std::uint8_t> ever_placed_;
   /// Admission-count-triggered action indices, sorted by threshold.
   std::vector<std::uint32_t> admission_actions_;
+  /// Migration-sweep candidate arena: packed (spread score, VM index) keys
+  /// (sim/migration.hpp), reused across events so candidate selection is
+  /// allocation-free in steady state.
+  std::vector<std::uint64_t> mig_keys_;
 };
 
 /// Convenience: run all four paper algorithms over the same workload with

@@ -1,0 +1,49 @@
+#include "sim/fault_plan.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace risa::sim {
+
+FaultPlan compile_mtbf_plan(const MtbfSpec& spec) {
+  spec.validate();
+  FaultPlan plan;
+  plan.seed = spec.seed;  // unused by explicit actions; kept for provenance
+
+  Rng rng(spec.seed);
+  std::vector<double> repaired_at(spec.num_boxes, 0.0);
+  double t = 0.0;
+  for (;;) {
+    t += rng.exponential(spec.mtbf_tu);
+    if (t >= spec.horizon_tu) break;
+    const auto box = static_cast<std::uint32_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(spec.num_boxes) - 1));
+    const double repair_t = t + rng.exponential(spec.mttr_tu);
+    // A box still awaiting repair is skipped (the draw is consumed either
+    // way, so the stream stays deterministic): overlapping fail/repair
+    // windows on one box would let an early repair cancel a later one.
+    if (t < repaired_at[box]) continue;
+    repaired_at[box] = repair_t;
+
+    FaultAction fail;
+    fail.kind = FaultAction::Kind::Fail;
+    fail.at_time = t;
+    fail.box = box;
+    plan.actions.push_back(fail);
+
+    FaultAction repair = fail;
+    repair.kind = FaultAction::Kind::Repair;
+    repair.at_time = repair_t;
+    plan.actions.push_back(repair);
+  }
+
+  std::stable_sort(plan.actions.begin(), plan.actions.end(),
+                   [](const FaultAction& a, const FaultAction& b) {
+                     return a.at_time < b.at_time;
+                   });
+  plan.validate();
+  return plan;
+}
+
+}  // namespace risa::sim

@@ -18,16 +18,23 @@
 
 namespace risa::sim {
 
-/// One scripted box transition.  Exactly one trigger (`at_time` >= 0 XOR
-/// `after_admissions` >= 0) and exactly one victim form (`box` set XOR
-/// `random_boxes` > 0) must be given.  Random victims are drawn uniformly
-/// over all boxes from the plan's seeded RNG stream *when the event
-/// fires*, so draws consume the stream in merged-event order and the whole
-/// run stays deterministic.  Failing an already-offline box (or repairing
-/// an online one) is a no-op, matching Cluster::set_box_offline.
+/// One scripted box or link transition.  Exactly one trigger (`at_time`
+/// >= 0 XOR `after_admissions` >= 0) and exactly one victim form must be
+/// given: box kinds take `box` XOR `random_boxes`, link kinds take `link`
+/// XOR `random_links`.  Random victims are drawn uniformly from the plan's
+/// seeded RNG stream *when the event fires*, so draws consume the stream
+/// in merged-event order and the whole run stays deterministic.  Failing
+/// an already-offline victim (or repairing a healthy one) is a no-op,
+/// matching Cluster::set_box_offline / Fabric::set_link_failed.
 struct FaultAction {
-  enum class Kind : std::uint8_t { Fail = 0, Repair = 1 };
+  enum class Kind : std::uint8_t {
+    Fail = 0,        ///< box goes offline, residents die
+    Repair = 1,      ///< box rejoins the pool
+    LinkFail = 2,    ///< fabric link dies; circuits traversing it die too
+    LinkRepair = 3,  ///< link admits circuits again
+  };
   static constexpr std::uint32_t kNoBox = 0xffffffffu;
+  static constexpr std::uint32_t kNoLink = 0xffffffffu;
 
   Kind kind = Kind::Fail;
   double at_time = -1.0;               ///< >= 0: fire at this simulated time
@@ -37,8 +44,13 @@ struct FaultAction {
   std::int64_t after_admissions = -1;
   std::uint32_t box = kNoBox;          ///< explicit victim box id, or
   std::uint32_t random_boxes = 0;      ///< number of seeded random victims
+  std::uint32_t link = kNoLink;        ///< explicit victim link id, or
+  std::uint32_t random_links = 0;      ///< number of seeded random victims
 
   [[nodiscard]] bool time_triggered() const noexcept { return at_time >= 0.0; }
+  [[nodiscard]] bool targets_links() const noexcept {
+    return kind == Kind::LinkFail || kind == Kind::LinkRepair;
+  }
 
   void validate() const {
     if (time_triggered() == (after_admissions >= 0)) {
@@ -50,9 +62,24 @@ struct FaultAction {
           "FaultAction: after_admissions must be >= 1 (use at_time = 0 to "
           "fire before any placement)");
     }
-    if ((box == kNoBox) == (random_boxes == 0)) {
-      throw std::invalid_argument(
-          "FaultAction: exactly one of box / random_boxes required");
+    if (targets_links()) {
+      if ((link == kNoLink) == (random_links == 0)) {
+        throw std::invalid_argument(
+            "FaultAction: exactly one of link / random_links required");
+      }
+      if (box != kNoBox || random_boxes != 0) {
+        throw std::invalid_argument(
+            "FaultAction: box victims on a link-fail/link-repair action");
+      }
+    } else {
+      if ((box == kNoBox) == (random_boxes == 0)) {
+        throw std::invalid_argument(
+            "FaultAction: exactly one of box / random_boxes required");
+      }
+      if (link != kNoLink || random_links != 0) {
+        throw std::invalid_argument(
+            "FaultAction: link victims on a box fail/repair action");
+      }
     }
   }
 
@@ -102,5 +129,35 @@ struct FaultPlan {
 
   friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
 };
+
+/// Parameters of the MTBF-style stochastic fault-plan compiler: a seeded
+/// Poisson failure process (exponential inter-failure gaps of mean
+/// `mtbf_tu`) over `horizon_tu`, each failure hitting one uniform box and
+/// repaired an exponential(`mttr_tu`) later.  The compiler resolves every
+/// draw at COMPILE time into explicit box ids, so each failure has a
+/// matching repair of the same box -- something the fire-time random_boxes
+/// form cannot express -- and the resulting plan is plain scriptable data.
+struct MtbfSpec {
+  double mtbf_tu = 0.0;        ///< mean time between failures, > 0
+  double mttr_tu = 0.0;        ///< mean time to repair, > 0
+  std::uint64_t seed = 0;      ///< draw stream root (gaps, victims, repairs)
+  double horizon_tu = 0.0;     ///< generate failures in [0, horizon), > 0
+  std::uint32_t num_boxes = 0; ///< victim id range, > 0
+
+  void validate() const {
+    if (mtbf_tu <= 0.0 || mttr_tu <= 0.0 || horizon_tu <= 0.0 ||
+        num_boxes == 0) {
+      throw std::invalid_argument("MtbfSpec: all parameters must be positive");
+    }
+  }
+};
+
+/// Compile `spec` into a validated FaultPlan (actions sorted by time, each
+/// fail paired with a later repair of the same box; a box already awaiting
+/// repair is skipped, keeping fail/repair windows disjoint per box).  Same
+/// spec => identical plan, so sweeps can script random failure processes
+/// declaratively.  Repairs may land past the horizon; they are kept so no
+/// plan leaves the cluster permanently degraded.
+[[nodiscard]] FaultPlan compile_mtbf_plan(const MtbfSpec& spec);
 
 }  // namespace risa::sim

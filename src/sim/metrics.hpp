@@ -43,8 +43,28 @@ struct SimMetrics {
   /// Successful placements that happened via a RETRY event (re-admission
   /// of a dropped VM or re-placement of a killed one).
   std::uint64_t retry_placed = 0;
-  /// Simulated time with at least one box offline (degraded operation).
+  /// Simulated time with at least one box offline or link failed
+  /// (degraded operation).
   double degraded_tu = 0.0;
+
+  // Migration outcomes (DESIGN.md §9).  All zero when the scenario's
+  // MigrationPlan is empty; EXCLUDED from metrics_fingerprint like the
+  // lifecycle counters above.
+  /// Committed live migrations (a MIGRATE sweep re-placed the VM and the
+  /// new placement stuck; rejected or failed attempts do not count).
+  std::uint64_t migrated = 0;
+  /// Total double-charge window time: per-migration cost (fixed + RAM
+  /// transfer over the CPU-RAM circuit) summed over committed migrations.
+  /// During these windows the VM was charged on both placements.
+  double migration_tu = 0.0;
+  /// Migrations whose new placement removed the CPU-RAM rack split -- the
+  /// paper's "inter-rack VM" definition recovered after the fact.  Under
+  /// `only_if_improves` (the default) a commit can never introduce a
+  /// CPU-RAM split (any placement with one scores above any without), so
+  /// inter_rack_placements minus this is the effective live inter-rack
+  /// count; with the stress mode (`only_if_improves = false`) moves may
+  /// re-spread VMs and that derivation overstates recovery.
+  std::uint64_t interrack_vms_recovered = 0;
 
   [[nodiscard]] double inter_rack_fraction() const noexcept {
     return total_vms > 0 ? static_cast<double>(inter_rack_placements) /
@@ -84,7 +104,9 @@ struct SimMetrics {
   double sim_wall_seconds = 0.0;
 
   // Discrete events executed: one per arrival plus one per departure
-  // (= total_vms + placed; deterministic, unlike the wall-clock fields).
+  // (= total_vms + placed under an empty FaultPlan/MigrationPlan; fault,
+  // retry and migration events add to it.  Deterministic, unlike the
+  // wall-clock fields).
   std::uint64_t events_executed = 0;
 
   /// Event throughput of the DES loop, events per wall-clock second.

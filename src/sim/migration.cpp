@@ -1,0 +1,45 @@
+#include "sim/migration.hpp"
+
+#include <algorithm>
+
+namespace risa::sim {
+
+int migration_spread_score(const core::Placement& p,
+                           const net::Fabric& fabric) noexcept {
+  const RackId cpu = p.rack(ResourceType::Cpu);
+  const RackId ram = p.rack(ResourceType::Ram);
+  const RackId sto = p.rack(ResourceType::Storage);
+  int score = 0;
+  if (cpu != ram) {
+    score += 2;
+    if (!fabric.same_pod(cpu, ram)) score += 1;
+  }
+  if (ram != sto) score += 1;
+  return score;
+}
+
+double migration_cost_tu(const MigrationPlan& plan, Megabytes ram_mb,
+                         MbitsPerSec cpu_ram_bw,
+                         double seconds_per_time_unit) noexcept {
+  double cost = plan.fixed_cost_tu;
+  if (plan.charge_transfer && cpu_ram_bw > 0 && ram_mb > 0 &&
+      seconds_per_time_unit > 0.0) {
+    // MB * 8 = megabits; over Mbit/s = seconds on the circuit.
+    const double transfer_s = static_cast<double>(ram_mb) * 8.0 /
+                              static_cast<double>(cpu_ram_bw);
+    cost += transfer_s / seconds_per_time_unit;
+  }
+  return cost;
+}
+
+void rank_worst_spread(std::vector<std::uint64_t>& keys, std::size_t budget) {
+  if (budget >= keys.size()) {
+    std::sort(keys.begin(), keys.end());
+    return;
+  }
+  std::partial_sort(keys.begin(),
+                    keys.begin() + static_cast<std::ptrdiff_t>(budget),
+                    keys.end());
+}
+
+}  // namespace risa::sim

@@ -1,0 +1,56 @@
+// The defragmentation subsystem's policy kernel (DESIGN.md §9): how spread
+// a live placement is, what one migration costs, and how a sweep ranks its
+// candidates.  The Engine executes MIGRATE events; everything judgment-
+// shaped lives here so tests can pin the policy without running a full
+// simulation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "core/placement.hpp"
+#include "network/fabric.hpp"
+#include "sim/migration_plan.hpp"
+
+namespace risa::sim {
+
+/// How badly a placement is spread across the fabric, higher = worse:
+///   +2 when CPU and RAM sit in different racks (the paper's "inter-rack
+///      VM" definition -- the biggest circuit and the Figure 10 latency),
+///   +1 when RAM and storage split racks,
+///   +1 when the CPU-RAM split additionally crosses pods (three-tier).
+/// 0 means fully intra-rack: never a migration candidate.
+[[nodiscard]] int migration_spread_score(const core::Placement& p,
+                                         const net::Fabric& fabric) noexcept;
+
+/// The double-charge window of one migration, simulated time units: the
+/// plan's fixed cost plus (when charge_transfer) the VM's RAM image moved
+/// over its CPU-RAM circuit bandwidth.  `ram_mb` megabytes over
+/// `cpu_ram_bw` Mbit/s gives seconds; `seconds_per_time_unit` converts to
+/// the simulation clock.  A zero-rate flow contributes no transfer time.
+[[nodiscard]] double migration_cost_tu(const MigrationPlan& plan,
+                                       Megabytes ram_mb,
+                                       MbitsPerSec cpu_ram_bw,
+                                       double seconds_per_time_unit) noexcept;
+
+/// Rank packed (score, vm_index) keys so the first `budget` entries are
+/// the worst-spread candidates in deterministic order (score descending,
+/// VM index ascending), in place and allocation-free.  Keys come from
+/// pack_candidate(); unpack with candidate_index().
+void rank_worst_spread(std::vector<std::uint64_t>& keys, std::size_t budget);
+
+/// Pack one candidate: sorting the packed keys ascending yields score
+/// descending, index ascending (the deterministic pick order).
+[[nodiscard]] constexpr std::uint64_t pack_candidate(
+    int score, std::uint32_t vm_index) noexcept {
+  // Scores are small non-negative ints; invert into the high word.
+  return (static_cast<std::uint64_t>(0x7fffffff - score) << 32) | vm_index;
+}
+
+[[nodiscard]] constexpr std::uint32_t candidate_index(
+    std::uint64_t key) noexcept {
+  return static_cast<std::uint32_t>(key & 0xffffffffu);
+}
+
+}  // namespace risa::sim

@@ -1,0 +1,87 @@
+// Declarative live-migration / defragmentation scripting for one
+// simulation run (DESIGN.md §9).
+//
+// RISA minimizes inter-rack allocations at admission time, but churn and
+// faults fragment the cluster afterwards: a VM requeued while its home
+// rack was degraded keeps paying inter-rack circuit power for its whole
+// remaining lifetime.  A MigrationPlan schedules periodic defragmentation
+// sweeps on the merged DES stream (des/lifecycle.hpp, MIGRATE events):
+// each sweep picks the worst-spread live VMs and re-places them through
+// the normal allocator path with their current boxes excluded, retiring
+// the old circuits and opening new ones atomically at the sweep instant.
+//
+// The plan is data, not behavior -- like FaultPlan it rides Scenario /
+// Engine::set_migration_plan / the sweep axis, so migration scenarios
+// inherit the bit-exact thread-count determinism contract.  An empty plan
+// (the default) reproduces the fault-only engine bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace risa::sim {
+
+struct MigrationPlan {
+  static constexpr std::uint32_t kUnlimited = 0xffffffffu;
+
+  /// Sweep cadence in simulated time units; <= 0 disables the plan.
+  double period_tu = 0.0;
+  /// Time of the first sweep; <= 0 schedules it one period in.
+  double first_sweep_at = 0.0;
+  /// A sweep acts only when at least this fraction of live VMs is spread
+  /// across racks (0 = always act).  The threshold trigger of the plan:
+  /// cheap periodic events that no-op until fragmentation builds up.
+  double min_interrack_fraction = 0.0;
+  /// Worst-spread candidates attempted per sweep event (the per-event
+  /// migration budget).  0 disables the plan.
+  std::uint32_t per_sweep_budget = 1;
+  /// Total migrations committed per run (kUnlimited = no cap); 0 disables.
+  std::uint32_t total_budget = kUnlimited;
+  /// Fixed per-migration cost in time units, added to the transfer time.
+  /// During the cost window the VM is charged on BOTH placements (the old
+  /// circuits stay powered while state drains over the new ones).
+  double fixed_cost_tu = 0.0;
+  /// Add the state-transfer time to the cost window: the VM's RAM image
+  /// moved over its CPU-RAM circuit bandwidth (Table 2 demand model).
+  bool charge_transfer = true;
+  /// Commit a re-placement only when it is strictly less spread than the
+  /// current one; otherwise roll it back untouched.  Off = always move --
+  /// a stress mode that can re-spread VMs, which also voids the
+  /// "inter_rack_placements - interrack_vms_recovered" net-fraction
+  /// reading (see sim/metrics.hpp).  Rarely useful for power.
+  bool only_if_improves = true;
+  /// Skip sweeps while the cluster is degraded (>= 1 box or link down):
+  /// wait for repairs instead of defragmenting into a crippled fabric.
+  bool skip_while_degraded = false;
+
+  /// True when the plan changes nothing: the engine's empty-plan fast path
+  /// is bit-identical to the fault-only (PR 4) event loop.
+  [[nodiscard]] bool empty() const noexcept {
+    return period_tu <= 0.0 || per_sweep_budget == 0 || total_budget == 0;
+  }
+
+  /// Absolute time of the first MIGRATE event of a nonempty plan.
+  [[nodiscard]] double first_sweep_time() const noexcept {
+    return first_sweep_at > 0.0 ? first_sweep_at : period_tu;
+  }
+
+  void validate() const {
+    if (period_tu < 0.0) {
+      throw std::invalid_argument("MigrationPlan: negative period");
+    }
+    if (first_sweep_at < 0.0) {
+      throw std::invalid_argument("MigrationPlan: negative first_sweep_at");
+    }
+    if (fixed_cost_tu < 0.0) {
+      throw std::invalid_argument("MigrationPlan: negative fixed cost");
+    }
+    if (min_interrack_fraction < 0.0 || min_interrack_fraction > 1.0) {
+      throw std::invalid_argument(
+          "MigrationPlan: min_interrack_fraction outside [0, 1]");
+    }
+  }
+
+  friend bool operator==(const MigrationPlan&, const MigrationPlan&) = default;
+};
+
+}  // namespace risa::sim

@@ -1,5 +1,6 @@
 #include "sim/report.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -158,6 +159,31 @@ TextTable lifecycle_table(const std::vector<SweepResult>& results) {
   return t;
 }
 
+TextTable migration_table(const std::vector<SweepResult>& results) {
+  TextTable t({"Migration plan", "Fault plan", "Workload", "Algorithm",
+               "Migrated", "Recovered", "Migration tu", "Inter-rack %",
+               "Net inter-rack %", "Power kW", "Killed"});
+  for (const SweepResult& r : results) {
+    const SimMetrics& m = r.metrics;
+    const double net_inter =
+        m.total_vms > 0
+            ? static_cast<double>(m.inter_rack_placements -
+                                  std::min(m.interrack_vms_recovered,
+                                           m.inter_rack_placements)) /
+                  static_cast<double>(m.total_vms)
+            : 0.0;
+    t.add_row({r.migration_plan, r.fault_plan, m.workload, m.algorithm,
+               std::to_string(m.migrated),
+               std::to_string(m.interrack_vms_recovered),
+               TextTable::num(m.migration_tu, 1),
+               TextTable::num(m.inter_rack_fraction() * 100.0, 2),
+               TextTable::num(net_inter * 100.0, 2),
+               TextTable::num(m.avg_optical_power_w / 1000.0, 2),
+               std::to_string(m.killed)});
+  }
+  return t;
+}
+
 namespace {
 
 /// The unified per-cell field list, shared verbatim by the JSON and CSV
@@ -202,6 +228,17 @@ const CellField kCellFields[] = {
     {"degraded_tu",
      [](const SweepResult& r) {
        return strformat("%.6f", r.metrics.degraded_tu);
+     }},
+    {"migration_plan", [](const SweepResult& r) { return r.migration_plan; }},
+    {"migrated",
+     [](const SweepResult& r) { return render_u64(r.metrics.migrated); }},
+    {"migration_tu",
+     [](const SweepResult& r) {
+       return strformat("%.6f", r.metrics.migration_tu);
+     }},
+    {"interrack_recovered",
+     [](const SweepResult& r) {
+       return render_u64(r.metrics.interrack_vms_recovered);
      }},
     {"avg_cpu_util",
      [](const SweepResult& r) {
@@ -255,7 +292,7 @@ const CellField kCellFields[] = {
 [[nodiscard]] bool is_string_field(const char* key) {
   const std::string_view k = key;
   return k == "scenario" || k == "workload" || k == "algorithm" ||
-         k == "fault_plan";
+         k == "fault_plan" || k == "migration_plan";
 }
 
 }  // namespace

@@ -44,6 +44,13 @@ namespace risa::sim {
 /// fault plan.
 [[nodiscard]] TextTable lifecycle_table(const std::vector<SweepResult>& results);
 
+/// Defragmentation outcomes of a migration sweep (DESIGN.md §9): per cell,
+/// committed migrations, inter-rack recoveries, the double-charge window
+/// total, the admission vs net-of-recovered inter-rack fractions and the
+/// resulting optical power.  One row per sweep cell, labeled by the cell's
+/// migration and fault plans.
+[[nodiscard]] TextTable migration_table(const std::vector<SweepResult>& results);
+
 // --- Unified sweep emitters --------------------------------------------------
 //
 // Every driver (figure benches, ablations, examples) emits machine-readable

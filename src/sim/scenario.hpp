@@ -12,6 +12,7 @@
 #include "network/fabric.hpp"
 #include "photonics/power_ledger.hpp"
 #include "sim/fault_plan.hpp"
+#include "sim/migration_plan.hpp"
 #include "topology/config.hpp"
 
 namespace risa::sim {
@@ -50,9 +51,13 @@ struct Scenario {
   phot::PhotonicConfig photonics{};
   LatencyModel latency{};
   core::AllocatorOptions allocator{};
-  /// Scripted box failures/repairs + retry policy (DESIGN.md §8).  Empty by
-  /// default: the paper's scenarios have no faults and drops are final.
+  /// Scripted box/link failures/repairs + retry policy (DESIGN.md §8).
+  /// Empty by default: the paper's scenarios have no faults and drops are
+  /// final.
   FaultPlan faults{};
+  /// Periodic defragmentation sweeps (DESIGN.md §9).  Empty by default:
+  /// the paper's placements are immutable once admitted.
+  MigrationPlan migrations{};
 
   void validate() const {
     cluster.validate();
@@ -60,6 +65,7 @@ struct Scenario {
     photonics.validate();
     latency.validate();
     faults.validate();
+    migrations.validate();
   }
 
   /// The paper's evaluation platform with all defaults.

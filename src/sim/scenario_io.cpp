@@ -383,13 +383,14 @@ std::string json_number(double v) {
   return s;
 }
 
-/// Minimal cursor-based parser for the fixed FaultPlan schema.  Not a
-/// general JSON library: it understands exactly the objects, arrays,
-/// strings and numbers the schema uses, and treats everything unknown as
-/// an error with position context.
+/// Minimal cursor-based parser for the fixed FaultPlan/MigrationPlan
+/// schemas.  Not a general JSON library: it understands exactly the
+/// objects, arrays, strings, numbers and booleans the schemas use, and
+/// treats everything unknown as an error with position context.
 class JsonCursor {
  public:
-  explicit JsonCursor(std::string_view s) : s_(s) {}
+  explicit JsonCursor(std::string_view s, const char* what = "fault plan")
+      : s_(s), what_(what) {}
 
   void skip_ws() {
     while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t' ||
@@ -461,13 +462,28 @@ class JsonCursor {
     expect('}');
   }
 
+  /// `true` / `false` literal.
+  [[nodiscard]] bool parse_bool() {
+    skip_ws();
+    if (s_.substr(i_, 4) == "true") {
+      i_ += 4;
+      return true;
+    }
+    if (s_.substr(i_, 5) == "false") {
+      i_ += 5;
+      return false;
+    }
+    fail("expected true or false");
+  }
+
   [[noreturn]] void fail(const std::string& msg) const {
-    throw std::runtime_error("fault plan JSON (offset " + std::to_string(i_) +
-                             "): " + msg);
+    throw std::runtime_error(std::string(what_) + " JSON (offset " +
+                             std::to_string(i_) + "): " + msg);
   }
 
  private:
   std::string_view s_;
+  const char* what_;
   std::size_t i_ = 0;
 };
 
@@ -501,8 +517,13 @@ FaultAction parse_action(JsonCursor& c) {
         a.kind = FaultAction::Kind::Fail;
       } else if (kind == "repair") {
         a.kind = FaultAction::Kind::Repair;
+      } else if (kind == "link-fail") {
+        a.kind = FaultAction::Kind::LinkFail;
+      } else if (kind == "link-repair") {
+        a.kind = FaultAction::Kind::LinkRepair;
       } else {
-        c.fail("unknown action '" + kind + "' (fail | repair)");
+        c.fail("unknown action '" + kind +
+               "' (fail | repair | link-fail | link-repair)");
       }
       kind_seen = true;
     } else if (key == "at_time") {
@@ -514,12 +535,26 @@ FaultAction parse_action(JsonCursor& c) {
       a.box = as_u32(c, c.parse_number(), "box");
     } else if (key == "random_boxes") {
       a.random_boxes = as_u32(c, c.parse_number(), "random_boxes");
+    } else if (key == "link") {
+      a.link = as_u32(c, c.parse_number(), "link");
+    } else if (key == "random_links") {
+      a.random_links = as_u32(c, c.parse_number(), "random_links");
     } else {
       c.fail("unknown action key '" + key + "'");
     }
   });
   if (!kind_seen) c.fail("action object missing \"action\"");
   return a;
+}
+
+const char* action_name(FaultAction::Kind k) {
+  switch (k) {
+    case FaultAction::Kind::Fail: return "fail";
+    case FaultAction::Kind::Repair: return "repair";
+    case FaultAction::Kind::LinkFail: return "link-fail";
+    case FaultAction::Kind::LinkRepair: return "link-repair";
+  }
+  return "?";
 }
 
 }  // namespace
@@ -532,13 +567,19 @@ std::string fault_plan_json(const FaultPlan& plan) {
   for (std::size_t i = 0; i < plan.actions.size(); ++i) {
     const FaultAction& a = plan.actions[i];
     os << (i == 0 ? "\n" : ",\n") << "    {\"action\": \""
-       << (a.kind == FaultAction::Kind::Fail ? "fail" : "repair") << '"';
+       << action_name(a.kind) << '"';
     if (a.time_triggered()) {
       os << ", \"at_time\": " << json_number(a.at_time);
     } else {
       os << ", \"after_admissions\": " << a.after_admissions;
     }
-    if (a.box != FaultAction::kNoBox) {
+    if (a.targets_links()) {
+      if (a.link != FaultAction::kNoLink) {
+        os << ", \"link\": " << a.link;
+      } else {
+        os << ", \"random_links\": " << a.random_links;
+      }
+    } else if (a.box != FaultAction::kNoBox) {
       os << ", \"box\": " << a.box;
     } else {
       os << ", \"random_boxes\": " << a.random_boxes;
@@ -600,6 +641,77 @@ void save_fault_plan_file(const std::string& path, const FaultPlan& plan) {
   if (!os) throw std::runtime_error("fault plan: cannot open " + path);
   os << fault_plan_json(plan);
   if (!os) throw std::runtime_error("fault plan: write failed: " + path);
+}
+
+// --- MigrationPlan JSON -----------------------------------------------------
+
+std::string migration_plan_json(const MigrationPlan& plan) {
+  std::ostringstream os;
+  os << "{\n  \"period_tu\": " << json_number(plan.period_tu)
+     << ",\n  \"first_sweep_at\": " << json_number(plan.first_sweep_at)
+     << ",\n  \"min_interrack_fraction\": "
+     << json_number(plan.min_interrack_fraction)
+     << ",\n  \"per_sweep_budget\": " << plan.per_sweep_budget
+     << ",\n  \"total_budget\": " << plan.total_budget
+     << ",\n  \"fixed_cost_tu\": " << json_number(plan.fixed_cost_tu)
+     << ",\n  \"charge_transfer\": "
+     << (plan.charge_transfer ? "true" : "false")
+     << ",\n  \"only_if_improves\": "
+     << (plan.only_if_improves ? "true" : "false")
+     << ",\n  \"skip_while_degraded\": "
+     << (plan.skip_while_degraded ? "true" : "false") << "\n}\n";
+  return os.str();
+}
+
+MigrationPlan parse_migration_plan_json(std::string_view json) {
+  JsonCursor c(json, "migration plan");
+  MigrationPlan plan;
+  c.parse_object([&](const std::string& key) {
+    if (key == "period_tu") {
+      plan.period_tu = c.parse_number();
+    } else if (key == "first_sweep_at") {
+      plan.first_sweep_at = c.parse_number();
+    } else if (key == "min_interrack_fraction") {
+      plan.min_interrack_fraction = c.parse_number();
+    } else if (key == "per_sweep_budget") {
+      plan.per_sweep_budget = as_u32(c, c.parse_number(), "per_sweep_budget");
+    } else if (key == "total_budget") {
+      plan.total_budget = as_u32(c, c.parse_number(), "total_budget");
+    } else if (key == "fixed_cost_tu") {
+      plan.fixed_cost_tu = c.parse_number();
+    } else if (key == "charge_transfer") {
+      plan.charge_transfer = c.parse_bool();
+    } else if (key == "only_if_improves") {
+      plan.only_if_improves = c.parse_bool();
+    } else if (key == "skip_while_degraded") {
+      plan.skip_while_degraded = c.parse_bool();
+    } else {
+      c.fail("unknown key '" + key + "'");
+    }
+  });
+  if (!c.at_end()) c.fail("trailing content after plan object");
+  try {
+    plan.validate();
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string("migration plan JSON: ") + e.what());
+  }
+  return plan;
+}
+
+MigrationPlan load_migration_plan_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("migration plan: cannot open " + path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return parse_migration_plan_json(buf.str());
+}
+
+void save_migration_plan_file(const std::string& path,
+                              const MigrationPlan& plan) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("migration plan: cannot open " + path);
+  os << migration_plan_json(plan);
+  if (!os) throw std::runtime_error("migration plan: write failed: " + path);
 }
 
 }  // namespace risa::sim

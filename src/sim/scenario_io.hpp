@@ -38,9 +38,11 @@ void save_scenario_file(const std::string& path, const Scenario& scenario);
 //     "seed": 99,
 //     "retry": {"max_attempts": 2, "delay_tu": 25},
 //     "actions": [
-//       {"action": "fail",   "at_time": 120,           "box": 3},
-//       {"action": "repair", "at_time": 500,           "box": 3},
-//       {"action": "fail",   "after_admissions": 1500, "random_boxes": 2}
+//       {"action": "fail",      "at_time": 120,           "box": 3},
+//       {"action": "repair",    "at_time": 500,           "box": 3},
+//       {"action": "fail",      "after_admissions": 1500, "random_boxes": 2},
+//       {"action": "link-fail", "at_time": 200,           "random_links": 3},
+//       {"action": "link-repair", "at_time": 400,         "link": 17}
 //     ]
 //   }
 //
@@ -56,5 +58,31 @@ void save_scenario_file(const std::string& path, const Scenario& scenario);
 
 [[nodiscard]] FaultPlan load_fault_plan_file(const std::string& path);
 void save_fault_plan_file(const std::string& path, const FaultPlan& plan);
+
+// --- MigrationPlan JSON -----------------------------------------------------
+//
+// Defragmentation plans (DESIGN.md §9) round-trip through a flat JSON
+// object; every knob is serialized, omitted keys keep their defaults:
+//
+//   {
+//     "period_tu": 200, "first_sweep_at": 0, "min_interrack_fraction": 0,
+//     "per_sweep_budget": 2, "total_budget": 64, "fixed_cost_tu": 0,
+//     "charge_transfer": true, "only_if_improves": true,
+//     "skip_while_degraded": false
+//   }
+//
+// Unknown keys are an error; the parsed plan is validated.
+// parse(migration_plan_json(p)) == p.
+
+/// Serialize a plan as the JSON document above.
+[[nodiscard]] std::string migration_plan_json(const MigrationPlan& plan);
+
+/// Parse the JSON document; throws std::runtime_error with context on
+/// malformed input, unknown keys, or a plan that fails validation.
+[[nodiscard]] MigrationPlan parse_migration_plan_json(std::string_view json);
+
+[[nodiscard]] MigrationPlan load_migration_plan_file(const std::string& path);
+void save_migration_plan_file(const std::string& path,
+                              const MigrationPlan& plan);
 
 }  // namespace risa::sim

@@ -85,6 +85,12 @@ void SweepSpec::validate() const {
     }
     plan.validate();
   }
+  for (const auto& [label, plan] : migration_plans) {
+    if (label.empty()) {
+      throw std::invalid_argument("SweepSpec: unlabeled migration plan");
+    }
+    plan.validate();
+  }
 }
 
 SweepSpec SweepSpec::figure_matrix(std::uint64_t seed) {
@@ -134,6 +140,8 @@ std::vector<SweepResult> SweepRunner::run(const SweepSpec& spec) const {
     std::size_t rest = i;
     const std::size_t a = rest % spec.algorithms.size();
     rest /= spec.algorithms.size();
+    const std::size_t g = rest % spec.migration_count();
+    rest /= spec.migration_count();
     const std::size_t f = rest % spec.fault_count();
     rest /= spec.fault_count();
     const std::size_t s = rest % spec.seeds.size();
@@ -156,15 +164,23 @@ std::vector<SweepResult> SweepRunner::run(const SweepSpec& spec) const {
     r.workload_index = w;
     r.seed_index = s;
     r.fault_index = f;
+    r.migration_index = g;
     r.algorithm_index = a;
     r.scenario = spec.scenarios[sc].first;
     r.fault_plan =
         spec.fault_plans.empty() ? "none" : spec.fault_plans[f].first;
+    r.migration_plan = spec.migration_plans.empty()
+                           ? "none"
+                           : spec.migration_plans[g].first;
     r.seed = spec.seeds[s];
 
-    // The cell's fault plan (the scenario's own when the axis is unused).
+    // The cell's fault/migration plans (the scenario's own when an axis is
+    // unused).
     engine->set_fault_plan(
         spec.fault_plans.empty() ? nullptr : &spec.fault_plans[f].second);
+    engine->set_migration_plan(spec.migration_plans.empty()
+                                   ? nullptr
+                                   : &spec.migration_plans[g].second);
     engine->set_timeline(spec.record_timeline ? &r.timeline : nullptr);
     if (spec.record_latency) {
       r.latency_ns.reserve(workloads[w * spec.seeds.size() + s].size());
@@ -177,6 +193,7 @@ std::vector<SweepResult> SweepRunner::run(const SweepSpec& spec) const {
     engine->set_timeline(nullptr);
     engine->set_placement_latency_sink(nullptr);
     engine->set_fault_plan(nullptr);
+    engine->set_migration_plan(nullptr);
   });
 
   return results;

@@ -57,7 +57,8 @@ struct WorkloadSpec {
 };
 
 /// The declarative matrix.  Cells expand in scenario-major order:
-///   for scenario / for workload / for seed / for fault plan / for algorithm
+///   for scenario / for workload / for seed / for fault plan /
+///   for migration plan / for algorithm
 /// which keeps per-lane engine rebuilds rare and matches the row order the
 /// paper's figure tables print (workload outer, algorithm inner).
 struct SweepSpec {
@@ -73,6 +74,11 @@ struct SweepSpec {
   /// matrices inherit the bit-exact thread-count determinism because the
   /// plan's RNG stream is private to the cell's run.
   std::vector<std::pair<std::string, FaultPlan>> fault_plans;
+  /// Optional labeled migration-plan axis (DESIGN.md §9), with exactly the
+  /// same override/axis-factor semantics as fault_plans.  The natural
+  /// defragmentation study is {"none", MigrationPlan{}} next to budgeted
+  /// variants: the empty plan reproduces the fault-only run bit-for-bit.
+  std::vector<std::pair<std::string, MigrationPlan>> migration_plans;
   bool record_timeline = false;  ///< fill SweepResult::timeline per cell
   bool record_latency = false;   ///< fill SweepResult::latency_ns per cell
 
@@ -83,28 +89,44 @@ struct SweepSpec {
     return fault_plans.empty() ? 1 : fault_plans.size();
   }
 
+  /// Migration-axis factor: 1 when the axis is unused.
+  [[nodiscard]] std::size_t migration_count() const noexcept {
+    return migration_plans.empty() ? 1 : migration_plans.size();
+  }
+
   [[nodiscard]] std::size_t cell_count() const noexcept {
     return scenarios.size() * workloads.size() * seeds.size() *
-           fault_count() * algorithms.size();
+           fault_count() * migration_count() * algorithms.size();
   }
 
   /// Flat index of one cell in expansion (= result) order.
   [[nodiscard]] std::size_t cell_index(std::size_t scenario,
                                        std::size_t workload, std::size_t seed,
                                        std::size_t fault,
+                                       std::size_t migration,
                                        std::size_t algorithm) const noexcept {
-    return (((scenario * workloads.size() + workload) * seeds.size() + seed) *
-                fault_count() +
-            fault) *
+    return ((((scenario * workloads.size() + workload) * seeds.size() + seed) *
+                 fault_count() +
+             fault) *
+                migration_count() +
+            migration) *
                algorithms.size() +
            algorithm;
   }
 
-  /// Legacy four-axis form (fault axis unused or index 0).
+  /// Five-axis form (migration axis unused or index 0).
+  [[nodiscard]] std::size_t cell_index(std::size_t scenario,
+                                       std::size_t workload, std::size_t seed,
+                                       std::size_t fault,
+                                       std::size_t algorithm) const noexcept {
+    return cell_index(scenario, workload, seed, fault, 0, algorithm);
+  }
+
+  /// Legacy four-axis form (fault + migration axes unused or index 0).
   [[nodiscard]] std::size_t cell_index(std::size_t scenario,
                                        std::size_t workload, std::size_t seed,
                                        std::size_t algorithm) const noexcept {
-    return cell_index(scenario, workload, seed, 0, algorithm);
+    return cell_index(scenario, workload, seed, 0, 0, algorithm);
   }
 
   /// The full figure-suite matrix (Figures 5, 7-12 + §5.1 text): the paper
@@ -120,9 +142,11 @@ struct SweepResult {
   std::size_t workload_index = 0;
   std::size_t seed_index = 0;
   std::size_t fault_index = 0;
+  std::size_t migration_index = 0;
   std::size_t algorithm_index = 0;
   std::string scenario;   ///< scenario label
   std::string fault_plan; ///< fault-plan label ("none" when axis unused)
+  std::string migration_plan;  ///< migration-plan label ("none" when unused)
   std::uint64_t seed = 0; ///< the cell's seed (workload RNG stream root)
   SimMetrics metrics;     ///< carries the workload label and algorithm name
   Timeline timeline;                ///< populated when record_timeline

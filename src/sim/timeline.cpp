@@ -18,16 +18,18 @@ void Timeline::record(const TimelinePoint& point) {
 void Timeline::write_csv(std::ostream& os) const {
   CsvWriter writer(os);
   writer.write_row({"time", "active_vms", "placed_total", "dropped_total",
-                    "killed_total", "offline_boxes", "cpu_util", "ram_util",
-                    "sto_util", "intra_net_util", "inter_net_util",
-                    "optical_power_w"});
+                    "killed_total", "migrated_total", "offline_boxes",
+                    "failed_links", "cpu_util", "ram_util", "sto_util",
+                    "intra_net_util", "inter_net_util", "optical_power_w"});
   for (const TimelinePoint& p : points_) {
     writer.write_row({TextTable::num(p.time, 3),
                       std::to_string(p.active_vms),
                       std::to_string(p.placed_total),
                       std::to_string(p.dropped_total),
                       std::to_string(p.killed_total),
+                      std::to_string(p.migrated_total),
                       std::to_string(p.offline_boxes),
+                      std::to_string(p.failed_links),
                       TextTable::num(p.utilization.cpu(), 6),
                       TextTable::num(p.utilization.ram(), 6),
                       TextTable::num(p.utilization.storage(), 6),

@@ -19,8 +19,10 @@ struct TimelinePoint {
   std::uint64_t active_vms = 0;
   std::uint64_t placed_total = 0;
   std::uint64_t dropped_total = 0;
-  std::uint64_t killed_total = 0;  ///< VMs killed by box failures so far
+  std::uint64_t killed_total = 0;  ///< VMs killed by box/link failures so far
+  std::uint64_t migrated_total = 0;///< committed live migrations so far
   std::uint32_t offline_boxes = 0; ///< boxes currently offline (degraded)
+  std::uint32_t failed_links = 0;  ///< links currently failed (degraded)
   PerResource<double> utilization{0.0, 0.0, 0.0};
   double intra_net_utilization = 0.0;
   double inter_net_utilization = 0.0;

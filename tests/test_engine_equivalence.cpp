@@ -141,6 +141,19 @@ void expect_equivalent(const wl::Workload& workload, const std::string& label) {
     EXPECT_EQ(metrics_fingerprint(gated), metrics_fingerprint(ref))
         << label << " / " << algo << " (explicit empty FaultPlan)";
     EXPECT_EQ(gated.events_executed, ref.events_executed);
+
+    // Migration contract (DESIGN.md §9): an explicitly-installed empty
+    // MigrationPlan -- alone and on top of the empty FaultPlan -- must
+    // also be bit-identical over the full figure matrix.
+    const MigrationPlan no_mig;
+    engine.set_migration_plan(&no_mig);
+    const SimMetrics mig_gated = engine.run(workload, label);
+    EXPECT_EQ(metrics_fingerprint(mig_gated), metrics_fingerprint(ref))
+        << label << " / " << algo << " (explicit empty MigrationPlan)";
+    EXPECT_EQ(mig_gated.events_executed, ref.events_executed);
+    EXPECT_EQ(mig_gated.migrated, 0u);
+    engine.set_fault_plan(nullptr);
+    engine.set_migration_plan(nullptr);
   }
 }
 

@@ -341,6 +341,185 @@ TEST(FaultEngine, ReusedEngineFaultRunsAreBitReproducible) {
   EXPECT_EQ(clean.killed, 0u);
 }
 
+// --- Link faults -------------------------------------------------------------
+
+TEST(LinkFaultEngine, DeadLinkKillsTraversingCircuitsAndRepairRestores) {
+  // One long-lived VM placed at t=0 in rack 0 (RISA).  Failing every
+  // uplink of its CPU box at t=10 must sever its CPU-RAM circuit and kill
+  // it; the repairs at t=30 end the degraded window.
+  wl::Workload workload;
+  wl::VmRequest vm = toy_vm(0, 8, 16.0, 128.0, /*lifetime=*/1000.0);
+  vm.arrival = 0.0;
+  workload.push_back(vm);
+
+  Scenario scenario = Scenario::paper_defaults();
+  Engine probe(scenario, "RISA");  // link-id source only
+  for (LinkId id : probe.fabric().box_uplinks(BoxId{0})) {
+    FaultAction fail;
+    fail.kind = FaultAction::Kind::LinkFail;
+    fail.at_time = 10.0;
+    fail.link = id.value();
+    scenario.faults.actions.push_back(fail);
+    FaultAction repair = fail;
+    repair.kind = FaultAction::Kind::LinkRepair;
+    repair.at_time = 30.0;
+    scenario.faults.actions.push_back(repair);
+  }
+
+  Engine engine(scenario, "RISA");
+  const SimMetrics m = engine.run(workload, "t");
+  EXPECT_EQ(m.placed, 1u);
+  EXPECT_EQ(m.killed, 1u);
+  EXPECT_EQ(m.dropped, 0u);
+  // Degraded window = [first link failure, repair] (failed links count).
+  EXPECT_NEAR(m.degraded_tu, 30.0 - 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m.horizon_tu, 30.0);
+  EXPECT_EQ(engine.fabric().failed_link_count(), 0u);
+  // Interval settlement: 10 of 1000 prepaid time units held.
+  Engine plain(Scenario::paper_defaults(), "RISA");
+  const SimMetrics base = plain.run(workload, "t");
+  EXPECT_NEAR(m.energy.switch_trimming_j / base.energy.switch_trimming_j,
+              10.0 / 1000.0, 1e-9);
+}
+
+TEST(LinkFaultEngine, KilledVmRequeuesUnderRetryPolicy) {
+  wl::Workload workload;
+  wl::VmRequest vm = toy_vm(0, 8, 16.0, 128.0, /*lifetime=*/1000.0);
+  vm.arrival = 0.0;
+  workload.push_back(vm);
+
+  Scenario scenario = Scenario::paper_defaults();
+  Engine probe(scenario, "RISA");
+  for (LinkId id : probe.fabric().box_uplinks(BoxId{0})) {
+    FaultAction fail;
+    fail.kind = FaultAction::Kind::LinkFail;
+    fail.at_time = 10.0;
+    fail.link = id.value();
+    scenario.faults.actions.push_back(fail);
+  }
+  scenario.faults.retry.max_attempts = 1;
+  scenario.faults.retry.delay_tu = 5.0;
+
+  Engine engine(scenario, "RISA");
+  const SimMetrics m = engine.run(workload, "t");
+  // The retry at t=15 re-places the VM around the dead links (another CPU
+  // box in the pool still has healthy uplinks) for its remaining 990 tu.
+  EXPECT_EQ(m.killed, 1u);
+  EXPECT_EQ(m.requeued, 1u);
+  EXPECT_EQ(m.retry_placed, 1u);
+  EXPECT_EQ(m.placed, 1u);
+  EXPECT_DOUBLE_EQ(m.horizon_tu, 15.0 + 990.0);
+}
+
+TEST(LinkFaultEngine, RandomLinkDrawsAreSeededAndIdempotent) {
+  const wl::Workload workload = small_workload(200, 9);
+  Scenario scenario = Scenario::paper_defaults();
+  FaultAction a;
+  a.kind = FaultAction::Kind::LinkFail;
+  a.at_time = 100.0;
+  a.random_links = 5;
+  scenario.faults.actions.push_back(a);
+  scenario.faults.seed = 7;
+
+  Engine engine(scenario, "NULB");
+  const SimMetrics m1 = engine.run(workload, "t");
+  const SimMetrics m2 = engine.run(workload, "t");
+  EXPECT_EQ(metrics_fingerprint(m1), metrics_fingerprint(m2));
+  EXPECT_EQ(m1.killed, m2.killed);
+  EXPECT_GT(m1.degraded_tu, 0.0);  // links stay down to the end of the run
+}
+
+TEST(LinkFaultEngine, AdmissionTriggeredLinkFailActuallyFails) {
+  // Regression: admission-triggered actions must map LinkFail to the
+  // link-fail event kind (an early version reused the box Fail/Repair
+  // mapping, turning the action into a repair no-op).
+  const wl::Workload workload = small_workload(200, 9);
+  Scenario scenario = Scenario::paper_defaults();
+  FaultAction a;
+  a.kind = FaultAction::Kind::LinkFail;
+  a.after_admissions = 50;
+  a.random_links = 8;
+  scenario.faults.actions.push_back(a);
+  scenario.faults.seed = 3;
+
+  Engine engine(scenario, "NULB");
+  const SimMetrics m = engine.run(workload, "t");
+  // The links stay down for the rest of the run: the degraded integral
+  // must accumulate over the remaining events.
+  EXPECT_GT(m.degraded_tu, 0.0);
+}
+
+// --- MTBF-style stochastic fault compiler ------------------------------------
+
+TEST(MtbfCompiler, CompilesAValidSortedPairedPlan) {
+  MtbfSpec spec;
+  spec.mtbf_tu = 100.0;
+  spec.mttr_tu = 20.0;
+  spec.seed = 4242;
+  spec.horizon_tu = 1000.0;
+  spec.num_boxes = 50;
+
+  const FaultPlan plan = compile_mtbf_plan(spec);
+  EXPECT_NO_THROW(plan.validate());
+  EXPECT_FALSE(plan.actions.empty());
+  EXPECT_EQ(plan.actions.size() % 2, 0u);  // fail/repair pairs
+
+  // Sorted by time; every fail has a later repair of the same box.
+  double last_t = 0.0;
+  std::size_t fails = 0;
+  for (const FaultAction& a : plan.actions) {
+    EXPECT_TRUE(a.time_triggered());
+    EXPECT_GE(a.at_time, last_t);
+    last_t = a.at_time;
+    EXPECT_LT(a.box, spec.num_boxes);
+    if (a.kind == FaultAction::Kind::Fail) {
+      ++fails;
+      EXPECT_LT(a.at_time, spec.horizon_tu);
+      bool repaired = false;
+      for (const FaultAction& b : plan.actions) {
+        if (b.kind == FaultAction::Kind::Repair && b.box == a.box &&
+            b.at_time > a.at_time) {
+          repaired = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(repaired) << "box " << a.box;
+    }
+  }
+  // ~horizon/mtbf failures, with generous slack for the draw variance.
+  EXPECT_GE(fails, 3u);
+  EXPECT_LE(fails, 30u);
+
+  // Deterministic per seed; different seeds diverge.
+  EXPECT_EQ(compile_mtbf_plan(spec), plan);
+  spec.seed = 4243;
+  EXPECT_NE(compile_mtbf_plan(spec), plan);
+
+  MtbfSpec bad = spec;
+  bad.mtbf_tu = 0.0;
+  EXPECT_THROW((void)compile_mtbf_plan(bad), std::invalid_argument);
+}
+
+TEST(MtbfCompiler, CompiledPlanDrivesTheEngine) {
+  MtbfSpec spec;
+  spec.mtbf_tu = 300.0;
+  spec.mttr_tu = 100.0;
+  spec.seed = 11;
+  spec.horizon_tu = 2000.0;
+  spec.num_boxes = Scenario::paper_defaults().cluster.total_boxes();
+
+  Scenario scenario = Scenario::paper_defaults();
+  scenario.faults = compile_mtbf_plan(spec);
+  scenario.faults.retry.max_attempts = 2;
+  scenario.faults.retry.delay_tu = 10.0;
+
+  Engine engine(scenario, "RISA");
+  const SimMetrics m = engine.run(small_workload(300, 5), "t");
+  EXPECT_EQ(m.placed + m.dropped, m.total_vms);
+  EXPECT_GT(m.degraded_tu, 0.0);
+  EXPECT_EQ(engine.cluster().offline_box_count(), 0u);  // all repaired
+}
+
 // --- PowerLedger interval accounting ----------------------------------------
 
 TEST(PowerLedgerInterval, UntruncatedSettlementIsANoOp) {

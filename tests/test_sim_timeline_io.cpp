@@ -91,9 +91,11 @@ TEST(Timeline, CsvRoundTripShape) {
   const auto rows = CsvReader::read_all(ss);
   ASSERT_EQ(rows.size(), timeline.size() + 1);  // header + points
   EXPECT_EQ(rows[0][0], "time");
-  EXPECT_EQ(rows[0].size(), 12u);
+  EXPECT_EQ(rows[0].size(), 14u);
+  EXPECT_EQ(rows[0][5], "migrated_total");
+  EXPECT_EQ(rows[0][7], "failed_links");
   for (std::size_t i = 1; i < rows.size(); ++i) {
-    ASSERT_EQ(rows[i].size(), 12u);
+    ASSERT_EQ(rows[i].size(), 14u);
   }
 }
 
