@@ -1,5 +1,6 @@
 // Engine-scale churn: end-to-end DES throughput as the workload grows
-// from 10k to 500k VMs (google-benchmark harness).
+// from 10k to 500k VMs (google-benchmark harness); the committed baseline
+// additionally measures a 5M-VM row.
 //
 // Where Figures 11/12 isolate the *policy* (sched_s = time inside
 // Allocator::try_place), this bench measures the *dispatch loop* around
@@ -12,16 +13,24 @@
 // cursor design targets (DESIGN.md §7).
 //
 // Driver mode: `--emit_json[=path]` replays every (count x algorithm)
-// cell once through a serial latency-recording sweep and writes the
-// committed BENCH_engine.json baseline via the unified emitter.
+// cell through a serial latency-recording sweep and writes the committed
+// BENCH_engine.json baseline via the unified emitter.  One unrecorded
+// warmup sweep always runs first (page faults, allocator pools and the
+// workload cache land outside the measurement), and `--repeat=N` measures
+// N recorded sweeps keeping each cell's best (lowest sim_s) -- placement
+// counts must be identical across repeats or the driver aborts, so the
+// baseline stays a determinism witness.
 // CI smoke: `--benchmark_filter=10000$ --benchmark_min_time=...` runs
 // just the smallest count per algorithm.
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
+#include <cstdlib>
 #include <iostream>
 #include <map>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 
 #include "core/registry.hpp"
 #include "sim/engine.hpp"
@@ -33,6 +42,14 @@
 namespace {
 
 constexpr std::size_t kScaleCounts[] = {10'000, 50'000, 100'000, 500'000};
+
+/// Driver-mode grid: the committed baseline additionally carries a 5M-VM
+/// row (events scale 10x past the largest interactive count; the live-VM
+/// census stays cluster-bounded, so this probes the long steady-state
+/// churn phase, not a bigger heap).  Kept out of the google-benchmark grid
+/// to keep interactive runs quick.
+constexpr std::size_t kBaselineCounts[] = {10'000, 50'000, 100'000, 500'000,
+                                           5'000'000};
 
 const risa::wl::Workload& workload(std::size_t count) {
   static std::map<std::size_t, risa::wl::Workload> cache;
@@ -54,6 +71,10 @@ void run_churn(benchmark::State& state, const char* algo) {
   const auto count = static_cast<std::size_t>(state.range(0));
   const risa::wl::Workload& w = workload(count);
   risa::sim::Engine engine(risa::sim::Scenario::paper_defaults(), algo);
+  // One unmeasured warmup run: the engine's pools/calendars reach their
+  // high-water marks, so measured iterations see the steady-state reuse
+  // path (and first-touch page faults stay out of the numbers).
+  { const auto warm = engine.run(w, scale_label(count)); benchmark::DoNotOptimize(warm.placed); }
   double sim_seconds = 0.0;
   double sched_seconds = 0.0;
   std::uint64_t events = 0;
@@ -92,35 +113,71 @@ BENCHMARK(BM_Churn_Nalb)->Apply(scale_args);
 BENCHMARK(BM_Churn_Risa)->Apply(scale_args);
 BENCHMARK(BM_Churn_RisaBf)->Apply(scale_args);
 
+/// Consume `--repeat=N` from argv before benchmark::Initialize sees it
+/// (same contract as consume_emit_json_flag).  Returns max(N, 1).
+int consume_repeat_flag(int& argc, char** argv) {
+  int repeats = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.rfind("--repeat=", 0) == 0) {
+      repeats = std::atoi(argv[i] + 9);
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  return repeats > 1 ? repeats : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string json_path =
       risa::sim::consume_emit_json_flag(argc, argv, "BENCH_engine.json");
+  const int repeats = consume_repeat_flag(argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
   if (!json_path.empty()) {
-    // The committed baseline comes from one serial latency-recording sweep
+    // The committed baseline comes from serial latency-recording sweeps
     // (SweepRunner(1)): each cell's sim_s/sched_s is measured alone, so the
     // JSON is comparable run to run (DESIGN.md §5-6).
     risa::sim::SweepSpec spec;
     spec.scenarios = {{"paper", risa::sim::Scenario::paper_defaults()}};
-    for (std::size_t count : kScaleCounts) {
+    for (std::size_t count : kBaselineCounts) {
       spec.workloads.push_back(risa::sim::WorkloadSpec::fixed(
           scale_label(count), workload(count)));
     }
     spec.seeds = {risa::sim::kDefaultSeed};
     spec.algorithms = risa::core::algorithm_names();
     spec.record_latency = true;
-    const auto entries = risa::sim::scheduler_bench_entries(
-        risa::sim::SweepRunner(1).run(spec));
+
+    // Warmup sweep (unrecorded), then best-of-N recorded sweeps.  Counts
+    // must be byte-identical across repeats -- only the wall-clock fields
+    // may differ -- which doubles as a determinism check on the whole grid.
+    (void)risa::sim::SweepRunner(1).run(spec);
+    auto entries =
+        risa::sim::scheduler_bench_entries(risa::sim::SweepRunner(1).run(spec));
+    for (int rep = 1; rep < repeats; ++rep) {
+      const auto again = risa::sim::scheduler_bench_entries(
+          risa::sim::SweepRunner(1).run(spec));
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (again[i].placed != entries[i].placed ||
+            again[i].dropped != entries[i].dropped ||
+            again[i].inter_rack != entries[i].inter_rack) {
+          throw std::logic_error(
+              "bench_engine_scale: placement counts diverged across repeats");
+        }
+        if (again[i].sim_s < entries[i].sim_s) entries[i] = again[i];
+      }
+    }
     if (!risa::sim::write_scheduler_bench_json(json_path, "engine_scale_churn",
                                                entries)) {
       return 1;
     }
-    std::cout << "\nwrote engine-scale baseline: " << json_path << "\n";
+    std::cout << "\nwrote engine-scale baseline: " << json_path << " (best of "
+              << repeats << ")\n";
   }
   return 0;
 }

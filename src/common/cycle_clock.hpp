@@ -1,0 +1,42 @@
+// Raw cycle/tick counter for micro-timing hot paths.  steady_clock::now()
+// costs ~30 ns per call through the vDSO; the engine times every placement
+// attempt (two reads per arrival), which at the 500k-VM bench scale puts
+// the *instrumentation* near 20% of the run.  A raw TSC read is ~5 ns and
+// needs no syscall.  Ticks are meaningless on their own: callers accumulate
+// raw deltas and convert once at the end against a wall-clock interval
+// measured over the same span (Engine::run already brackets the run with
+// steady_clock for sim_wall_seconds, so calibration is free).
+//
+// x86-64 TSCs have been invariant (constant-rate, monotonic across P-states)
+// on everything produced in the last decade; aarch64's cntvct_el0 is
+// architecturally constant-rate.  Other targets fall back to steady_clock,
+// trading speed for portability -- correctness never depends on the tick
+// rate, only the reported scheduler_exec_seconds does, and that is excluded
+// from the determinism fingerprint (sim/sweep.hpp).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#endif
+
+namespace risa {
+
+struct CycleClock {
+  [[nodiscard]] static std::uint64_t now() noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+    return __rdtsc();
+#elif defined(__aarch64__)
+    std::uint64_t ticks;
+    asm volatile("mrs %0, cntvct_el0" : "=r"(ticks));
+    return ticks;
+#else
+    return static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+  }
+};
+
+}  // namespace risa

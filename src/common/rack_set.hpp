@@ -43,9 +43,16 @@ class RackSet {
   constexpr void clear() noexcept { words_.fill(0); }
 
   /// Bulk-install one 64-bit word of membership (bits for racks
-  /// [word*64, word*64+63]); used by the index's linear fast path.
+  /// [word*64, word*64+63]); used by the index's lane queries.
   constexpr void set_word(std::size_t word, std::uint64_t bits) noexcept {
     words_[word] = bits;
+  }
+
+  /// Raw membership word (racks [word*64, word*64+63]).  Word granularity is
+  /// also the index's shard granularity, so sharded scans AND one filter
+  /// word against one availability word instead of testing per rack.
+  [[nodiscard]] constexpr std::uint64_t word(std::size_t word) const noexcept {
+    return words_[word];
   }
 
   [[nodiscard]] constexpr bool empty() const noexcept {

@@ -1,0 +1,146 @@
+// Lane-wise SIMD kernels for the rack-availability index (DESIGN.md §10).
+//
+// The placement hot path asks one vector-shaped question, millions of times
+// per run: "which of these 64 contiguous u16 availability lanes are >= a
+// u16 demand?"  The answer is a 64-bit rack mask, which is exactly one
+// RackSet word.  This header provides that kernel -- ge_mask64 -- in four
+// bit-identical flavours:
+//
+//   * AVX2  (32 lanes/op)  when the compiler targets it (__AVX2__),
+//   * SSE2  (16 lanes/op)  on any x86-64 baseline (__SSE2__),
+//   * NEON  ( 8 lanes/op)  on AArch64 (__ARM_NEON),
+//   * scalar               everywhere else.
+//
+// Selection is at compile time: the RISA_ENABLE_SIMD CMake option defines
+// RISA_ENABLE_SIMD; without it (OFF) the scalar kernel is compiled
+// regardless of the target ISA.  The scalar kernel is *always* available
+// under simd::detail so differential tests and the index microbenchmark
+// can compare the dispatched kernel against the reference within one
+// binary.  All flavours produce the same bits for the same input -- the
+// tests/test_core_index_simd.cpp property suite pins this.
+//
+// The unsigned >= on u16 lanes has no direct x86 instruction; both vector
+// paths use the saturating-subtract identity
+//     a >= b  <=>  saturating(b - a) == 0
+// which needs only epu16 subs + epi16 cmpeq (SSE2-era ops).
+#pragma once
+
+#include <cstdint>
+
+#if defined(RISA_ENABLE_SIMD)
+#if defined(__AVX2__)
+#include <immintrin.h>
+#define RISA_SIMD_BACKEND_AVX2 1
+#elif defined(__SSE2__) || defined(_M_X64)
+#include <emmintrin.h>
+#define RISA_SIMD_BACKEND_SSE2 1
+#elif defined(__ARM_NEON) && defined(__aarch64__)
+#include <arm_neon.h>
+#define RISA_SIMD_BACKEND_NEON 1
+#endif
+#endif  // RISA_ENABLE_SIMD
+
+namespace risa::simd {
+
+namespace detail {
+
+/// Reference kernel: bit i of the result is set iff lanes[i] >= threshold.
+/// Compiled unconditionally; the vector kernels must match it bit for bit.
+[[nodiscard]] inline std::uint64_t ge_mask64_scalar(
+    const std::uint16_t* lanes, std::uint16_t threshold) noexcept {
+  std::uint64_t out = 0;
+  for (unsigned i = 0; i < 64; ++i) {
+    out |= std::uint64_t{lanes[i] >= threshold} << i;
+  }
+  return out;
+}
+
+}  // namespace detail
+
+#if defined(RISA_SIMD_BACKEND_AVX2)
+
+inline constexpr bool kEnabled = true;
+inline constexpr const char* kBackend = "avx2";
+
+[[nodiscard]] inline std::uint64_t ge_mask64(const std::uint16_t* lanes,
+                                             std::uint16_t threshold) noexcept {
+  const __m256i thr = _mm256_set1_epi16(static_cast<short>(threshold));
+  const __m256i zero = _mm256_setzero_si256();
+  std::uint64_t out = 0;
+  for (int half = 0; half < 2; ++half) {
+    const __m256i a = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(lanes + 32 * half));
+    const __m256i b = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(lanes + 32 * half + 16));
+    // lanes >= thr  <=>  saturating(thr - lanes) == 0 (per u16 lane).
+    const __m256i ga = _mm256_cmpeq_epi16(_mm256_subs_epu16(thr, a), zero);
+    const __m256i gb = _mm256_cmpeq_epi16(_mm256_subs_epu16(thr, b), zero);
+    // packs interleaves 128-bit lanes: [a0-7, b0-7, a8-15, b8-15]; the
+    // permute restores ascending lane order before the byte movemask.
+    __m256i packed = _mm256_packs_epi16(ga, gb);
+    packed = _mm256_permute4x64_epi64(packed, _MM_SHUFFLE(3, 1, 2, 0));
+    const auto bits =
+        static_cast<std::uint32_t>(_mm256_movemask_epi8(packed));
+    out |= static_cast<std::uint64_t>(bits) << (32 * half);
+  }
+  return out;
+}
+
+#elif defined(RISA_SIMD_BACKEND_SSE2)
+
+inline constexpr bool kEnabled = true;
+inline constexpr const char* kBackend = "sse2";
+
+[[nodiscard]] inline std::uint64_t ge_mask64(const std::uint16_t* lanes,
+                                             std::uint16_t threshold) noexcept {
+  const __m128i thr = _mm_set1_epi16(static_cast<short>(threshold));
+  const __m128i zero = _mm_setzero_si128();
+  std::uint64_t out = 0;
+  for (int q = 0; q < 4; ++q) {
+    const __m128i a =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(lanes + 16 * q));
+    const __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(lanes + 16 * q + 8));
+    const __m128i ga = _mm_cmpeq_epi16(_mm_subs_epu16(thr, a), zero);
+    const __m128i gb = _mm_cmpeq_epi16(_mm_subs_epu16(thr, b), zero);
+    // 0xFFFF lanes saturate to 0xFF bytes under the signed pack (-1 -> -1).
+    const auto bits = static_cast<std::uint32_t>(
+        _mm_movemask_epi8(_mm_packs_epi16(ga, gb)));
+    out |= static_cast<std::uint64_t>(bits) << (16 * q);
+  }
+  return out;
+}
+
+#elif defined(RISA_SIMD_BACKEND_NEON)
+
+inline constexpr bool kEnabled = true;
+inline constexpr const char* kBackend = "neon";
+
+[[nodiscard]] inline std::uint64_t ge_mask64(const std::uint16_t* lanes,
+                                             std::uint16_t threshold) noexcept {
+  const uint16x8_t thr = vdupq_n_u16(threshold);
+  const uint8x8_t bit = {1, 2, 4, 8, 16, 32, 64, 128};
+  std::uint64_t out = 0;
+  for (int o = 0; o < 8; ++o) {
+    const uint16x8_t v = vld1q_u16(lanes + 8 * o);
+    const uint16x8_t m = vcgeq_u16(v, thr);          // 0xFFFF / 0 per lane
+    const uint8x8_t narrowed = vshrn_n_u16(m, 8);    // 0xFF / 0 per lane
+    const std::uint8_t byte = vaddv_u8(vand_u8(narrowed, bit));
+    out |= static_cast<std::uint64_t>(byte) << (8 * o);
+  }
+  return out;
+}
+
+#else
+
+inline constexpr bool kEnabled = false;
+inline constexpr const char* kBackend = "scalar";
+
+[[nodiscard]] inline std::uint64_t ge_mask64(const std::uint16_t* lanes,
+                                             std::uint16_t threshold) noexcept {
+  return detail::ge_mask64_scalar(lanes, threshold);
+}
+
+#endif
+
+}  // namespace risa::simd

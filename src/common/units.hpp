@@ -7,6 +7,8 @@
 // unit = 64 GB (Table 1); requests are ceil-divided into units.
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -71,6 +73,42 @@ struct UnitScale {
   }
 
   friend constexpr bool operator==(const UnitScale&, const UnitScale&) = default;
+};
+
+/// Precomputed demand->units conversion for the placement hot path.  Every
+/// try_place starts with three ceil-divisions; Table 1's granularities
+/// (4 cores, 4 GB, 64 GB) are all powers of two, where the ~25-cycle 64-bit
+/// divide collapses to a shift.  Non-power-of-two scales keep the exact
+/// divide, so results are bit-identical to UnitScale::to_units for every
+/// input.
+class UnitConverter {
+ public:
+  UnitConverter() : UnitConverter(UnitScale{}) {}
+  explicit UnitConverter(const UnitScale& scale) {
+    set(ResourceType::Cpu, scale.cores_per_cpu_unit);
+    set(ResourceType::Ram, scale.mb_per_ram_unit);
+    set(ResourceType::Storage, scale.mb_per_storage_unit);
+  }
+
+  [[nodiscard]] Units to_units(ResourceType t, std::int64_t raw) const {
+    if (raw < 0) throw std::invalid_argument("ceil_div: negative numerator");
+    const auto i = index(t);
+    const std::int64_t num = raw + den_[i] - 1;
+    return shift_[i] >= 0 ? num >> shift_[i] : num / den_[i];
+  }
+
+ private:
+  void set(ResourceType t, std::int64_t den) {
+    if (den <= 0) throw std::invalid_argument("ceil_div: non-positive divisor");
+    den_[index(t)] = den;
+    shift_[index(t)] =
+        (den & (den - 1)) == 0
+            ? static_cast<int>(std::countr_zero(static_cast<std::uint64_t>(den)))
+            : -1;
+  }
+
+  std::array<std::int64_t, kNumResourceTypes> den_{};
+  std::array<int, kNumResourceTypes> shift_{};
 };
 
 /// A per-type vector of unit counts; the currency of all allocation code.

@@ -93,4 +93,11 @@ void Allocator::release(const Placement& placement) {
   }
 }
 
+void Allocator::release_batched(const Placement& placement) {
+  ctx_.circuits->teardown_vm(placement.vm);
+  for (ResourceType t : kAllResources) {
+    ctx_.cluster->release_batched(placement.compute[index(t)]);
+  }
+}
+
 }  // namespace risa::core

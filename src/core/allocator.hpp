@@ -42,7 +42,10 @@ struct AllocContext {
 
 class Allocator {
  public:
-  explicit Allocator(AllocContext ctx) : ctx_(ctx) { ctx_.validate(); }
+  explicit Allocator(AllocContext ctx) : ctx_(ctx) {
+    ctx_.validate();
+    units_ = UnitConverter(ctx_.cluster->config().unit_scale);
+  }
   virtual ~Allocator() = default;
 
   Allocator(const Allocator&) = delete;
@@ -61,6 +64,13 @@ class Allocator {
   /// refresh their internal bookkeeping.
   virtual void release(const Placement& placement);
 
+  /// Same teardown, routed through the cluster's deferred-aggregate batch
+  /// (Cluster::release_batched): circuits and box ledgers settle
+  /// immediately, the per-rack aggregate/index refresh waits for
+  /// Cluster::end_release_batch().  The engine brackets same-timestamp
+  /// departure runs with begin/end; no placement may run in between.
+  void release_batched(const Placement& placement);
+
   /// Restore all per-run state (round-robin cursors, packing cursors,
   /// seeded RNG streams, counters) to the just-constructed values so a
   /// reused allocator behaves bit-for-bit like a fresh one.  The shared
@@ -78,9 +88,13 @@ class Allocator {
   [[nodiscard]] AllocContext& ctx() noexcept { return ctx_; }
   [[nodiscard]] const AllocContext& ctx() const noexcept { return ctx_; }
 
-  /// Units-of-demand conversion via the cluster's unit scale.
+  /// Units-of-demand conversion via the cluster's unit scale (precomputed:
+  /// power-of-two granularities divide by shifting -- bit-identical to
+  /// vm.units(scale), minus three 64-bit divides per attempt).
   [[nodiscard]] UnitVector demand_units(const wl::VmRequest& vm) const {
-    return vm.units(ctx_.cluster->config().unit_scale);
+    return UnitVector{units_.to_units(ResourceType::Cpu, vm.cores),
+                      units_.to_units(ResourceType::Ram, vm.ram_mb),
+                      units_.to_units(ResourceType::Storage, vm.storage_mb)};
   }
 
   /// Per-allocator search arena: reusable buffers threaded through the
@@ -90,6 +104,7 @@ class Allocator {
 
  private:
   AllocContext ctx_;
+  UnitConverter units_;
   SearchScratch scratch_;
 };
 

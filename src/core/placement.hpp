@@ -19,6 +19,9 @@ enum class DropReason : std::uint8_t {
   NoNetworkResources = 1,
 };
 
+/// Number of DropReason values (dense, so they can index tally arrays).
+inline constexpr std::size_t kNumDropReasons = 2;
+
 [[nodiscard]] constexpr std::string_view name(DropReason r) noexcept {
   switch (r) {
     case DropReason::NoComputeResources: return "no-compute";

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/nulb.hpp"
+#include "core/shard_walk.hpp"
 
 namespace risa::core {
 
@@ -97,64 +98,67 @@ BoxId RisaAllocator::pick_box_in_rack(RackId rack, ResourceType type,
 
 Result<Placement, DropReason> RisaAllocator::try_place(const wl::VmRequest& vm) {
   const UnitVector units = demand_units(vm);
+  const topo::RackAvailabilityIndex& index = ctx().cluster->rack_index();
+
+  // O(1) reject off the cluster-wide maxima: a component no box anywhere
+  // can host means the matching SUPER_RACK list below would come up empty,
+  // and the intra-rack pool (a subset of every SUPER_RACK list) with it --
+  // the same NoComputeResources drop without walking a single shard.  On a
+  // saturated cluster this is the common case.
+  for (ResourceType t : kAllResources) {
+    if (index.cluster_max(t) < units[t]) {
+      return Err{DropReason::NoComputeResources};
+    }
+  }
+
   const net::BandwidthDemand demand = ctx().bandwidth.demand(units);
   // An intra-rack placement consumes each flow on two box uplinks of the
   // rack (source box -> rack switch -> destination box).
   const MbitsPerSec intra_bw_needed = 2 * demand.cpu_ram + 2 * demand.ram_sto;
 
-  // INTRA_RACK_POOL straight off the cluster's incremental index: a pruned
-  // descent emits the eligible-rack bitmask; no per-VM rack rescan.
-  RackSet pool;
-  ctx().cluster->eligible_racks(units, pool);
-  // Round-robin rotation: start from the first pool rack at or after the
-  // cursor, wrapping; the cursor then moves past the chosen rack.  The
-  // cyclic walk visits every pool rack exactly once, so no size pass is
-  // needed.
-  RackId start = options_.selection == RackSelection::RoundRobin
-                     ? pool.next(rr_next_rack_)
-                     : RackId::invalid();
-  if (!start.valid()) start = pool.next(0);
-  if (start.valid()) {
-    RackId rack = start;
-    do {
-      if (ctx().fabric->rack_intra_available(rack) >= intra_bw_needed) {
-        PerResource<BoxId> boxes{BoxId::invalid(), BoxId::invalid(),
-                                 BoxId::invalid()};
-        bool found = true;
-        for (ResourceType t : kAllResources) {
-          boxes[t] = pick_box_in_rack(rack, t, units[t]);
-          if (!boxes[t].valid()) {
-            found = false;
-            break;
-          }
-        }
-        if (found) {
-          auto placed = commit(vm, units, boxes, net::LinkSelectPolicy::FirstFit,
-                               /*used_fallback=*/false);
-          if (placed.ok()) {
-            if (options_.selection == RackSelection::RoundRobin) {
-              rr_next_rack_ =
-                  (rack.value() + 1) % ctx().cluster->num_racks();
-            }
-            return placed;
-          }
-          // Per-link granularity can reject a rack that passed the aggregate
-          // check; commit() rolled back, so the next pool rack can be tried.
+  // INTRA_RACK_POOL, sharded: the walk materializes one 64-rack eligibility
+  // word of the index at a time, in the exact cyclic ascending order the
+  // eager pool bitmask was walked in -- racks the round-robin rotation
+  // never reaches are never even queried.  The cursor then moves past the
+  // chosen rack.
+  {
+    ShardedPoolWalk walk(index, units,
+                         options_.selection == RackSelection::RoundRobin
+                             ? rr_next_rack_
+                             : 0);
+    for (RackId rack = walk.next(); rack.valid(); rack = walk.next()) {
+      if (ctx().fabric->rack_intra_available(rack) < intra_bw_needed) continue;
+      PerResource<BoxId> boxes{BoxId::invalid(), BoxId::invalid(),
+                               BoxId::invalid()};
+      bool found = true;
+      for (ResourceType t : kAllResources) {
+        boxes[t] = pick_box_in_rack(rack, t, units[t]);
+        if (!boxes[t].valid()) {
+          found = false;
+          break;
         }
       }
-      rack = pool.next(rack.value() + 1);
-      if (!rack.valid()) rack = pool.next(0);
-    } while (rack != start);
+      if (found) {
+        auto placed = commit(vm, units, boxes, net::LinkSelectPolicy::FirstFit,
+                             /*used_fallback=*/false);
+        if (placed.ok()) {
+          if (options_.selection == RackSelection::RoundRobin) {
+            rr_next_rack_ = (rack.value() + 1) % ctx().cluster->num_racks();
+          }
+          return placed;
+        }
+        // Per-link granularity can reject a rack that passed the aggregate
+        // check; commit() rolled back, so the next pool rack can be tried.
+      }
+    }
   }
 
   // SUPER_RACK fallback: NULB restricted to racks that can host each
   // resource individually (inter-rack assignment is now unavoidable).
+  // The cluster_max gate above already proved every list non-empty.
   PerResource<RackSet> lists;
   for (ResourceType t : kAllResources) {
     ctx().cluster->eligible_racks(t, units[t], lists[t]);
-    if (lists[t].empty()) {
-      return Err{DropReason::NoComputeResources};
-    }
   }
   auto boxes = nulb_find_boxes(*ctx().cluster, *ctx().fabric, units,
                                NeighborOrder::BoxIdOrder,

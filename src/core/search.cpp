@@ -1,17 +1,54 @@
 #include "core/search.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace risa::core {
 
+namespace {
+
+/// Visit candidate racks for a (type, units) first-fit scan in ascending
+/// rack-id order: the availability index's per-shard eligibility word --
+/// racks whose per-type *maximum* box fits `units` -- ANDed with the
+/// filter's membership word.  Racks pruned by the index contain no fitting
+/// box at all, so dropping them from any first-fit or rank-then-fit scan
+/// cannot change which box is found (DESIGN.md §10).  `fn` returns true to
+/// stop the walk.
+template <typename F>
+void for_each_candidate_rack(const topo::Cluster& cluster, ResourceType type,
+                             Units units, const RackFilter& filter, F&& fn) {
+  const topo::RackAvailabilityIndex& index = cluster.rack_index();
+  for (std::uint32_t s = 0; s < index.num_shards(); ++s) {
+    std::uint64_t word = index.type_word(s, type, units);
+    if (filter.restricted()) word &= filter.mask(type).word(s);
+    while (word != 0) {
+      const auto bit = static_cast<std::uint32_t>(std::countr_zero(word));
+      word &= word - 1;
+      if (fn(RackId{s * topo::RackAvailabilityIndex::kShardRacks + bit})) {
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace
+
 BoxId first_fit_box(const topo::Cluster& cluster, ResourceType type,
                     Units units, const RackFilter& filter) {
-  for (BoxId id : cluster.boxes_of_type(type)) {
-    const topo::Box& box = cluster.box_unchecked(id);
-    if (!filter.allows(type, box.rack())) continue;
-    if (box.available_units() >= units) return id;
-  }
-  return BoxId::invalid();
+  // Equivalent to the flat scan over boxes_of_type(type) -- that order is
+  // rack-major, and the index prunes only racks without a fitting box.
+  BoxId hit = BoxId::invalid();
+  for_each_candidate_rack(
+      cluster, type, units, filter, [&](RackId rack) {
+        for (BoxId id : cluster.boxes_of_type_in_rack(rack, type)) {
+          if (cluster.box_unchecked(id).available_units() >= units) {
+            hit = id;
+            return true;
+          }
+        }
+        return false;
+      });
+  return hit;
 }
 
 namespace {
@@ -42,19 +79,19 @@ namespace {
 /// channel-granular circuits.  On a lightly loaded fabric every candidate
 /// ties, so the stable sort preserves NULB's order -- which is why the
 /// paper's NALB makes the same placements as NULB (Figure 5: 255 = 255)
-/// until links genuinely congest.  Rack-uplink bests are computed once per
-/// search (into the scratch buffer) rather than per candidate.
+/// until links genuinely congest.  Rack-uplink bests are memoized lazily
+/// per search (into the scratch buffer): since the index prunes whole
+/// racks, most searches touch a handful of racks, not all of them.
 class PathHeadroom {
  public:
+  /// Free capacities are non-negative, so -1 marks "not yet computed".
+  static constexpr MbitsPerSec kUnknown = -1;
+
   PathHeadroom(const net::Fabric& fabric, RackId anchor_rack,
                std::uint32_t num_racks, std::vector<MbitsPerSec>& rack_best)
       : fabric_(&fabric), anchor_rack_(anchor_rack),
         channel_rate_(fabric.config().channel_rate), rack_best_(&rack_best) {
-    rack_best.clear();
-    rack_best.reserve(num_racks);
-    for (std::uint32_t r = 0; r < num_racks; ++r) {
-      rack_best.push_back(best_rack_uplink(fabric, RackId{r}));
-    }
+    rack_best.assign(num_racks, kUnknown);
   }
 
   /// Free channels on the candidate's bottleneck hop.
@@ -62,17 +99,23 @@ class PathHeadroom {
     const RackId box_rack = fabric_->switch_node(fabric_->box_switch(box)).rack;
     MbitsPerSec headroom = best_uplink(*fabric_, box);
     if (box_rack != anchor_rack_) {
-      headroom = std::min(headroom, (*rack_best_)[anchor_rack_.value()]);
-      headroom = std::min(headroom, (*rack_best_)[box_rack.value()]);
+      headroom = std::min(headroom, rack(anchor_rack_));
+      headroom = std::min(headroom, rack(box_rack));
     }
     return headroom / channel_rate_;
   }
 
  private:
+  [[nodiscard]] MbitsPerSec rack(RackId r) const {
+    MbitsPerSec& best = (*rack_best_)[r.value()];
+    if (best == kUnknown) best = best_rack_uplink(*fabric_, r);
+    return best;
+  }
+
   const net::Fabric* fabric_;
   RackId anchor_rack_;
   MbitsPerSec channel_rate_;
-  const std::vector<MbitsPerSec>* rack_best_;
+  std::vector<MbitsPerSec>* rack_best_;
 };
 
 /// First fit over boxes of `type` in per-type id order, restricted to the
@@ -82,31 +125,41 @@ class PathHeadroom {
                                      ResourceType type, Units units,
                                      const RackFilter& filter,
                                      RackId skip_rack = RackId::invalid()) {
-  for (BoxId id : cluster.boxes_of_type(type)) {
-    const topo::Box& box = cluster.box_unchecked(id);
-    if (box.rack() == skip_rack) continue;
-    if (!filter.allows(type, box.rack())) continue;
-    if (box.available_units() >= units) return id;
-  }
-  return BoxId::invalid();
+  BoxId hit = BoxId::invalid();
+  for_each_candidate_rack(
+      cluster, type, units, filter, [&](RackId rack) {
+        if (rack == skip_rack) return false;
+        for (BoxId id : cluster.boxes_of_type_in_rack(rack, type)) {
+          if (cluster.box_unchecked(id).available_units() >= units) {
+            hit = id;
+            return true;
+          }
+        }
+        return false;
+      });
+  return hit;
 }
 
-/// Rank `candidates` by descending path headroom (keys computed once per
-/// candidate, stable on ties) into scratch.ranked and return the first fit.
-[[nodiscard]] BoxId ranked_scan(const topo::Cluster& cluster,
-                                SearchScratch& scratch, Units units) {
-  // Stable sort on the key alone keeps tied candidates in insertion
-  // (per-type id) order -- byte-identical to sorting the boxes with a
-  // key-recomputing comparator, but with one key computation per candidate
-  // instead of one per comparison.
-  std::stable_sort(scratch.ranked.begin(), scratch.ranked.end(),
-                   [](const auto& a, const auto& b) { return a.first > b.first; });
-  for (const auto& [key, id] : scratch.ranked) {
-    (void)key;
-    if (cluster.box_unchecked(id).available_units() >= units) return id;
+/// Running argmax for the bandwidth-descending scans.  The historical
+/// implementation materialized every candidate, stable-sorted by descending
+/// headroom, then took the first fit.  Availability cannot change between
+/// the build and the scan (placement is single-threaded), so the first fit
+/// of that order is exactly "the *fitting* candidate with maximum headroom,
+/// earliest insertion order winning ties" -- which a strict-greater running
+/// maximum over fit-filtered candidates computes directly: no sort, no
+/// candidate buffer, and no headroom key evaluated for any box that could
+/// never be chosen.
+struct RankedBest {
+  MbitsPerSec key = -1;  ///< headroom keys are non-negative
+  BoxId box = BoxId::invalid();
+
+  void offer(MbitsPerSec candidate_key, BoxId id) noexcept {
+    if (candidate_key > key) {
+      key = candidate_key;
+      box = id;
+    }
   }
-  return BoxId::invalid();
-}
+};
 
 }  // namespace
 
@@ -130,36 +183,48 @@ BoxId bfs_search(const topo::Cluster& cluster, const net::Fabric& fabric,
     return scan_in_id_order(cluster, type, units, filter, anchor_rack);
   }
 
-  // BandwidthDescending: materialize (key, box) pairs into the scratch
-  // buffer, rank, then first-fit.
+  // BandwidthDescending: fit-filtered running argmax (RankedBest above).
+  // Candidates come only from index-eligible racks -- racks the index
+  // excludes contain no fitting box, so pruning them cannot change the
+  // winner.
   const PathHeadroom headroom(fabric, anchor_rack, cluster.num_racks(),
                               scratch.rack_best);
   if (companion == CompanionSearch::GlobalOrder) {
-    scratch.ranked.clear();
-    for (BoxId id : cluster.boxes_of_type(type)) {
-      if (!filter.allows(type, cluster.box_unchecked(id).rack())) continue;
-      scratch.ranked.emplace_back(headroom.of(id), id);
-    }
-    return ranked_scan(cluster, scratch, units);
+    RankedBest best;
+    for_each_candidate_rack(
+        cluster, type, units, filter, [&](RackId rack) {
+          for (BoxId id : cluster.boxes_of_type_in_rack(rack, type)) {
+            if (cluster.box_unchecked(id).available_units() >= units) {
+              best.offer(headroom.of(id), id);
+            }
+          }
+          return false;
+        });
+    return best.box;
   }
 
   // AnchorRackFirst tiers, each ranked independently.
   if (filter.allows(type, anchor_rack)) {
-    scratch.ranked.clear();
+    RankedBest local;
     for (BoxId id : cluster.boxes_of_type_in_rack(anchor_rack, type)) {
-      scratch.ranked.emplace_back(headroom.of(id), id);
+      if (cluster.box_unchecked(id).available_units() >= units) {
+        local.offer(headroom.of(id), id);
+      }
     }
-    const BoxId local_hit = ranked_scan(cluster, scratch, units);
-    if (local_hit.valid()) return local_hit;
+    if (local.box.valid()) return local.box;
   }
-  scratch.ranked.clear();
-  for (BoxId id : cluster.boxes_of_type(type)) {
-    const topo::Box& box = cluster.box_unchecked(id);
-    if (box.rack() == anchor_rack) continue;
-    if (!filter.allows(type, box.rack())) continue;
-    scratch.ranked.emplace_back(headroom.of(id), id);
-  }
-  return ranked_scan(cluster, scratch, units);
+  RankedBest best;
+  for_each_candidate_rack(
+      cluster, type, units, filter, [&](RackId rack) {
+        if (rack == anchor_rack) return false;
+        for (BoxId id : cluster.boxes_of_type_in_rack(rack, type)) {
+          if (cluster.box_unchecked(id).available_units() >= units) {
+            best.offer(headroom.of(id), id);
+          }
+        }
+        return false;
+      });
+  return best.box;
 }
 
 BoxId bfs_search(const topo::Cluster& cluster, const net::Fabric& fabric,

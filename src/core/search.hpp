@@ -77,8 +77,6 @@ class RackFilter {
 /// allocation; the vectors grow to the high-water mark once and are
 /// reused for every subsequent VM.
 struct SearchScratch {
-  /// (sort key, box) pairs for the bandwidth-descending candidate order.
-  std::vector<std::pair<MbitsPerSec, BoxId>> ranked;
   /// Per-rack best free uplink, computed once per bandwidth-ordered search.
   std::vector<MbitsPerSec> rack_best;
 };

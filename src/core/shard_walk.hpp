@@ -1,0 +1,78 @@
+// Sharded round-robin walk over the INTRA_RACK_POOL (DESIGN.md §10).
+//
+// RISA's rack selection is a cyclic ascending walk over the eligible racks
+// starting at the round-robin cursor.  The pre-sharding implementation
+// materialized the full pool bitmask up front (every shard's eligibility
+// word) and then walked it with RackSet::next.  This walk produces the
+// *identical visit sequence* while computing at most one 64-rack shard
+// word at a time, lazily: placements that succeed at or near the cursor --
+// the steady-state case round-robin itself creates -- never pay for the
+// shards they don't reach.
+//
+// Determinism argument (pinned by tests/test_core_index_simd.cpp): the
+// visit sequence is exactly
+//
+//     [racks >= start of shard(start)] ++ [shard(start)+1 .. last] ++
+//     [shard 0 .. shard(start)-1] ++ [racks < start of shard(start)]
+//
+// with every shard word's bits consumed in ascending order.  Concatenated,
+// that is the ascending cyclic order starting at `start` -- the same order
+// RackSet::next(start)/next(r+1) emits over the eagerly-built mask, with
+// each eligible rack visited exactly once.  Laziness cannot change any
+// word's value mid-walk: the only cluster mutations between next() calls
+// are failed commits, which roll back to byte-identical aggregates before
+// the walk resumes.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "common/units.hpp"
+#include "topology/cluster.hpp"
+
+namespace risa::core {
+
+class ShardedPoolWalk {
+ public:
+  /// `start` must be a valid rack id (the round-robin cursor is kept in
+  /// [0, racks) by the scheduler).  `demand` is borrowed for the walk's
+  /// lifetime.
+  ShardedPoolWalk(const topo::RackAvailabilityIndex& index,
+                  const UnitVector& demand, std::uint32_t start) noexcept
+      : index_(&index),
+        demand_(&demand),
+        shard_(start / topo::RackAvailabilityIndex::kShardRacks),
+        words_left_(index.num_shards()),
+        wrap_mask_((std::uint64_t{1} << (start & 63)) - 1) {
+    word_ = index.pool_word(shard_, demand) & ~wrap_mask_;
+  }
+
+  /// Next eligible rack in cyclic ascending order from `start`, or
+  /// RackId::invalid() once every eligible rack has been visited.
+  [[nodiscard]] RackId next() noexcept {
+    while (word_ == 0) {
+      if (words_left_ == 0) return RackId::invalid();
+      --words_left_;
+      shard_ = shard_ + 1 == index_->num_shards() ? 0 : shard_ + 1;
+      word_ = index_->pool_word(shard_, *demand_);
+      if (words_left_ == 0) {
+        // Back at the start shard: only the racks below `start` remain.
+        word_ &= wrap_mask_;
+      }
+    }
+    const auto bit = static_cast<std::uint32_t>(std::countr_zero(word_));
+    word_ &= word_ - 1;
+    return RackId{shard_ * topo::RackAvailabilityIndex::kShardRacks + bit};
+  }
+
+ private:
+  const topo::RackAvailabilityIndex* index_;
+  const UnitVector* demand_;
+  std::uint32_t shard_;
+  std::uint32_t words_left_;  ///< shard words still to fetch after word_
+  std::uint64_t wrap_mask_;   ///< bits below `start` within its shard
+  std::uint64_t word_ = 0;    ///< unconsumed bits of the current shard
+};
+
+}  // namespace risa::core

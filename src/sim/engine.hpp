@@ -147,9 +147,16 @@ class Engine {
   des::BasicCalendar<des::LifecycleEvent, 4> events_;
   /// Workload indices in (arrival, index) order -- the arrival cursor.
   std::vector<std::uint32_t> arrival_order_;
-  /// Dense live-placement slots indexed by workload VM index, gated by
-  /// live_ flags (a Placement slot is meaningful iff its flag is set).
-  std::vector<core::Placement> placement_slots_;
+  /// Live-placement slot pool.  A Placement is ~600 bytes, so sizing the
+  /// table by workload length made run() O(N) in *memory* (3 GB at the
+  /// 5M-VM bench row) for a cluster that can only host a few thousand VMs
+  /// at once.  Instead slot_of_[vm] (meaningful iff live_[vm]) indexes
+  /// into slot_pool_, which grows to the peak number of concurrently live
+  /// VMs and is recycled through free_slots_ -- bounded by the cluster,
+  /// not the workload.
+  std::vector<core::Placement> slot_pool_;
+  std::vector<std::uint32_t> slot_of_;
+  std::vector<std::uint32_t> free_slots_;
   std::vector<std::uint8_t> live_;
   /// Per-VM instantaneous optical holding power; sized only when a
   /// timeline is recording.

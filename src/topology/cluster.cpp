@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/simd.hpp"
+
 namespace risa::topo {
 
 namespace {
@@ -21,112 +23,152 @@ std::vector<Units> distribute_units(Units total, std::uint32_t bricks) {
 
 }  // namespace
 
+namespace {
+
+/// Lane image of an exact availability value (see kLaneMax saturation note
+/// in the class comment).
+[[nodiscard]] constexpr std::uint16_t saturate_lane(Units value) noexcept {
+  return static_cast<std::uint16_t>(
+      std::min(value, RackAvailabilityIndex::kLaneMax));
+}
+
+}  // namespace
+
 RackAvailabilityIndex::RackAvailabilityIndex(std::uint32_t racks)
-    : racks_(racks) {
-  while (base_ < racks_) base_ *= 2;
-  tree_.assign(2 * static_cast<std::size_t>(base_), PerResource<Units>{0, 0, 0});
+    : racks_(racks), shards_((racks + kShardRacks - 1) / kShardRacks) {
+  for (ResourceType t : kAllResources) {
+    lanes_[t].assign(static_cast<std::size_t>(shards_) * kShardRacks, 0);
+  }
+  exact_.assign(racks_, PerResource<Units>{0, 0, 0});
+  shard_max_.assign(shards_, PerResource<Units>{0, 0, 0});
 }
 
 void RackAvailabilityIndex::update(RackId rack, ResourceType type,
                                    Units maximum) {
-  std::size_t n = base_ + rack.value();
-  if (tree_[n][type] == maximum) return;  // index already current
-  tree_[n][type] = maximum;
-  for (n /= 2; n >= 1; n /= 2) {
-    const Units merged = std::max(tree_[2 * n][type], tree_[2 * n + 1][type]);
-    if (tree_[n][type] == merged) break;  // ancestors unchanged
-    tree_[n][type] = merged;
-  }
+  const std::uint32_t r = rack.value();
+  const Units previous = exact_[r][type];
+  if (previous == maximum) return;  // index already current
+  exact_[r][type] = maximum;
+  lanes_[type][r] = saturate_lane(maximum);
   ++epoch_;
+
+  const std::uint32_t shard = r / kShardRacks;
+  Units& smax = shard_max_[shard][type];
+  if (maximum > smax) {
+    smax = maximum;
+  } else if (previous == smax) {
+    // The shard's maximal rack shrank: rescan its 64 exact leaves.
+    const std::uint32_t begin = shard * kShardRacks;
+    const std::uint32_t end = std::min(racks_, begin + kShardRacks);
+    Units rescanned = 0;
+    for (std::uint32_t i = begin; i < end; ++i) {
+      rescanned = std::max(rescanned, exact_[i][type]);
+    }
+    smax = rescanned;
+  } else {
+    return;  // shard maximum unchanged => cluster maximum unchanged
+  }
+
+  Units& cmax = cluster_max_[type];
+  if (smax > cmax) {
+    cmax = smax;
+  } else {
+    Units rescanned = 0;
+    for (const PerResource<Units>& sm : shard_max_) {
+      rescanned = std::max(rescanned, sm[type]);
+    }
+    cmax = rescanned;
+  }
+}
+
+std::uint64_t RackAvailabilityIndex::lane_word(std::uint32_t shard,
+                                               ResourceType type,
+                                               Units demand) const {
+  if (demand <= kLaneMax) {
+    return simd::ge_mask64(&lanes_[type][shard * kShardRacks],
+                           static_cast<std::uint16_t>(demand));
+  }
+  // Demands beyond the lane range are exact-path only (never hit by the
+  // paper's configurations, whose boxes top out well under kLaneMax).
+  const std::uint32_t begin = shard * kShardRacks;
+  const std::uint32_t end = std::min(racks_, begin + kShardRacks);
+  std::uint64_t word = 0;
+  for (std::uint32_t r = begin; r < end; ++r) {
+    word |= std::uint64_t{exact_[r][type] >= demand} << (r - begin);
+  }
+  return word;
+}
+
+std::uint64_t RackAvailabilityIndex::pool_word(std::uint32_t shard,
+                                               const UnitVector& demand) const {
+  const PerResource<Units>& smax = shard_max_[shard];
+  if (smax.cpu() < demand.cpu() || smax.ram() < demand.ram() ||
+      smax.storage() < demand.storage()) {
+    return 0;  // whole shard pruned by its maxima
+  }
+  std::uint64_t word = lane_word(shard, ResourceType::Cpu, demand.cpu());
+  if (word != 0) word &= lane_word(shard, ResourceType::Ram, demand.ram());
+  if (word != 0) word &= lane_word(shard, ResourceType::Storage, demand.storage());
+  // Phantom padding lanes are zero; they only survive the >= test when a
+  // component demand is zero, so mask them off explicitly.
+  return word & shard_live_mask(shard);
+}
+
+std::uint64_t RackAvailabilityIndex::type_word(std::uint32_t shard,
+                                               ResourceType type,
+                                               Units demand) const {
+  if (shard_max_[shard][type] < demand) return 0;
+  return lane_word(shard, type, demand) & shard_live_mask(shard);
 }
 
 void RackAvailabilityIndex::pool_mask(const UnitVector& demand,
                                       RackSet& out) const {
   out.clear();
-  if (racks_ <= kLinearScanRacks) {
-    // Small clusters: a branchless pass over the contiguous leaf row beats
-    // the descent's pointer chasing (the paper's cluster is 18 racks).
-    const PerResource<Units>* leaves = &tree_[base_];
-    std::uint64_t word = 0;
-    for (std::uint32_t r = 0; r < racks_; ++r) {
-      const PerResource<Units>& m = leaves[r];
-      const bool fits = m.cpu() >= demand.cpu() && m.ram() >= demand.ram() &&
-                        m.storage() >= demand.storage();
-      word |= std::uint64_t{fits} << (r & 63);
-      if ((r & 63) == 63) {
-        out.set_word(r >> 6, word);
-        word = 0;
-      }
-    }
-    if ((racks_ & 63) != 0) out.set_word((racks_ - 1) >> 6, word);
-    return;
-  }
-  // Iterative descent: visit a subtree only when its per-type maxima could
-  // fit every demanded type.  Nodes pushed right-child-first so racks are
-  // emitted in ascending id order.  Depth <= log2(kMaxRacks), so the stack
-  // is a small fixed array.
-  std::size_t stack[2 * 12];
-  std::size_t top = 0;
-  if (node_fits(1, demand)) stack[top++] = 1;
-  while (top > 0) {
-    const std::size_t n = stack[--top];
-    if (n >= base_) {
-      const std::uint32_t rack = static_cast<std::uint32_t>(n - base_);
-      // Phantom leaves padding to the power of two have zero maxima; they
-      // only survive the fit test when the demand is all-zero.
-      if (rack < racks_) out.set(RackId{rack});
-      continue;
-    }
-    if (node_fits(2 * n + 1, demand)) stack[top++] = 2 * n + 1;
-    if (node_fits(2 * n, demand)) stack[top++] = 2 * n;
+  for (std::uint32_t s = 0; s < shards_; ++s) {
+    out.set_word(s, pool_word(s, demand));
   }
 }
 
 void RackAvailabilityIndex::type_mask(ResourceType type, Units demand,
                                       RackSet& out) const {
   out.clear();
-  if (racks_ <= kLinearScanRacks) {
-    const PerResource<Units>* leaves = &tree_[base_];
-    std::uint64_t word = 0;
-    for (std::uint32_t r = 0; r < racks_; ++r) {
-      word |= std::uint64_t{leaves[r][type] >= demand} << (r & 63);
-      if ((r & 63) == 63) {
-        out.set_word(r >> 6, word);
-        word = 0;
-      }
-    }
-    if ((racks_ & 63) != 0) out.set_word((racks_ - 1) >> 6, word);
-    return;
-  }
-  std::size_t stack[2 * 12];
-  std::size_t top = 0;
-  if (tree_[1][type] >= demand) stack[top++] = 1;
-  while (top > 0) {
-    const std::size_t n = stack[--top];
-    if (n >= base_) {
-      const std::uint32_t rack = static_cast<std::uint32_t>(n - base_);
-      if (rack < racks_) out.set(RackId{rack});
-      continue;
-    }
-    if (tree_[2 * n + 1][type] >= demand) stack[top++] = 2 * n + 1;
-    if (tree_[2 * n][type] >= demand) stack[top++] = 2 * n;
+  for (std::uint32_t s = 0; s < shards_; ++s) {
+    out.set_word(s, type_word(s, type, demand));
   }
 }
 
 void RackAvailabilityIndex::check_invariants() const {
-  for (std::size_t n = 1; n < base_; ++n) {
-    for (ResourceType t : kAllResources) {
-      if (tree_[n][t] != std::max(tree_[2 * n][t], tree_[2 * n + 1][t])) {
-        throw std::logic_error(
-            "RackAvailabilityIndex invariant: inner node != max of children");
+  PerResource<Units> cluster{0, 0, 0};
+  for (std::uint32_t s = 0; s < shards_; ++s) {
+    PerResource<Units> shard{0, 0, 0};
+    const std::uint32_t begin = s * kShardRacks;
+    const std::uint32_t end = std::min(racks_, begin + kShardRacks);
+    for (std::uint32_t r = begin; r < end; ++r) {
+      for (ResourceType t : kAllResources) {
+        if (lanes_[t][r] != saturate_lane(exact_[r][t])) {
+          throw std::logic_error(
+              "RackAvailabilityIndex invariant: lane != saturated leaf");
+        }
+        shard[t] = std::max(shard[t], exact_[r][t]);
       }
     }
-  }
-  for (std::size_t r = racks_; r < base_; ++r) {
-    if (tree_[base_ + r] != PerResource<Units>{0, 0, 0}) {
-      throw std::logic_error(
-          "RackAvailabilityIndex invariant: phantom leaf non-zero");
+    for (ResourceType t : kAllResources) {
+      for (std::uint32_t r = end; r < begin + kShardRacks; ++r) {
+        if (lanes_[t][r] != 0) {
+          throw std::logic_error(
+              "RackAvailabilityIndex invariant: phantom lane non-zero");
+        }
+      }
+      if (shard[t] != shard_max_[s][t]) {
+        throw std::logic_error(
+            "RackAvailabilityIndex invariant: shard maximum mismatch");
+      }
+      cluster[t] = std::max(cluster[t], shard[t]);
     }
+  }
+  if (cluster != cluster_max_) {
+    throw std::logic_error(
+        "RackAvailabilityIndex invariant: cluster maximum mismatch");
   }
 }
 
@@ -166,6 +208,9 @@ Cluster::Cluster(ClusterConfig config)
       refresh_rack_aggregates(RackId{r}, t);
     }
   }
+
+  release_dirty_.assign(static_cast<std::size_t>(config_.racks) * kNumResourceTypes, 0);
+  release_dirty_keys_.reserve(release_dirty_.size());
 }
 
 Box& Cluster::box(BoxId id) {
@@ -194,12 +239,27 @@ const std::vector<BoxId>& Cluster::boxes_of_type_in_rack(RackId rack_id,
   return rack(rack_id).boxes(t);
 }
 
+// Incremental aggregate maintenance.  A successful allocation only ever
+// *lowers* one box's availability, so the rack maximum can change only if
+// that box held it (old availability == rack max) -- one O(boxes-in-rack)
+// rescan in that case, O(1) otherwise.  A release only *raises* it, so the
+// new maximum is max(old, new availability) with no rescan ever: if the
+// raised value stays below the old maximum, some other box still holds the
+// maximum (the raised box was below it before, a fortiori).  Totals are
+// exact integer sums either way.  Offline boxes report zero availability
+// throughout, so releasing onto one leaves every aggregate untouched.
+
 Result<BoxAllocation, std::string> Cluster::allocate(BoxId box_id, Units units) {
   Box& b = box(box_id);
   auto result = b.allocate(units);
   if (result.ok()) {
-    total_available_[b.type()] -= units;
-    refresh_rack_aggregates(b.rack(), b.type());
+    const ResourceType t = b.type();
+    total_available_[t] -= units;
+    Rack& rk = racks_[b.rack().value()];
+    rk.total_available_[t] -= units;
+    if (b.available_units() + units == rk.max_available_[t]) {
+      recompute_rack_max(rk, b.rack(), t);
+    }
   }
   return result;
 }
@@ -207,19 +267,61 @@ Result<BoxAllocation, std::string> Cluster::allocate(BoxId box_id, Units units) 
 bool Cluster::allocate_into(BoxId box_id, Units units, BoxAllocation& out) {
   Box& b = box(box_id);
   if (!b.allocate_into(units, out)) return false;
-  total_available_[b.type()] -= units;
-  refresh_rack_aggregates(b.rack(), b.type());
+  const ResourceType t = b.type();
+  total_available_[t] -= units;
+  Rack& rk = racks_[b.rack().value()];
+  rk.total_available_[t] -= units;
+  if (b.available_units() + units == rk.max_available_[t]) {
+    recompute_rack_max(rk, b.rack(), t);
+  }
   return true;
 }
 
 void Cluster::release(const BoxAllocation& allocation) {
   Box& b = box(allocation.box);
   b.release(allocation);
-  // Units released on an offline box are not available until repair.
+  // Units released on an offline box are not available until repair: its
+  // available_units() stays zero, so no aggregate moves.
+  if (b.offline()) return;
+  const ResourceType t = b.type();
+  total_available_[t] += allocation.units;
+  Rack& rk = racks_[b.rack().value()];
+  rk.total_available_[t] += allocation.units;
+  const Units avail = b.available_units();
+  if (avail > rk.max_available_[t]) {
+    rk.max_available_[t] = avail;
+    index_.update(b.rack(), t, avail);
+  }
+}
+
+void Cluster::release_batched(const BoxAllocation& allocation) {
+  assert(release_batching_);
+  Box& b = box(allocation.box);
+  b.release(allocation);
+  // Box ledger and cluster totals settle immediately -- utilization sampled
+  // between batched releases stays exact.  Only the per-rack aggregate /
+  // index refresh (an idempotent recomputation) is deferred.
   if (!b.offline()) {
     total_available_[b.type()] += allocation.units;
   }
-  refresh_rack_aggregates(b.rack(), b.type());
+  const auto key = static_cast<std::uint32_t>(
+      b.rack().value() * kNumResourceTypes + index(b.type()));
+  if (!release_dirty_[key]) {
+    release_dirty_[key] = 1;
+    release_dirty_keys_.push_back(key);
+  }
+}
+
+void Cluster::end_release_batch() {
+  assert(release_batching_);
+  for (const std::uint32_t key : release_dirty_keys_) {
+    release_dirty_[key] = 0;
+    refresh_rack_aggregates(
+        RackId{static_cast<std::uint32_t>(key / kNumResourceTypes)},
+        kAllResources[key % kNumResourceTypes]);
+  }
+  release_dirty_keys_.clear();
+  release_batching_ = false;
 }
 
 void Cluster::set_box_offline(BoxId box_id, bool offline) {
@@ -235,6 +337,15 @@ void Cluster::set_box_offline(BoxId box_id, bool offline) {
     --offline_boxes_;
   }
   refresh_rack_aggregates(b.rack(), b.type());
+}
+
+void Cluster::recompute_rack_max(Rack& rk, RackId rack_id, ResourceType t) {
+  Units max_avail = 0;
+  for (BoxId id : rk.boxes_[t]) {
+    max_avail = std::max(max_avail, boxes_[id.value()].available_units());
+  }
+  rk.max_available_[t] = max_avail;
+  index_.update(rack_id, t, max_avail);
 }
 
 void Cluster::refresh_rack_aggregates(RackId rack_id, ResourceType t) {

@@ -61,30 +61,45 @@ struct ClusterSnapshot {
   std::vector<std::vector<Units>> brick_available;  ///< indexed by box, brick
 };
 
-/// Incremental rack-availability index: a segment tree over rack ids whose
-/// leaves hold each rack's per-type `max_available` and whose inner nodes
-/// hold the per-type maximum of their children.
+/// Incremental rack-availability index: contiguous per-type u16 lanes over
+/// rack ids, sharded into 64-rack groups (one RackSet word per shard).
 ///
 /// This is the structure that preserves RISA's asymptotic advantage end to
-/// end: the Cluster already maintains per-rack maxima incrementally, and the
-/// tree turns "which racks fit this demand" from an O(racks x types) rescan
-/// per VM into a pruned descent that only visits subtrees containing
-/// eligible racks -- O(answer x log R), emitted in ascending rack-id order
-/// (the round-robin order) directly as a RackSet bitmask.  Updates from
-/// `refresh_rack_aggregates` cost O(log R).  See DESIGN.md for the
-/// complexity contract.
+/// end.  The Cluster maintains per-rack per-type maxima incrementally; the
+/// index stores them twice:
+///
+///   * `lanes_[t]` -- one saturated u16 per rack, padded to shards x 64, in
+///     a single contiguous row per type.  "Which racks of this shard fit
+///     demand d" is then one SIMD lane compare (simd::ge_mask64) producing
+///     a 64-bit mask that *is* the corresponding RackSet word, with lanes
+///     emitted in ascending rack-id order (the round-robin order).
+///   * `exact_[r]` -- the exact i64 value, the source of truth: queries
+///     whose demand exceeds kLaneMax fall back to it, and invariants and
+///     verification hooks read it.
+///
+/// Saturation at kLaneMax is sound for >=-queries: a saturated lane only
+/// ever *under-reports* availability as exactly kLaneMax, so for any demand
+/// d <= kLaneMax, lane >= d iff exact >= d.  Demands above kLaneMax take the
+/// exact path.
+///
+/// Per-shard and cluster-wide maxima ride on top: `shard_max` prunes whole
+/// 64-rack words before the lane compare runs, and `cluster_max` gives the
+/// scheduler an O(1) "no box anywhere fits" reject on the drop path.
 class RackAvailabilityIndex {
  public:
-  /// Clusters at or below this size answer queries with a branchless linear
-  /// pass over the contiguous leaf row instead of the tree descent; the
-  /// descent's pruning only pays off once the rack count dwarfs the answer.
-  static constexpr std::uint32_t kLinearScanRacks = 128;
+  /// Racks per shard; equals the RackSet word width so a shard's query
+  /// answer is exactly one membership word.
+  static constexpr std::uint32_t kShardRacks = 64;
+  /// Largest availability a u16 lane can represent; larger exact values
+  /// saturate (see class comment for why that stays correct).
+  static constexpr Units kLaneMax = 65535;
 
   explicit RackAvailabilityIndex(std::uint32_t racks);
 
-  /// Install a rack's new maximum for one type; O(log R), O(1) when the
-  /// value is unchanged (the common case: allocating from a non-maximal box
-  /// leaves the rack maximum alone).
+  /// Install a rack's new maximum for one type.  O(1) when the value is
+  /// unchanged (the common case: allocating from a non-maximal box leaves
+  /// the rack maximum alone); O(kShardRacks) only when the shard's previous
+  /// maximum shrinks.
   void update(RackId rack, ResourceType type, Units maximum);
 
   /// Racks whose maxima fit every component of `demand` simultaneously --
@@ -94,31 +109,66 @@ class RackAvailabilityIndex {
   /// Racks whose maxima fit `demand` of one type -- a SUPER_RACK list.
   void type_mask(ResourceType type, Units demand, RackSet& out) const;
 
+  /// Number of 64-rack shards (= number of live RackSet words).
+  [[nodiscard]] std::uint32_t num_shards() const noexcept { return shards_; }
+
+  /// One shard's INTRA_RACK_POOL membership word: bit i set iff rack
+  /// shard*64+i fits every component of `demand`.  Identical to the
+  /// corresponding word of pool_mask's answer.
+  [[nodiscard]] std::uint64_t pool_word(std::uint32_t shard,
+                                        const UnitVector& demand) const;
+
+  /// One shard's SUPER_RACK membership word for a single type.
+  [[nodiscard]] std::uint64_t type_word(std::uint32_t shard, ResourceType type,
+                                        Units demand) const;
+
+  /// Largest per-box availability of `type` anywhere in the cluster -- the
+  /// O(1) reject: no box can host a component larger than this.
+  [[nodiscard]] Units cluster_max(ResourceType type) const noexcept {
+    return cluster_max_[type];
+  }
+
+  /// Largest per-box availability of `type` within one shard.
+  [[nodiscard]] Units shard_max(std::uint32_t shard,
+                                ResourceType type) const noexcept {
+    return shard_max_[shard][type];
+  }
+
   /// Monotonic mutation counter: bumped on every update().  Callers that
   /// cache derived pools can compare epochs instead of re-querying.
   [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
 
-  /// Leaf values for one rack (verification hook).
+  /// Exact (unsaturated) leaf values for one rack (verification hook).
   [[nodiscard]] const PerResource<Units>& leaf(RackId rack) const {
-    return tree_[base_ + rack.value()];
+    return exact_[rack.value()];
   }
 
-  /// Verifies inner nodes against their children; throws std::logic_error
-  /// on divergence.  Leaf correctness is checked by Cluster.
+  /// Verifies lanes against exact leaves and the shard/cluster maxima
+  /// against a rescan; throws std::logic_error on divergence.  Leaf
+  /// correctness itself is checked by Cluster.
   void check_invariants() const;
 
  private:
-  /// True when every demanded type fits under node `n`'s maxima.
-  [[nodiscard]] bool node_fits(std::size_t n, const UnitVector& demand) const {
-    for (ResourceType t : kAllResources) {
-      if (tree_[n][t] < demand[t]) return false;
-    }
-    return true;
+  /// Membership word of shard `shard` for a single type: the SIMD lane
+  /// compare when the demand fits a u16, the exact row otherwise.
+  [[nodiscard]] std::uint64_t lane_word(std::uint32_t shard, ResourceType type,
+                                        Units demand) const;
+
+  /// Bits of a shard's word that correspond to real (non-phantom) racks.
+  [[nodiscard]] std::uint64_t shard_live_mask(std::uint32_t shard) const noexcept {
+    return shard + 1 < shards_ || (racks_ & 63) == 0
+               ? ~std::uint64_t{0}
+               : (std::uint64_t{1} << (racks_ & 63)) - 1;
   }
 
   std::uint32_t racks_ = 0;
-  std::uint32_t base_ = 1;  ///< leaf offset: smallest power of two >= racks
-  std::vector<PerResource<Units>> tree_;  ///< 1-based heap layout, size 2*base_
+  std::uint32_t shards_ = 0;
+  /// Saturated u16 lanes, one contiguous row per type, padded with zero
+  /// lanes to shards_ x kShardRacks.
+  PerResource<std::vector<std::uint16_t>> lanes_;
+  std::vector<PerResource<Units>> exact_;      ///< exact leaf values, size racks_
+  std::vector<PerResource<Units>> shard_max_;  ///< per-shard maxima, size shards_
+  PerResource<Units> cluster_max_{0, 0, 0};
   std::uint64_t epoch_ = 0;
 };
 
@@ -189,6 +239,17 @@ class Cluster {
   /// Return a previous allocation.  Updates all aggregates.
   void release(const BoxAllocation& allocation);
 
+  /// Batched-release protocol for same-timestamp departure runs: box
+  /// ledgers and cluster totals update immediately (so utilization sampled
+  /// mid-batch is exact), but the O(boxes-in-rack) per-rack aggregate /
+  /// index refresh is deferred and deduplicated per touched (rack, type)
+  /// until end_release_batch().  No placement query may run between begin
+  /// and end; the engine guarantees this because arrivals always order
+  /// before same-time injected events in the (time, seq) contract.
+  void begin_release_batch() noexcept { assert(!release_batching_); release_batching_ = true; }
+  void release_batched(const BoxAllocation& allocation);
+  void end_release_batch();
+
   /// Failure injection: take a box offline (it stops accepting allocations
   /// and its free units leave every availability aggregate) or bring it
   /// back.  Resident allocations stay recorded; the caller decides whether
@@ -231,6 +292,9 @@ class Cluster {
 
  private:
   void refresh_rack_aggregates(RackId rack, ResourceType t);
+  /// Rescans only the rack's per-type maximum (the total is maintained
+  /// incrementally by allocate/release) and pushes it into the index.
+  void recompute_rack_max(Rack& rk, RackId rack, ResourceType t);
 
   ClusterConfig config_;
   std::vector<Box> boxes_;
@@ -240,6 +304,11 @@ class Cluster {
   PerResource<Units> total_available_{0, 0, 0};
   std::uint32_t offline_boxes_ = 0;
   RackAvailabilityIndex index_;
+  /// Batched-release scratch: per (rack, type) dirty flags plus the dense
+  /// list of dirty keys (key = rack * kNumResourceTypes + type).
+  bool release_batching_ = false;
+  std::vector<std::uint8_t> release_dirty_;
+  std::vector<std::uint32_t> release_dirty_keys_;
 };
 
 }  // namespace risa::topo

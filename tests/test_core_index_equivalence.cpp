@@ -155,9 +155,10 @@ TEST(IndexEquivalence, UnevenClusterChurn) {
   run_churn(cfg, 0xC0FFEE5EEDULL, 2000, 8);
 }
 
-TEST(IndexEquivalence, LargeClusterUsesTreeDescent) {
+TEST(IndexEquivalence, LargeClusterSpansMultipleShards) {
   topo::ClusterConfig cfg;
-  cfg.racks = topo::RackAvailabilityIndex::kLinearScanRacks + 17;
+  cfg.racks = 2 * topo::RackAvailabilityIndex::kShardRacks + 17;  // 3 shards,
+                                                                  // ragged tail
   run_churn(cfg, 0xD15C0DEULL, 800, 4);
 }
 
