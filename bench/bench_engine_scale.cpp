@@ -22,21 +22,45 @@
 // baseline stays a determinism witness.
 // CI smoke: `--benchmark_filter=10000$ --benchmark_min_time=...` runs
 // just the smallest count per algorithm.
+//
+// Streaming mode: `--streaming[=COUNT]` (default 10M VMs) replaces the
+// interactive grid with pull-based Engine::run_stream rows at 500k VMs
+// (the materialized-comparison point) and COUNT VMs, recording peak RSS
+// (VmHWM from /proc/self/status) per row.  Streaming rows execute before
+// anything materializes a workload, so the process-wide high-water mark
+// they record is genuinely the streaming pipeline's.  Each row also
+// records source_s -- the stream drained standalone -- because sim_s in a
+// pull run includes on-the-fly synthesis that materialized rows pay
+// before their timer starts; events / (sim_s - source_s) is the
+// apples-to-apples engine throughput (Engine::run and run_stream share
+// one loop, so the pipeline itself adds no per-event work).  `--rss_limit_mb=N`
+// exits nonzero when the post-streaming VmHWM exceeds N (the CI bounded-
+// memory assertion), and `--rss` prints the final VmHWM for any mode.
+// With `--emit_json`, streaming rows are appended to the committed
+// baseline after the materialized grid.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <array>
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "common/histogram.hpp"
 #include "core/registry.hpp"
 #include "sim/engine.hpp"
 #include "sim/experiments.hpp"
 #include "sim/report.hpp"
 #include "sim/sweep.hpp"
+#include "workload/arrival_source.hpp"
 #include "workload/synthetic.hpp"
 
 namespace {
@@ -129,15 +153,173 @@ int consume_repeat_flag(int& argc, char** argv) {
   return repeats > 1 ? repeats : 1;
 }
 
+/// Consume `--NAME` or `--NAME=V` (same contract as consume_emit_json_flag).
+/// Returns `absent` when missing, `bare` for the valueless form, else V.
+std::int64_t consume_i64_flag(int& argc, char** argv, std::string_view name,
+                              std::int64_t absent, std::int64_t bare) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.rfind(name, 0) != 0) continue;
+    const std::string_view rest = arg.substr(name.size());
+    if (!rest.empty() && rest[0] != '=') continue;
+    const std::int64_t value =
+        rest.empty() ? bare : std::atoll(arg.data() + name.size() + 1);
+    for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+    --argc;
+    return value;
+  }
+  return absent;
+}
+
+/// Process-wide peak resident set (VmHWM) in MB, or -1 when unreadable.
+/// Monotone over the process lifetime -- which is exactly why the streaming
+/// rows run before anything materializes a workload.
+double read_peak_rss_mb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::atof(line.c_str() + 6) / 1024.0;  // value is in kB
+    }
+  }
+  return -1.0;
+}
+
+/// One streaming row: a pull-based run over the on-demand synthetic
+/// generator with the bounded Log2Histogram as the latency sink (a vector
+/// sink would itself be O(N) memory and defeat the measurement).
+risa::sim::SchedulerBenchEntry run_streaming_row(const std::string& algo,
+                                                 std::size_t count) {
+  risa::sim::Engine engine(risa::sim::Scenario::paper_defaults(), algo);
+  risa::wl::SyntheticConfig cfg;
+  {
+    // Unmeasured warmup at 100k: pools and calendars reach their
+    // cluster-bounded high-water marks outside the timed run.
+    cfg.count = 100'000;
+    risa::wl::SyntheticStreamSource warm(cfg, risa::sim::kDefaultSeed);
+    const auto m = engine.run_stream(warm, "warmup");
+    benchmark::DoNotOptimize(m.placed);
+  }
+  cfg.count = count;
+  risa::wl::SyntheticStreamSource source(cfg, risa::sim::kDefaultSeed);
+  risa::Log2Histogram latency;
+  // Best of two recorded runs, mirroring the materialized grid's
+  // warmup-then-measure discipline (run_stream rewinds the source; the
+  // second run rides the engine's steady-state reuse path).  Counts are
+  // deterministic, so keeping the faster run only picks wall-clock.
+  engine.set_latency_histogram(&latency);
+  risa::sim::SimMetrics m =
+      engine.run_stream(source, scale_label(count) + "-stream");
+  latency.clear();
+  const risa::sim::SimMetrics again =
+      engine.run_stream(source, scale_label(count) + "-stream");
+  if (again.sim_wall_seconds < m.sim_wall_seconds) m = again;
+  engine.set_latency_histogram(nullptr);
+
+  risa::sim::SchedulerBenchEntry e;
+  e.workload = m.workload;
+  e.algorithm = m.algorithm;
+  e.total_vms = m.total_vms;
+  e.placed = m.placed;
+  e.dropped = m.dropped;
+  e.inter_rack = m.inter_rack_placements;
+  e.sched_s = m.scheduler_exec_seconds;
+  e.placements_per_sec =
+      e.sched_s > 0.0 ? static_cast<double>(m.total_vms) / e.sched_s : 0.0;
+  e.sim_s = m.sim_wall_seconds;
+  e.events_per_sec = m.events_per_sec();
+  if (latency.total() > 0) {
+    e.p50_ns = latency.percentile(50.0);
+    e.p99_ns = latency.percentile(99.0);
+  }
+  // The generator's own synthesis cost, measured by draining the same
+  // stream without the engine.  sim_s above *includes* it (a pull run
+  // synthesizes arrivals inside the timed window; a materialized row pays
+  // generation before its timer starts), so the engine-only throughput
+  // comparable with the materialized grid is events / (sim_s - source_s).
+  {
+    std::array<risa::wl::ArrivalItem, 1024> buf;
+    double best = -1.0;
+    for (int rep = 0; rep < 2; ++rep) {
+      source.rewind();
+      const auto t0 = std::chrono::steady_clock::now();
+      while (const std::size_t n = source.next_batch(buf)) {
+        benchmark::DoNotOptimize(buf[n - 1].index);
+      }
+      const double s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      if (best < 0.0 || s < best) best = s;
+    }
+    e.source_s = best;
+  }
+  e.peak_rss_mb = read_peak_rss_mb();
+  return e;
+}
+
+/// The streaming grid: the 500k materialized-comparison point plus the
+/// headline `big_count` row, per algorithm (workload outer, algorithm
+/// inner, matching the baseline's row order).
+std::vector<risa::sim::SchedulerBenchEntry> run_streaming_rows(
+    std::size_t big_count) {
+  std::vector<risa::sim::SchedulerBenchEntry> rows;
+  std::vector<std::size_t> counts = {500'000};
+  if (big_count != 500'000) counts.push_back(big_count);
+  for (std::size_t count : counts) {
+    for (const std::string& algo : risa::core::algorithm_names()) {
+      rows.push_back(run_streaming_row(algo, count));
+      const risa::sim::SchedulerBenchEntry& e = rows.back();
+      // engine_only backs the synthesis seconds out of the timed window,
+      // making the figure comparable with the materialized grid (which
+      // pays generation before its timer starts).
+      const double engine_s = std::max(e.sim_s - e.source_s, 1e-9);
+      std::cout << e.workload << " " << e.algorithm << ": events_per_sec="
+                << static_cast<std::uint64_t>(e.events_per_sec)
+                << " engine_only="
+                << static_cast<std::uint64_t>(e.events_per_sec * e.sim_s /
+                                              engine_s)
+                << " sim_s=" << e.sim_s << " source_s=" << e.source_s
+                << " peak_rss_mb=" << e.peak_rss_mb << "\n";
+    }
+  }
+  return rows;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string json_path =
       risa::sim::consume_emit_json_flag(argc, argv, "BENCH_engine.json");
   const int repeats = consume_repeat_flag(argc, argv);
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  const std::int64_t streaming_count = consume_i64_flag(
+      argc, argv, "--streaming", /*absent=*/-1, /*bare=*/10'000'000);
+  const std::int64_t rss_limit_mb =
+      consume_i64_flag(argc, argv, "--rss_limit_mb", -1, -1);
+  const bool report_rss = consume_i64_flag(argc, argv, "--rss", 0, 1) != 0;
+
+  // Streaming rows first: VmHWM is process-wide and monotone, so they must
+  // run before the interactive grid / baseline sweep materializes anything.
+  std::vector<risa::sim::SchedulerBenchEntry> streaming_rows;
+  if (streaming_count > 0) {
+    streaming_rows = run_streaming_rows(static_cast<std::size_t>(streaming_count));
+    const double peak = read_peak_rss_mb();
+    if (rss_limit_mb > 0 && !(peak >= 0.0 && peak <= static_cast<double>(rss_limit_mb))) {
+      std::cerr << "bench_engine_scale: streaming peak RSS " << peak
+                << " MB exceeds limit " << rss_limit_mb << " MB\n";
+      return 1;
+    }
+  } else if (rss_limit_mb > 0) {
+    std::cerr << "bench_engine_scale: --rss_limit_mb requires --streaming\n";
+    return 1;
+  }
+
+  if (streaming_count <= 0) {
+    // Streaming mode is a driver mode: it replaces the interactive grid
+    // (whose materialized workload cache would dwarf the streaming RSS).
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
 
   if (!json_path.empty()) {
     // The committed baseline comes from serial latency-recording sweeps
@@ -172,12 +354,19 @@ int main(int argc, char** argv) {
         if (again[i].sim_s < entries[i].sim_s) entries[i] = again[i];
       }
     }
+    // Streaming rows ride along after the materialized grid (single-shot:
+    // they were measured before anything materialized, so repeating them
+    // here would record a polluted RSS high-water mark).
+    entries.insert(entries.end(), streaming_rows.begin(), streaming_rows.end());
     if (!risa::sim::write_scheduler_bench_json(json_path, "engine_scale_churn",
                                                entries)) {
       return 1;
     }
     std::cout << "\nwrote engine-scale baseline: " << json_path << " (best of "
               << repeats << ")\n";
+  }
+  if (report_rss) {
+    std::cout << "peak_rss_mb: " << read_peak_rss_mb() << "\n";
   }
   return 0;
 }

@@ -9,7 +9,20 @@
 //   risa_cli --algorithm=NALB --workload=synthetic --timeline-csv=run.csv
 //   risa_cli --scenario=my.conf --trace-in=recorded.csv
 //   risa_cli --workload=synthetic --trace-out=synthetic.csv --dry-run
+//
+// Streaming mode (`--streaming`) pulls arrivals from an on-demand source
+// (synthetic/azure generators or --trace-in) instead of materializing the
+// workload -- bit-identical metrics, bounded memory (DESIGN.md §11) -- and
+// unlocks checkpointing: `--checkpoint-out=F --checkpoint-every=N` rewrites
+// F with the full engine state every N events, and `--resume=F` continues
+// such a run bit-identically (pass the same workload/seed flags so the
+// source regenerates the identical stream):
+//   risa_cli --streaming --count=10000000
+//            --checkpoint-out=run.ckpt --checkpoint-every=1000000
+//   risa_cli --streaming --count=10000000 --resume=run.ckpt
+#include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "common/flags.hpp"
 #include "common/string_util.hpp"
@@ -18,7 +31,10 @@
 #include "sim/experiments.hpp"
 #include "sim/report.hpp"
 #include "sim/scenario_io.hpp"
+#include "sim/sweep.hpp"
 #include "sim/timeline.hpp"
+#include "workload/arrival_source.hpp"
+#include "workload/azure.hpp"
 #include "workload/characterize.hpp"
 #include "workload/synthetic.hpp"
 #include "workload/trace_io.hpp"
@@ -43,6 +59,19 @@ int main(int argc, char** argv) {
   flags.define("trace-out", "", "Save the generated workload to this CSV trace");
   flags.define("timeline-csv", "", "Export a per-event time series to this CSV");
   flags.define("dry-run", "false", "Generate/convert workloads without simulating");
+  flags.define("streaming", "false",
+               "Pull arrivals from a streaming source (bounded memory, "
+               "bit-identical metrics)");
+  flags.define("count", "0",
+               "Override the synthetic workload's VM count (0 = default)");
+  flags.define("checkpoint-out", "",
+               "Rewrite this file with the engine state every "
+               "--checkpoint-every events (requires --streaming)");
+  flags.define("checkpoint-every", "0",
+               "Checkpoint cadence in executed events (0 = off)");
+  flags.define("resume", "",
+               "Resume a streaming run from this checkpoint file (implies "
+               "--streaming; pass the original workload/seed flags)");
   if (!flags.parse_or_usage(argc, argv)) return 1;
 
   try {
@@ -88,35 +117,70 @@ int main(int argc, char** argv) {
 
     // 2. Workload.
     const auto seed = static_cast<std::uint64_t>(flags.i64("seed"));
+    const bool streaming = flags.b("streaming") || !flags.str("resume").empty();
     wl::Workload workload;
+    std::unique_ptr<wl::ArrivalSource> source;
     std::string label = flags.str("workload");
-    if (!flags.str("trace-in").empty()) {
-      workload = wl::load_trace(flags.str("trace-in"));
-      label = flags.str("trace-in");
-    } else if (label == "synthetic") {
-      workload = sim::synthetic_workload(seed);
-    } else {
-      for (auto& [name, w] : sim::azure_workloads(seed)) {
-        if (to_lower(name) == to_lower(label)) workload = std::move(w);
-      }
-      if (workload.empty()) {
-        std::cerr << "unknown workload '" << label << "'\n";
+    if (streaming) {
+      if (flags.b("dry-run") || !flags.str("trace-out").empty()) {
+        std::cerr << "--streaming never materializes the workload; it is "
+                     "incompatible with --dry-run and --trace-out\n";
         return 1;
       }
-    }
-    if (!flags.str("trace-out").empty()) {
-      wl::save_trace(flags.str("trace-out"), workload);
-      std::cout << "trace written to " << flags.str("trace-out") << " ("
-                << workload.size() << " VMs)\n";
-    }
+      if (!flags.str("trace-in").empty()) {
+        source = std::make_unique<wl::TraceStreamSource>(flags.str("trace-in"));
+        label = flags.str("trace-in");
+      } else if (label == "synthetic") {
+        wl::SyntheticConfig cfg;
+        if (flags.i64("count") > 0) {
+          cfg.count = static_cast<std::size_t>(flags.i64("count"));
+        }
+        source = std::make_unique<wl::SyntheticStreamSource>(cfg, seed);
+      } else {
+        for (const wl::AzureSpec& spec : wl::azure_all_subsets()) {
+          if (to_lower(spec.label) == to_lower(label)) {
+            source = std::make_unique<wl::AzureStreamSource>(spec, seed);
+          }
+        }
+        if (source == nullptr) {
+          std::cerr << "unknown workload '" << label << "'\n";
+          return 1;
+        }
+      }
+      std::cout << "workload: " << label << " (streaming)\n";
+    } else {
+      if (!flags.str("trace-in").empty()) {
+        workload = wl::load_trace(flags.str("trace-in"));
+        label = flags.str("trace-in");
+      } else if (label == "synthetic") {
+        wl::SyntheticConfig cfg;
+        if (flags.i64("count") > 0) {
+          cfg.count = static_cast<std::size_t>(flags.i64("count"));
+        }
+        workload = wl::generate_synthetic(cfg, seed);
+      } else {
+        for (auto& [name, w] : sim::azure_workloads(seed)) {
+          if (to_lower(name) == to_lower(label)) workload = std::move(w);
+        }
+        if (workload.empty()) {
+          std::cerr << "unknown workload '" << label << "'\n";
+          return 1;
+        }
+      }
+      if (!flags.str("trace-out").empty()) {
+        wl::save_trace(flags.str("trace-out"), workload);
+        std::cout << "trace written to " << flags.str("trace-out") << " ("
+                  << workload.size() << " VMs)\n";
+      }
 
-    const auto summary = wl::summarize(workload);
-    std::cout << "workload: " << label << " -- " << summary.count
-              << " VMs, mean " << TextTable::num(summary.mean_cores, 2)
-              << " cores / " << TextTable::num(summary.mean_ram_gb, 2)
-              << " GB RAM / " << TextTable::num(summary.mean_storage_gb, 0)
-              << " GB storage\n";
-    if (flags.b("dry-run")) return 0;
+      const auto summary = wl::summarize(workload);
+      std::cout << "workload: " << label << " -- " << summary.count
+                << " VMs, mean " << TextTable::num(summary.mean_cores, 2)
+                << " cores / " << TextTable::num(summary.mean_ram_gb, 2)
+                << " GB RAM / " << TextTable::num(summary.mean_storage_gb, 0)
+                << " GB storage\n";
+      if (flags.b("dry-run")) return 0;
+    }
 
     // 3. Simulate.
     sim::Engine engine(scenario, flags.str("algorithm"));
@@ -124,7 +188,47 @@ int main(int argc, char** argv) {
     if (!flags.str("timeline-csv").empty()) {
       engine.set_timeline(&timeline);
     }
-    const sim::SimMetrics m = engine.run(workload, label);
+    sim::SimMetrics m;
+    if (streaming) {
+      const std::string ckpt_path = flags.str("checkpoint-out");
+      const auto ckpt_every =
+          static_cast<std::uint64_t>(flags.i64("checkpoint-every"));
+      if (ckpt_path.empty() != (ckpt_every == 0)) {
+        std::cerr << "--checkpoint-out and --checkpoint-every must be given "
+                     "together\n";
+        return 1;
+      }
+      sim::CheckpointPolicy policy;
+      policy.every_events = ckpt_every;
+      policy.emit = [&ckpt_path](const std::string& bytes) {
+        std::ofstream os(ckpt_path, std::ios::binary | std::ios::trunc);
+        os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+        if (!os) {
+          throw std::runtime_error("checkpoint write failed: " + ckpt_path);
+        }
+      };
+      const sim::CheckpointPolicy* p = ckpt_every > 0 ? &policy : nullptr;
+      if (!flags.str("resume").empty()) {
+        std::ifstream is(flags.str("resume"), std::ios::binary);
+        if (!is) {
+          throw std::runtime_error("cannot open checkpoint: " +
+                                   flags.str("resume"));
+        }
+        m = engine.resume_stream(is, *source, p);
+        std::cout << "resumed from " << flags.str("resume") << '\n';
+      } else {
+        m = engine.run_stream(*source, label, p);
+      }
+      if (ckpt_every > 0) {
+        std::cout << "checkpoints (every " << ckpt_every << " events) -> "
+                  << ckpt_path << '\n';
+      }
+      // The bit-exact digest (sweep.hpp): lets a resumed run be diffed
+      // against an uninterrupted one by comparing a single line.
+      std::cout << "fingerprint: " << sim::metrics_fingerprint(m) << '\n';
+    } else {
+      m = engine.run(workload, label);
+    }
 
     std::cout << '\n' << sim::full_metrics_table({m});
     if (m.killed > 0 || m.requeued > 0 || m.degraded_tu > 0.0) {

@@ -74,6 +74,66 @@ double Histogram::percentile(double p) const {
   return hi_;
 }
 
+Log2Histogram::Log2Histogram(std::size_t sub_bins) : sub_bins_(sub_bins) {
+  if (sub_bins == 0) {
+    throw std::invalid_argument("Log2Histogram: zero sub-bins");
+  }
+  // One underflow bin for [0, 1), then 64 octaves of sub_bins each -- the
+  // full positive range of a 64-bit tick counter.
+  counts_.assign(1 + 64 * sub_bins_, 0);
+}
+
+std::size_t Log2Histogram::bin_of(double x) const noexcept {
+  if (!(x >= 1.0)) return 0;  // [0, 1), negatives and NaN
+  int exp = 0;
+  // frexp: x = m * 2^exp with m in [0.5, 1), so the octave is exp - 1.
+  const double m = std::frexp(x, &exp);
+  const auto octave = static_cast<std::size_t>(exp - 1);
+  if (octave >= 64) return counts_.size() - 1;
+  // m - 0.5 in [0, 0.5) sweeps the octave linearly: sub = floor(2(m-1/2)*S).
+  auto sub = static_cast<std::size_t>((m - 0.5) * 2.0 *
+                                      static_cast<double>(sub_bins_));
+  sub = std::min(sub, sub_bins_ - 1);
+  return 1 + octave * sub_bins_ + sub;
+}
+
+double Log2Histogram::bin_hi(std::size_t bin) const noexcept {
+  if (bin == 0) return 1.0;
+  const std::size_t octave = (bin - 1) / sub_bins_;
+  const std::size_t sub = (bin - 1) % sub_bins_;
+  return std::ldexp(1.0 + static_cast<double>(sub + 1) /
+                              static_cast<double>(sub_bins_),
+                    static_cast<int>(octave));
+}
+
+void Log2Histogram::add(double x) noexcept {
+  ++counts_[bin_of(x)];
+  ++total_;
+}
+
+double Log2Histogram::percentile(double p) const {
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("Log2Histogram::percentile: p outside [0, 100]");
+  }
+  if (total_ == 0) {
+    throw std::logic_error("Log2Histogram::percentile: empty histogram");
+  }
+  const auto rank = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::ceil(p / 100.0 * static_cast<double>(total_))));
+  std::int64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    cumulative += counts_[b];
+    if (cumulative >= rank) return bin_hi(b) * scale_;
+  }
+  return bin_hi(counts_.size() - 1) * scale_;
+}
+
+void Log2Histogram::clear() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+}
+
 std::string Histogram::to_string(int bar_width) const {
   std::ostringstream os;
   const std::int64_t peak = counts_.empty()

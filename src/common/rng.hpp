@@ -62,6 +62,12 @@ class Xoshiro256 {
   /// Advance 2^128 steps; yields an independent stream for parallel use.
   void jump() noexcept;
 
+  /// Raw 256-bit state, for checkpoint/restore of in-flight streams.  A
+  /// generator restored from state() continues the identical sequence.
+  using State = std::array<std::uint64_t, 4>;
+  [[nodiscard]] const State& state() const noexcept { return state_; }
+  void set_state(const State& s) noexcept { state_ = s; }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));
@@ -108,6 +114,7 @@ class Rng {
   }
 
   [[nodiscard]] Xoshiro256& generator() noexcept { return gen_; }
+  [[nodiscard]] const Xoshiro256& generator() const noexcept { return gen_; }
 
  private:
   Xoshiro256 gen_;

@@ -52,6 +52,24 @@ class RunningStats {
   /// Merge another accumulator (Chan et al. parallel combination).
   void merge(const RunningStats& other) noexcept;
 
+  /// Checkpointable accumulator state; restore() continues the identical
+  /// Welford recurrence (bit-exact given the same subsequent adds).
+  struct State {
+    std::uint64_t n;
+    double mean, m2, sum, min, max;
+  };
+  [[nodiscard]] State save() const noexcept {
+    return {static_cast<std::uint64_t>(n_), mean_, m2_, sum_, min_, max_};
+  }
+  void restore(const State& s) noexcept {
+    n_ = static_cast<std::size_t>(s.n);
+    mean_ = s.mean;
+    m2_ = s.m2;
+    sum_ = s.sum;
+    min_ = s.min;
+    max_ = s.max;
+  }
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;
@@ -78,6 +96,24 @@ class TimeWeightedMean {
   [[nodiscard]] double current() const noexcept { return value_; }
   [[nodiscard]] bool empty() const noexcept { return !started_; }
   [[nodiscard]] double peak() const noexcept { return peak_; }
+
+  /// Checkpointable integrator state (see RunningStats::State).
+  struct State {
+    std::uint8_t started;
+    double t_first, t_last, value, area, peak;
+  };
+  [[nodiscard]] State save() const noexcept {
+    return {started_ ? std::uint8_t{1} : std::uint8_t{0},
+            t_first_, t_last_, value_, area_, peak_};
+  }
+  void restore(const State& s) noexcept {
+    started_ = s.started != 0;
+    t_first_ = s.t_first;
+    t_last_ = s.t_last;
+    value_ = s.value;
+    area_ = s.area;
+    peak_ = s.peak;
+  }
 
  private:
   bool started_ = false;

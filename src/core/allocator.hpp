@@ -7,6 +7,7 @@
 // assigned is dropped").
 #pragma once
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -76,6 +77,14 @@ class Allocator {
   /// reused allocator behaves bit-for-bit like a fresh one.  The shared
   /// context (cluster/fabric/circuits) is reset separately by its owner.
   virtual void reset() {}
+
+  /// Serialize/restore the same per-run state reset() clears, for engine
+  /// checkpointing.  Stateless allocators (NULB, NALB, the first/worst-fit
+  /// baselines) inherit these no-ops; stateful ones (RISA's round-robin +
+  /// packing cursors, RANDOM's RNG stream) must override both so a restored
+  /// run continues bit-for-bit.  The format is private to each allocator.
+  virtual void save_state(std::ostream&) const {}
+  virtual void restore_state(std::istream&) {}
 
  protected:
   /// Commits boxes + circuits.  `policy` is the link-selection policy of

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "common/binio.hpp"
+
 namespace risa::core {
 
 namespace {
@@ -33,6 +35,16 @@ Result<Placement, DropReason> RandomAllocator::try_place(
   }
   return commit(vm, units, boxes, net::LinkSelectPolicy::FirstFit,
                 /*used_fallback=*/false);
+}
+
+void RandomAllocator::save_state(std::ostream& os) const {
+  for (std::uint64_t word : rng_.generator().state()) bin::put_u64(os, word);
+}
+
+void RandomAllocator::restore_state(std::istream& is) {
+  Xoshiro256::State s;
+  for (auto& word : s) word = bin::get_u64(is);
+  rng_.generator().set_state(s);
 }
 
 Result<Placement, DropReason> FirstFitAllocator::try_place(

@@ -34,6 +34,9 @@ class RandomAllocator : public Allocator {
 
   void reset() override { rng_ = Rng(seed_); }
 
+  void save_state(std::ostream& os) const override;
+  void restore_state(std::istream& is) override;
+
  private:
   std::uint64_t seed_;
   Rng rng_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/binio.hpp"
 #include "core/nulb.hpp"
 #include "core/shard_walk.hpp"
 
@@ -28,6 +29,26 @@ void RisaAllocator::reset() {
   fallbacks_ = 0;
   std::fill(cursors_.begin(), cursors_.end(),
             PerResource<std::uint32_t>{0, 0, 0});
+}
+
+void RisaAllocator::save_state(std::ostream& os) const {
+  bin::put_u32(os, rr_next_rack_);
+  bin::put_u64(os, fallbacks_);
+  bin::put_u64(os, cursors_.size());
+  for (const auto& c : cursors_) {
+    for (ResourceType t : kAllResources) bin::put_u32(os, c[t]);
+  }
+}
+
+void RisaAllocator::restore_state(std::istream& is) {
+  rr_next_rack_ = bin::get_u32(is);
+  fallbacks_ = bin::get_u64(is);
+  if (bin::get_u64(is) != cursors_.size()) {
+    throw std::runtime_error("RisaAllocator: checkpoint rack count mismatch");
+  }
+  for (auto& c : cursors_) {
+    for (ResourceType t : kAllResources) c[t] = bin::get_u32(is);
+  }
 }
 
 std::vector<RackId> RisaAllocator::intra_rack_pool(const UnitVector& units) const {

@@ -68,6 +68,11 @@ class RisaAllocator : public Allocator {
 
   void reset() override;
 
+  /// Round-robin cursor, per-(rack, type) next-fit cursors and the
+  /// fallback counter -- exactly the state reset() clears.
+  void save_state(std::ostream& os) const override;
+  void restore_state(std::istream& is) override;
+
   /// Number of placements that took the SUPER_RACK/NULB fallback path.
   [[nodiscard]] std::uint64_t fallback_count() const noexcept {
     return fallbacks_;

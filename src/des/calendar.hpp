@@ -76,6 +76,18 @@ class BasicCalendar {
     return next_seq_;
   }
 
+  /// Raw heap array in storage order, for checkpointing.  Restoring the
+  /// entries verbatim reproduces the exact same heap -- and therefore the
+  /// identical pop order -- because the array already satisfies the heap
+  /// property it was serialized with.
+  [[nodiscard]] const std::vector<Entry>& entries() const noexcept {
+    return heap_;
+  }
+  void restore(std::vector<Entry> entries, std::uint64_t next_seq) {
+    heap_ = std::move(entries);
+    next_seq_ = next_seq;
+  }
+
  private:
   /// Min-heap ordering: earliest time first, FIFO within equal times.
   [[nodiscard]] static bool before(const Entry& a, const Entry& b) noexcept {

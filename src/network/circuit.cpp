@@ -1,5 +1,7 @@
 #include "network/circuit.hpp"
 
+#include <stdexcept>
+
 namespace risa::net {
 
 Result<CircuitId, std::string> CircuitTable::establish(VmId vm, FlowKind flow,
@@ -20,6 +22,21 @@ Result<CircuitId, std::string> CircuitTable::establish(VmId vm, FlowKind flow,
   ++vc.count;
   ++active_;
   return id;
+}
+
+void CircuitTable::adopt(Circuit circuit) {
+  auto reserved = router_->reserve(circuit.path, circuit.bandwidth);
+  if (!reserved.ok()) {
+    throw std::runtime_error("CircuitTable::adopt: " + reserved.error());
+  }
+  VmCircuits& vc = by_vm_.find_or_insert(circuit.vm.value());
+  if (vc.count < kInlineCircuits) {
+    vc.inline_circuits[vc.count] = std::move(circuit);
+  } else {
+    vc.overflow.push_back(std::move(circuit));
+  }
+  ++vc.count;
+  ++active_;
 }
 
 std::size_t CircuitTable::teardown_vm(VmId vm) {

@@ -56,6 +56,19 @@ class CircuitTable {
                                                          MbitsPerSec bw,
                                                          CircuitPath path);
 
+  /// Re-establish a checkpointed circuit verbatim: reserve bandwidth along
+  /// its recorded path and append it under its recorded id WITHOUT drawing
+  /// a fresh id from next_id_.  Circuits must be adopted in their original
+  /// establishment order (per VM) so for_each_circuit_of replays
+  /// identically; the caller restores next_id_ afterwards via set_next_id.
+  /// Throws std::runtime_error if the reservation fails (a checkpoint
+  /// restored against a mismatched fabric).
+  void adopt(Circuit circuit);
+
+  /// Restore the id counter saved alongside adopted circuits.
+  void set_next_id(std::uint32_t next_id) noexcept { next_id_ = next_id; }
+  [[nodiscard]] std::uint32_t next_id() const noexcept { return next_id_; }
+
   /// Tear down every circuit of `vm`, releasing bandwidth.  Returns the
   /// number of circuits removed (0 when the VM holds none).
   std::size_t teardown_vm(VmId vm);

@@ -114,6 +114,26 @@ class PowerLedger {
     return per_circuit_energy_;
   }
 
+  /// Checkpointable accumulated state (the config/fabric wiring is
+  /// reconstructed by the owner; only the run-dependent totals move).
+  struct State {
+    VmEnergy total;
+    std::uint64_t charged;
+    std::uint64_t refunded;
+    RunningStats::State per_circuit_energy;
+  };
+  [[nodiscard]] State save() const noexcept {
+    return {total_, static_cast<std::uint64_t>(charged_),
+            static_cast<std::uint64_t>(refunded_),
+            per_circuit_energy_.save()};
+  }
+  void restore(const State& s) noexcept {
+    total_ = s.total;
+    charged_ = static_cast<std::size_t>(s.charged);
+    refunded_ = static_cast<std::size_t>(s.refunded);
+    per_circuit_energy_.restore(s.per_circuit_energy);
+  }
+
  private:
   /// Append one circuit's duration-proportional refund terms (per-switch
   /// trimming, then transceiver -- the shared arithmetic of both public

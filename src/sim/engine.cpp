@@ -3,14 +3,27 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
-#include <numeric>
+#include <istream>
+#include <span>
+#include <sstream>
 #include <stdexcept>
 
+#include "common/binio.hpp"
 #include "common/cycle_clock.hpp"
 #include "common/rng.hpp"
 #include "sim/migration.hpp"
 
 namespace risa::sim {
+
+namespace {
+/// Arrival refill size: large enough to amortize the virtual next_batch
+/// call across the merge loop, small enough that the in-flight chunk is
+/// noise next to the live census.  Chunk boundaries double as checkpoint
+/// safe points (DESIGN.md §11).
+constexpr std::size_t kArrivalChunk = 1024;
+/// Checkpoint stream magic + format version ("RSK1").
+constexpr std::uint32_t kCheckpointMagic = 0x314B5352u;
+}  // namespace
 
 Engine::Engine(const Scenario& scenario, const std::string& algorithm)
     : scenario_(scenario), algorithm_(algorithm) {
@@ -50,6 +63,37 @@ void Engine::reset() {
 
 SimMetrics Engine::run(const wl::Workload& workload,
                        const std::string& workload_label) {
+  // Fail fast on malformed input, before any event mutates state: a
+  // negative lifetime would put a departure before its own arrival.
+  // (A streaming run applies the identical check per chunk at intake --
+  // the whole stream cannot be pre-scanned.)
+  for (const wl::VmRequest& vm : workload) {
+    if (vm.lifetime < 0) {
+      throw std::invalid_argument("Engine: negative lifetime in workload");
+    }
+  }
+  wl::WorkloadSource source(workload);
+  return run_impl(source, workload_label, nullptr, nullptr);
+}
+
+SimMetrics Engine::run_stream(wl::ArrivalSource& source,
+                              const std::string& workload_label,
+                              const CheckpointPolicy* checkpoint) {
+  source.rewind();
+  return run_impl(source, workload_label, checkpoint, nullptr);
+}
+
+SimMetrics Engine::resume_stream(std::istream& checkpoint,
+                                 wl::ArrivalSource& source,
+                                 const CheckpointPolicy* policy) {
+  // The label travels inside the checkpoint; run_impl restores it.
+  return run_impl(source, std::string(), policy, &checkpoint);
+}
+
+SimMetrics Engine::run_impl(wl::ArrivalSource& source,
+                            const std::string& workload_label,
+                            const CheckpointPolicy* ckpt,
+                            std::istream* resume) {
   using Clock = std::chrono::steady_clock;
   using des::LifecycleEvent;
   using des::LifecycleKind;
@@ -66,7 +110,6 @@ SimMetrics Engine::run(const wl::Workload& workload,
   SimMetrics m;
   m.algorithm = std::string(allocator_->name());
   m.workload = workload_label;
-  m.total_vms = workload.size();
 
   phot::PowerLedger ledger(scenario_.photonics, *fabric_);
 
@@ -80,16 +123,6 @@ SimMetrics Engine::run(const wl::Workload& workload,
     intra_util.update(t, fabric_->intra_utilization());
     inter_util.update(t, fabric_->inter_utilization());
   };
-
-  const std::size_t n = workload.size();
-
-  // Fail fast on malformed input, before any event mutates state: a
-  // negative lifetime would put a departure before its own arrival.
-  for (const wl::VmRequest& vm : workload) {
-    if (vm.lifetime < 0) {
-      throw std::invalid_argument("Engine: negative lifetime in workload");
-    }
-  }
 
   // The run's fault and migration scripts (the scenario's, unless the
   // sweep layer swapped in other plans for this cell).  `lifecycle` gates
@@ -112,33 +145,10 @@ SimMetrics Engine::run(const wl::Workload& workload,
     }
   }
 
-  // Arrival cursor: workload indices in (arrival, index) order.  The
-  // generators emit cumulative-gap arrivals, so the common case is a
-  // cheap is_sorted pass over an identity permutation; unsorted inputs
-  // pay one in-place sort.  Index order breaks ties, which equals the
-  // historical calendar order (arrival seq == workload index).
-  arrival_order_.resize(n);
-  std::iota(arrival_order_.begin(), arrival_order_.end(), 0u);
-  if (!std::is_sorted(workload.begin(), workload.end(),
-                      [](const wl::VmRequest& a, const wl::VmRequest& b) {
-                        return a.arrival < b.arrival;
-                      })) {
-    std::sort(arrival_order_.begin(), arrival_order_.end(),
-              [&](std::uint32_t a, std::uint32_t b) {
-                if (workload[a].arrival != workload[b].arrival) {
-                  return workload[a].arrival < workload[b].arrival;
-                }
-                return a < b;
-              });
-  }
-
-  // Dense live-VM tables, indexed by workload VM index.  resize() only
-  // grows across reuse; the per-run O(N) flag clear replaces 2N hash-map
-  // operations with a memset.  slot_of_ entries are garbage unless the
-  // matching live_ flag is set, so no per-run initialization is needed
-  // beyond the resize.
-  if (slot_of_.size() < n) slot_of_.resize(n);
-  live_.assign(n, 0);
+  // Per-VM records, keyed by workload index: created at admission (or
+  // first requeue), erased at the VM's final event, so the table tracks
+  // the live census + pending retries instead of the stream length.
+  vms_.clear();
   std::size_t live_count = 0;
 
   // Every pool slot starts free, lowest index on top of the stack, so a
@@ -157,11 +167,15 @@ SimMetrics Engine::run(const wl::Workload& workload,
     return slot;
   };
 
-  // Injected events restart their sequence numbering at N so every
-  // equal-time tie against a pending arrival (seq = workload index < N)
-  // resolves in the arrival's favor -- the exact order the closure
-  // calendar produced, extended verbatim to fault/retry events.
-  events_.reset(/*first_seq=*/n);
+  // Injected events restart their sequence numbering at the source's size
+  // hint so every equal-time tie against a pending arrival (seq = workload
+  // index < N) resolves in the arrival's favor -- the exact order the
+  // closure calendar produced.  A source that cannot know its length
+  // reports 0, which is equally sound: the merge comparison below is
+  // structural (arrivals win ties), so a uniform shift of every injected
+  // seq preserves the heap's relative order and the base is behaviorally
+  // unobservable (DESIGN.md §11).
+  events_.reset(/*first_seq=*/source.size_hint());
 
   // Lifecycle state: compiled fault triggers + per-VM interval/retry
   // bookkeeping.  Time-triggered actions enter the calendar up front (in
@@ -181,11 +195,6 @@ SimMetrics Engine::run(const wl::Workload& workload,
     throw std::logic_error("Engine: bad FaultAction kind");
   };
   if (lifecycle) {
-    place_epoch_.assign(n, 0);
-    place_time_.assign(n, 0.0);
-    expected_hold_.assign(n, 0.0);
-    attempts_.assign(n, 0);
-    ever_placed_.assign(n, 0);
     admission_actions_.clear();
     for (std::uint32_t i = 0; i < plan.actions.size(); ++i) {
       const FaultAction& a = plan.actions[i];
@@ -214,9 +223,8 @@ SimMetrics Engine::run(const wl::Workload& workload,
   }
 
   // Instantaneous optical holding power, maintained incrementally for the
-  // timeline (per-VM deltas computed at placement/departure/kill).
+  // timeline (per-VM deltas live in the VM records).
   double holding_power_w = 0.0;
-  if (timeline_ != nullptr) holding_power_by_vm_.assign(n, 0.0);
   auto record_timeline = [&](SimTime t) {
     if (timeline_ == nullptr) return;
     TimelinePoint p;
@@ -237,15 +245,12 @@ SimMetrics Engine::run(const wl::Workload& workload,
     timeline_->record(p);
   };
 
-  sample_signals(0.0);
-
   std::uint64_t sched_ticks = 0;
   // Latency samples are pushed as raw tick deltas and rescaled to
   // nanoseconds at the end of the run, once the tick rate is known.
   const std::size_t latency_base =
       latency_sink_ != nullptr ? latency_sink_->size() : 0;
   SimTime now = 0.0;
-  std::size_t cursor = 0;
   std::uint64_t executed = 0;
 
   // Degraded-operation integral: simulated time spent with >= 1 box
@@ -258,6 +263,44 @@ SimMetrics Engine::run(const wl::Workload& workload,
       m.degraded_tu += t - last_event_t;
     }
     last_event_t = t;
+  };
+
+  // Arrival intake: chunked pulls from the source into a fixed ring,
+  // validated against the (arrival, index) ordering contract as they
+  // stream in.  Invariant after a top-of-loop refill: an empty ring means
+  // the source is exhausted, so "no arrivals pending" is simply
+  // `ring_pos >= ring_len` everywhere below (the streaming equivalent of
+  // the old materialized `cursor >= n`).
+  if (arrival_ring_.size() < kArrivalChunk) arrival_ring_.resize(kArrivalChunk);
+  std::size_t ring_pos = 0;
+  std::size_t ring_len = 0;
+  bool source_done = false;
+  SimTime last_arrival = 0.0;
+  std::uint32_t last_arrival_index = 0;
+  bool seen_arrival = false;
+  auto refill_ring = [&] {
+    ring_len = source.next_batch(
+        std::span<wl::ArrivalItem>(arrival_ring_.data(), kArrivalChunk));
+    ring_pos = 0;
+    if (ring_len == 0) {
+      source_done = true;
+      return;
+    }
+    for (std::size_t i = 0; i < ring_len; ++i) {
+      const wl::ArrivalItem& it = arrival_ring_[i];
+      if (it.vm.lifetime < 0) {
+        throw std::invalid_argument("Engine: negative lifetime in workload");
+      }
+      if (seen_arrival &&
+          (it.vm.arrival < last_arrival ||
+           (it.vm.arrival == last_arrival && it.index <= last_arrival_index))) {
+        throw std::invalid_argument(
+            "Engine: arrival source violates (arrival, index) ordering");
+      }
+      last_arrival = it.vm.arrival;
+      last_arrival_index = it.index;
+      seen_arrival = true;
+    }
   };
 
   // One placement attempt (arrival or retry) for `vm_index`, holding for
@@ -279,8 +322,12 @@ SimMetrics Engine::run(const wl::Workload& workload,
       drop_first_seen[drop_kinds++] = drop_reason;
     }
   };
-  auto admit = [&](std::uint32_t vm_index, double expected) -> bool {
-    const wl::VmRequest& vm = workload[vm_index];
+  std::size_t pending_retries = 0;
+  // `vm` is passed in (not read from the record) because arrivals have no
+  // record yet; admit's failure path never touches the table, so a caller
+  // holding a record pointer stays valid across a failed attempt.
+  auto admit = [&](std::uint32_t vm_index, const wl::VmRequest& vm,
+                   double expected) -> bool {
     const std::uint64_t t0 = CycleClock::now();
     auto placed = allocator_->try_place(vm);
     const std::uint64_t t1 = CycleClock::now();
@@ -288,23 +335,30 @@ SimMetrics Engine::run(const wl::Workload& workload,
     if (latency_sink_ != nullptr) {
       latency_sink_->push_back(static_cast<double>(t1 - t0));
     }
+    if (latency_hist_ != nullptr) {
+      latency_hist_->add(static_cast<double>(t1 - t0));
+    }
 
     if (!placed.ok()) {
       drop_reason = placed.error();
       return false;
     }
     const std::uint32_t slot = acquire_slot();
-    slot_of_[vm_index] = slot;
     core::Placement& p = slot_pool_[slot];
     p = std::move(placed.value());
-    live_[vm_index] = 1;
+    // find_or_insert may rehash even for a resident key, so the record
+    // reference is (re)taken here and nothing below re-enters the table.
+    VmState& st = vms_.find_or_insert(vm_index);
+    st.vm = vm;
+    st.slot = slot;
+    st.live = 1;
     ++live_count;
     ++admissions;
     if (!lifecycle) {
       ++m.placed;
-    } else if (!ever_placed_[vm_index]) {
+    } else if (!st.ever_placed) {
       ++m.placed;
-      ever_placed_[vm_index] = 1;
+      st.ever_placed = 1;
     }
     if (p.inter_rack) ++m.any_pair_inter_rack;
     if (p.used_fallback) ++m.fallback_placements;
@@ -334,22 +388,21 @@ SimMetrics Engine::run(const wl::Workload& workload,
             phot::circuit_holding_power_w(scenario_.photonics, *fabric_, c);
       });
       holding_power_w += vm_power;
-      holding_power_by_vm_[vm_index] = vm_power;
+      st.holding_power = vm_power;
     }
 
     sample_signals(now);
     record_timeline(now);
     std::uint32_t epoch = 0;
     if (lifecycle) {
-      place_time_[vm_index] = now;
-      expected_hold_[vm_index] = expected;
-      epoch = ++place_epoch_[vm_index];
+      st.place_time = now;
+      st.expected_hold = expected;
+      epoch = ++st.epoch;
     }
     events_.push(now + expected,
                  LifecycleEvent{LifecycleKind::Departure, vm_index, epoch});
     return true;
   };
-
   // Inject admission-triggered fault actions whose threshold the latest
   // successful placement crossed.  They enter the merged stream at `now`
   // (seq > N), so they fire after the admission that tripped them and
@@ -369,13 +422,12 @@ SimMetrics Engine::run(const wl::Workload& workload,
   // schedule alive across windows where every VM is dead but re-placements
   // are still coming (the post-failure stragglers are exactly what the
   // sweeps exist to recover).
-  std::size_t pending_retries = 0;
-  auto requeue = [&](std::uint32_t vm_index) -> bool {
+  auto requeue = [&](std::uint32_t vm_index, VmState& st) -> bool {
     if (plan.retry.max_attempts == 0 ||
-        attempts_[vm_index] >= plan.retry.max_attempts) {
+        st.attempts >= plan.retry.max_attempts) {
       return false;
     }
-    ++attempts_[vm_index];
+    ++st.attempts;
     ++m.requeued;
     ++pending_retries;
     events_.push(now + plan.retry.delay_tu,
@@ -385,24 +437,43 @@ SimMetrics Engine::run(const wl::Workload& workload,
 
   // Kill a resident VM at `now`: settle its charging interval, tear down
   // circuits + compute, and requeue the remaining hold when policy allows.
-  auto kill_vm = [&](std::uint32_t vm_index) {
-    const wl::VmRequest& vm = workload[vm_index];
-    const double held = now - place_time_[vm_index];
-    const double unused = expected_hold_[vm_index] - held;
-    ledger.refund_vm_truncation(*circuits_, vm.id, unused);
-    allocator_->release(slot_pool_[slot_of_[vm_index]]);
-    free_slots_.push_back(slot_of_[vm_index]);
-    live_[vm_index] = 0;
+  // When no retry follows, this is the VM's final event and its record is
+  // erased (a stale Departure then tombstones on the missing record,
+  // exactly like the old epoch mismatch).  The caller's `st` reference is
+  // dead after this returns.
+  auto kill_vm = [&](std::uint32_t vm_index, VmState& st) {
+    const double held = now - st.place_time;
+    const double unused = st.expected_hold - held;
+    ledger.refund_vm_truncation(*circuits_, st.vm.id, unused);
+    allocator_->release(slot_pool_[st.slot]);
+    free_slots_.push_back(st.slot);
+    st.live = 0;
     --live_count;
     ++m.killed;
     if (timeline_ != nullptr) {
-      holding_power_w -= holding_power_by_vm_[vm_index];
-      holding_power_by_vm_[vm_index] = 0.0;
+      holding_power_w -= st.holding_power;
+      st.holding_power = 0.0;
     }
+    bool retained = false;
     if (unused > 0.0) {
-      expected_hold_[vm_index] = unused;  // the re-placement's hold
-      (void)requeue(vm_index);
+      st.expected_hold = unused;  // the re-placement's hold
+      retained = requeue(vm_index, st);
     }
+    if (!retained) vms_.erase(vm_index);
+  };
+
+  // Deterministic victim scan: the record table iterates in hash order, so
+  // live VM indices are collected and sorted ascending before any kill
+  // fires -- kills (and their requeues) then happen in exactly the
+  // historical dense-scan order.  kill_vm only mutates (or erases) the
+  // victim's own record, so collect-then-kill is equivalent to the old
+  // interleaved scan over 0..n.
+  auto collect_live_sorted = [&] {
+    scan_scratch_.clear();
+    vms_.for_each([&](std::uint32_t idx, const VmState& st) {
+      if (st.live) scan_scratch_.push_back(idx);
+    });
+    std::sort(scan_scratch_.begin(), scan_scratch_.end());
   };
 
   // Execute one scripted fail/repair action.  Random victims are drawn
@@ -425,13 +496,14 @@ SimMetrics Engine::run(const wl::Workload& workload,
         fabric_->set_link_failed(victim, fail);
         if (!fail) continue;
         // Dead-link teardown: every live VM holding a circuit that
-        // traverses the failed link dies (scanned in VM-index order, so
-        // kills -- and their requeues -- are deterministic).
-        for (std::uint32_t i = 0; i < n; ++i) {
-          if (!live_[i]) continue;
+        // traverses the failed link dies (in VM-index order).
+        collect_live_sorted();
+        for (const std::uint32_t i : scan_scratch_) {
+          VmState* st = vms_.find(i);
+          if (st == nullptr || !st->live) continue;
           bool hit = false;
           circuits_->for_each_circuit_of(
-              workload[i].id, [&](const net::Circuit& c) {
+              st->vm.id, [&](const net::Circuit& c) {
                 for (const LinkId lid : c.path.links) {
                   if (lid == victim) {
                     hit = true;
@@ -439,7 +511,7 @@ SimMetrics Engine::run(const wl::Workload& workload,
                   }
                 }
               });
-          if (hit) kill_vm(i);
+          if (hit) kill_vm(i, *st);
         }
       }
     } else {
@@ -456,12 +528,14 @@ SimMetrics Engine::run(const wl::Workload& workload,
         cluster_->set_box_offline(victim, fail);
         if (!fail) continue;
         // Offline-box teardown: every resident VM dies with its circuits.
-        for (std::uint32_t i = 0; i < n; ++i) {
-          if (!live_[i]) continue;
-          const core::Placement& p = slot_pool_[slot_of_[i]];
+        collect_live_sorted();
+        for (const std::uint32_t i : scan_scratch_) {
+          VmState* st = vms_.find(i);
+          if (st == nullptr || !st->live) continue;
+          const core::Placement& p = slot_pool_[st->slot];
           for (ResourceType t : kAllResources) {
             if (p.box(t) == victim) {
-              kill_vm(i);
+              kill_vm(i, *st);
               break;
             }
           }
@@ -480,13 +554,14 @@ SimMetrics Engine::run(const wl::Workload& workload,
   // retired atomically.  The PowerLedger settles with a prepay-and-settle
   // split: the old circuits are charged through now + cost (the double-
   // charge window while state drains), the new ones prepay the remaining
-  // hold.  Returns whether the migration committed.
+  // hold.  Returns whether the migration committed.  Nothing here inserts
+  // into or erases from the record table, so `st` stays valid throughout.
   auto try_migrate = [&](std::uint32_t vm_index) -> bool {
-    const wl::VmRequest& vm = workload[vm_index];
-    core::Placement& old_p = slot_pool_[slot_of_[vm_index]];
+    VmState& st = *vms_.find(vm_index);
+    const wl::VmRequest& vm = st.vm;
+    core::Placement& old_p = slot_pool_[st.slot];
     const int old_score = migration_spread_score(old_p, *fabric_);
-    const double remaining =
-        place_time_[vm_index] + expected_hold_[vm_index] - now;
+    const double remaining = st.place_time + st.expected_hold - now;
     // remaining > cost is guaranteed by the sweep's candidate filter
     // (same instant, same inputs); both are still needed for settlement.
     const double cost = migration_cost_tu(
@@ -506,7 +581,7 @@ SimMetrics Engine::run(const wl::Workload& workload,
         toggled[n_toggled++] = b;
       }
     }
-    // Not counted into scheduler_exec_seconds or the latency sink:
+    // Not counted into scheduler_exec_seconds or the latency sinks:
     // Figures 11/12 measure admission scheduling only.
     auto placed = allocator_->try_place(vm);
     for (std::size_t k = 0; k < n_toggled; ++k) {
@@ -550,9 +625,9 @@ SimMetrics Engine::run(const wl::Workload& workload,
     const bool now_inter =
         new_p.rack(ResourceType::Cpu) != new_p.rack(ResourceType::Ram);
     old_p = std::move(new_p);  // the VM's pool slot is reused in place
-    place_time_[vm_index] = now;
-    expected_hold_[vm_index] = remaining;
-    const std::uint32_t epoch = ++place_epoch_[vm_index];
+    st.place_time = now;
+    st.expected_hold = remaining;
+    const std::uint32_t epoch = ++st.epoch;
     events_.push(now + remaining,
                  LifecycleEvent{LifecycleKind::Departure, vm_index, epoch});
 
@@ -566,8 +641,8 @@ SimMetrics Engine::run(const wl::Workload& workload,
         vm_power +=
             phot::circuit_holding_power_w(scenario_.photonics, *fabric_, c);
       });
-      holding_power_w += vm_power - holding_power_by_vm_[vm_index];
-      holding_power_by_vm_[vm_index] = vm_power;
+      holding_power_w += vm_power - st.holding_power;
+      st.holding_power = vm_power;
     }
     sample_signals(now);
     record_timeline(now);
@@ -576,8 +651,11 @@ SimMetrics Engine::run(const wl::Workload& workload,
 
   // One defragmentation sweep at `now`: gather the spread live VMs whose
   // remaining hold outlasts their migration cost, rank them worst-first,
-  // and attempt up to the per-sweep budget.  Allocation-free after the
-  // scratch arena warms up.
+  // and attempt up to the per-sweep budget.  Hash-order iteration is safe
+  // here: the live/spread counters are order-independent sums, candidate
+  // keys are unique (the packed key embeds the VM index), and
+  // rank_worst_spread totally orders them -- so the ranked sequence is
+  // identical no matter what order candidates were collected in.
   auto run_migration_sweep = [&] {
     if (mig.skip_while_degraded && (cluster_->offline_box_count() > 0 ||
                                     fabric_->failed_link_count() > 0)) {
@@ -585,23 +663,23 @@ SimMetrics Engine::run(const wl::Workload& workload,
     }
     mig_keys_.clear();
     std::size_t live = 0, spread = 0;
-    for (std::uint32_t i = 0; i < n; ++i) {
-      if (!live_[i]) continue;
+    vms_.for_each([&](std::uint32_t i, const VmState& st) {
+      if (!st.live) return;
       ++live;
-      const core::Placement& p = slot_pool_[slot_of_[i]];
+      const core::Placement& p = slot_pool_[st.slot];
       const int score = migration_spread_score(p, *fabric_);
-      if (score <= 0) continue;
+      if (score <= 0) return;
       ++spread;  // counts toward the fraction trigger even when doomed
       // Filter doomed candidates here, not in try_migrate: a near-departure
       // VM ranked first would otherwise burn a per-sweep attempt slot that
       // a long-lived straggler could have used.
-      const double remaining = place_time_[i] + expected_hold_[i] - now;
+      const double remaining = st.place_time + st.expected_hold - now;
       const double cost = migration_cost_tu(
-          mig, workload[i].ram_mb, p.demand.cpu_ram,
+          mig, st.vm.ram_mb, p.demand.cpu_ram,
           scenario_.photonics.switch_energy.seconds_per_time_unit);
-      if (remaining <= cost) continue;
+      if (remaining <= cost) return;
       mig_keys_.push_back(pack_candidate(score, i));
-    }
+    });
     if (mig_keys_.empty() || live == 0) return;
     if (static_cast<double>(spread) <
         mig.min_interrack_fraction * static_cast<double>(live)) {
@@ -615,26 +693,482 @@ SimMetrics Engine::run(const wl::Workload& workload,
       if (try_migrate(candidate_index(mig_keys_[k]))) --migration_budget;
     }
   };
+  // ---- Checkpoint format v1 (DESIGN.md §11) ----------------------------
+  // Serialized only at the loop's safe point (arrival ring empty, top of
+  // the merge loop), so no in-flight chunk state exists: every consumed
+  // arrival has been fully admitted/dropped/requeued, and the source's own
+  // position marks the first unconsumed request.  Wall-clock state
+  // (sched_ticks, latency sinks) is deliberately excluded -- it is
+  // measurement, not simulation, and the fingerprint never hashes it.
+  auto put_running_stats = [](std::ostream& os, const RunningStats& rs) {
+    const RunningStats::State s = rs.save();
+    bin::put_u64(os, s.n);
+    bin::put_f64(os, s.mean);
+    bin::put_f64(os, s.m2);
+    bin::put_f64(os, s.sum);
+    bin::put_f64(os, s.min);
+    bin::put_f64(os, s.max);
+  };
+  auto get_running_stats = [](std::istream& is, RunningStats& rs) {
+    RunningStats::State s;
+    s.n = bin::get_u64(is);
+    s.mean = bin::get_f64(is);
+    s.m2 = bin::get_f64(is);
+    s.sum = bin::get_f64(is);
+    s.min = bin::get_f64(is);
+    s.max = bin::get_f64(is);
+    rs.restore(s);
+  };
+  auto put_twm = [](std::ostream& os, const TimeWeightedMean& t) {
+    const TimeWeightedMean::State s = t.save();
+    bin::put_u8(os, s.started);
+    bin::put_f64(os, s.t_first);
+    bin::put_f64(os, s.t_last);
+    bin::put_f64(os, s.value);
+    bin::put_f64(os, s.area);
+    bin::put_f64(os, s.peak);
+  };
+  auto get_twm = [](std::istream& is, TimeWeightedMean& t) {
+    TimeWeightedMean::State s;
+    s.started = bin::get_u8(is);
+    s.t_first = bin::get_f64(is);
+    s.t_last = bin::get_f64(is);
+    s.value = bin::get_f64(is);
+    s.area = bin::get_f64(is);
+    s.peak = bin::get_f64(is);
+    t.restore(s);
+  };
 
-  // The merged event loop.  Next event = min over the arrival cursor head
+  auto serialize = [&](std::ostream& os) {
+    bin::put_u32(os, kCheckpointMagic);
+    bin::put_str(os, m.workload);
+    bin::put_str(os, algorithm_);
+
+    // Loop scalars.
+    bin::put_f64(os, now);
+    bin::put_f64(os, last_event_t);
+    bin::put_u64(os, executed);
+    bin::put_u64(os, live_count);
+    bin::put_u64(os, admissions);
+    bin::put_u64(os, next_admission_action);
+    bin::put_u64(os, pending_retries);
+    bin::put_u32(os, migration_budget);
+    bin::put_f64(os, last_arrival);
+    bin::put_u32(os, last_arrival_index);
+    bin::put_u8(os, seen_arrival ? 1 : 0);
+
+    // Deterministic metric accumulators.
+    bin::put_u64(os, m.total_vms);
+    bin::put_u64(os, m.placed);
+    bin::put_u64(os, m.dropped);
+    bin::put_u64(os, m.inter_rack_placements);
+    bin::put_u64(os, m.any_pair_inter_rack);
+    bin::put_u64(os, m.fallback_placements);
+    bin::put_u64(os, m.killed);
+    bin::put_u64(os, m.requeued);
+    bin::put_u64(os, m.retry_placed);
+    bin::put_u64(os, m.migrated);
+    bin::put_u64(os, m.interrack_vms_recovered);
+    bin::put_f64(os, m.degraded_tu);
+    bin::put_f64(os, m.migration_tu);
+    put_running_stats(os, m.cpu_ram_latency_ns);
+    bin::put_u64(os, drop_kinds);
+    for (std::size_t k = 0; k < drop_kinds; ++k) {
+      bin::put_u8(os, static_cast<std::uint8_t>(drop_first_seen[k]));
+    }
+    for (const std::int64_t c : drop_counts) bin::put_i64(os, c);
+    for (ResourceType ty : kAllResources) put_twm(os, util[ty]);
+    put_twm(os, intra_util);
+    put_twm(os, inter_util);
+
+    {  // photonic ledger
+      const phot::PowerLedger::State s = ledger.save();
+      bin::put_f64(os, s.total.switch_switching_j);
+      bin::put_f64(os, s.total.switch_trimming_j);
+      bin::put_f64(os, s.total.transceiver_j);
+      bin::put_u64(os, s.charged);
+      bin::put_u64(os, s.refunded);
+      RunningStats pce;
+      pce.restore(s.per_circuit_energy);
+      put_running_stats(os, pce);
+    }
+
+    {  // cluster occupancy + fault flags
+      const topo::ClusterSnapshot snap = cluster_->snapshot();
+      bin::put_u64(os, snap.brick_available.size());
+      for (const auto& box : snap.brick_available) {
+        bin::put_u64(os, box.size());
+        for (const Units u : box) bin::put_i64(os, u);
+      }
+      std::uint64_t n_off = 0;
+      for (std::size_t b = 0; b < cluster_->num_boxes(); ++b) {
+        const BoxId id{static_cast<std::uint32_t>(b)};
+        if (cluster_->box_unchecked(id).offline()) ++n_off;
+      }
+      bin::put_u64(os, n_off);
+      for (std::size_t b = 0; b < cluster_->num_boxes(); ++b) {
+        const auto id = static_cast<std::uint32_t>(b);
+        if (cluster_->box_unchecked(BoxId{id}).offline()) bin::put_u32(os, id);
+      }
+      std::uint64_t n_fail = 0;
+      for (std::size_t l = 0; l < fabric_->num_links(); ++l) {
+        if (fabric_->link(LinkId{static_cast<std::uint32_t>(l)}).failed()) {
+          ++n_fail;
+        }
+      }
+      bin::put_u64(os, n_fail);
+      for (std::size_t l = 0; l < fabric_->num_links(); ++l) {
+        const auto id = static_cast<std::uint32_t>(l);
+        if (fabric_->link(LinkId{id}).failed()) bin::put_u32(os, id);
+      }
+    }
+
+    // VM records in ascending index order (the table iterates in hash
+    // order); live records carry their placement and circuits, the latter
+    // in establishment order so adopt() replays for_each_circuit_of
+    // identically.
+    scan_scratch_.clear();
+    vms_.for_each([&](std::uint32_t idx, const VmState&) {
+      scan_scratch_.push_back(idx);
+    });
+    std::sort(scan_scratch_.begin(), scan_scratch_.end());
+    bin::put_u64(os, scan_scratch_.size());
+    for (const std::uint32_t idx : scan_scratch_) {
+      const VmState& st = *vms_.find(idx);
+      bin::put_u32(os, idx);
+      bin::put_u32(os, st.vm.id.value());
+      bin::put_i64(os, st.vm.cores);
+      bin::put_i64(os, st.vm.ram_mb);
+      bin::put_i64(os, st.vm.storage_mb);
+      bin::put_f64(os, st.vm.arrival);
+      bin::put_f64(os, st.vm.lifetime);
+      bin::put_u32(os, st.attempts);
+      bin::put_u32(os, st.epoch);
+      bin::put_f64(os, st.place_time);
+      bin::put_f64(os, st.expected_hold);
+      bin::put_f64(os, st.holding_power);
+      bin::put_u8(os, st.live);
+      bin::put_u8(os, st.ever_placed);
+      if (!st.live) continue;
+      const core::Placement& p = slot_pool_[st.slot];
+      bin::put_u32(os, p.vm.value());
+      for (ResourceType t : kAllResources) {
+        const topo::BoxAllocation& a = p.compute[index(t)];
+        bin::put_u32(os, a.box.value());
+        bin::put_u8(os, static_cast<std::uint8_t>(a.type));
+        bin::put_i64(os, a.units);
+        bin::put_u64(os, a.slices.size());
+        for (const topo::BrickSlice& s : a.slices) {
+          bin::put_u32(os, s.brick);
+          bin::put_i64(os, s.units);
+        }
+      }
+      for (ResourceType t : kAllResources) {
+        bin::put_u32(os, p.racks[index(t)].value());
+      }
+      for (ResourceType t : kAllResources) bin::put_i64(os, p.units[t]);
+      bin::put_i64(os, p.demand.cpu_ram);
+      bin::put_i64(os, p.demand.ram_sto);
+      bin::put_u8(os, p.inter_rack ? 1 : 0);
+      bin::put_u8(os, p.used_fallback ? 1 : 0);
+      bin::put_u64(os, circuits_->circuit_count_of(st.vm.id));
+      circuits_->for_each_circuit_of(st.vm.id, [&](const net::Circuit& c) {
+        bin::put_u32(os, c.id.value());
+        bin::put_u32(os, c.vm.value());
+        bin::put_u8(os, static_cast<std::uint8_t>(c.flow));
+        bin::put_i64(os, c.bandwidth);
+        bin::put_u64(os, c.path.links.size());
+        for (const LinkId l : c.path.links) bin::put_u32(os, l.value());
+        bin::put_u64(os, c.path.switches.size());
+        for (const SwitchId s : c.path.switches) bin::put_u32(os, s.value());
+        bin::put_u8(os, c.path.inter_rack ? 1 : 0);
+      });
+    }
+    bin::put_u32(os, circuits_->next_id());
+
+    // Injected-event calendar, verbatim heap array (restoring it verbatim
+    // reproduces the identical pop order).
+    bin::put_u64(os, events_.scheduled_total());
+    const auto& entries = events_.entries();
+    bin::put_u64(os, entries.size());
+    for (const auto& e : entries) {
+      bin::put_f64(os, e.time);
+      bin::put_u64(os, e.seq);
+      bin::put_u8(os, static_cast<std::uint8_t>(e.payload.kind));
+      bin::put_u32(os, e.payload.subject);
+      bin::put_u32(os, e.payload.epoch);
+    }
+
+    for (const std::uint64_t w : fault_rng.generator().state()) {
+      bin::put_u64(os, w);
+    }
+    allocator_->save_state(os);
+    source.save_position(os);
+  };
+
+  auto restore = [&](std::istream& is) {
+    if (bin::get_u32(is) != kCheckpointMagic) {
+      throw std::runtime_error("checkpoint: bad magic");
+    }
+    m.workload = bin::get_str(is);
+    const std::string algo = bin::get_str(is);
+    if (algo != algorithm_) {
+      throw std::runtime_error("checkpoint: algorithm mismatch (checkpoint '" +
+                               algo + "', engine '" + algorithm_ + "')");
+    }
+    now = bin::get_f64(is);
+    last_event_t = bin::get_f64(is);
+    executed = bin::get_u64(is);
+    live_count = static_cast<std::size_t>(bin::get_u64(is));
+    admissions = static_cast<std::size_t>(bin::get_u64(is));
+    next_admission_action = static_cast<std::size_t>(bin::get_u64(is));
+    pending_retries = static_cast<std::size_t>(bin::get_u64(is));
+    migration_budget = bin::get_u32(is);
+    last_arrival = bin::get_f64(is);
+    last_arrival_index = bin::get_u32(is);
+    seen_arrival = bin::get_u8(is) != 0;
+
+    m.total_vms = static_cast<std::size_t>(bin::get_u64(is));
+    m.placed = static_cast<std::size_t>(bin::get_u64(is));
+    m.dropped = static_cast<std::size_t>(bin::get_u64(is));
+    m.inter_rack_placements = static_cast<std::size_t>(bin::get_u64(is));
+    m.any_pair_inter_rack = static_cast<std::size_t>(bin::get_u64(is));
+    m.fallback_placements = static_cast<std::size_t>(bin::get_u64(is));
+    m.killed = static_cast<std::size_t>(bin::get_u64(is));
+    m.requeued = static_cast<std::size_t>(bin::get_u64(is));
+    m.retry_placed = static_cast<std::size_t>(bin::get_u64(is));
+    m.migrated = static_cast<std::size_t>(bin::get_u64(is));
+    m.interrack_vms_recovered = static_cast<std::size_t>(bin::get_u64(is));
+    m.degraded_tu = bin::get_f64(is);
+    m.migration_tu = bin::get_f64(is);
+    get_running_stats(is, m.cpu_ram_latency_ns);
+    drop_kinds = static_cast<std::size_t>(bin::get_u64(is));
+    if (drop_kinds > core::kNumDropReasons) {
+      throw std::runtime_error("checkpoint: bad drop table");
+    }
+    for (std::size_t k = 0; k < drop_kinds; ++k) {
+      const std::uint8_t r = bin::get_u8(is);
+      if (r >= core::kNumDropReasons) {
+        throw std::runtime_error("checkpoint: bad drop reason");
+      }
+      drop_first_seen[k] = static_cast<core::DropReason>(r);
+    }
+    for (std::int64_t& c : drop_counts) c = bin::get_i64(is);
+    for (ResourceType ty : kAllResources) get_twm(is, util[ty]);
+    get_twm(is, intra_util);
+    get_twm(is, inter_util);
+
+    {  // photonic ledger
+      phot::PowerLedger::State s;
+      s.total.switch_switching_j = bin::get_f64(is);
+      s.total.switch_trimming_j = bin::get_f64(is);
+      s.total.transceiver_j = bin::get_f64(is);
+      s.charged = bin::get_u64(is);
+      s.refunded = bin::get_u64(is);
+      RunningStats pce;
+      get_running_stats(is, pce);
+      s.per_circuit_energy = pce.save();
+      ledger.restore(s);
+    }
+
+    std::vector<std::uint32_t> failed_links;
+    {  // cluster occupancy + fault flags
+      topo::ClusterSnapshot snap;
+      const std::uint64_t n_boxes = bin::get_u64(is);
+      if (n_boxes != cluster_->num_boxes()) {
+        throw std::runtime_error("checkpoint: cluster shape mismatch");
+      }
+      snap.brick_available.resize(n_boxes);
+      for (std::size_t b = 0; b < n_boxes; ++b) {
+        const std::uint64_t n_bricks = bin::get_u64(is);
+        const topo::Box& box =
+            cluster_->box_unchecked(BoxId{static_cast<std::uint32_t>(b)});
+        if (n_bricks != box.brick_count()) {
+          throw std::runtime_error("checkpoint: cluster shape mismatch");
+        }
+        snap.brick_available[b].resize(n_bricks);
+        for (Units& u : snap.brick_available[b]) u = bin::get_i64(is);
+      }
+      cluster_->restore(snap);  // also clears every offline flag
+      const std::uint64_t n_off = bin::get_u64(is);
+      for (std::uint64_t k = 0; k < n_off; ++k) {
+        const std::uint32_t id = bin::get_u32(is);
+        if (id >= cluster_->num_boxes()) {
+          throw std::runtime_error("checkpoint: box id out of range");
+        }
+        cluster_->set_box_offline(BoxId{id}, true);
+      }
+      const std::uint64_t n_fail = bin::get_u64(is);
+      for (std::uint64_t k = 0; k < n_fail; ++k) {
+        const std::uint32_t id = bin::get_u32(is);
+        if (id >= fabric_->num_links()) {
+          throw std::runtime_error("checkpoint: link id out of range");
+        }
+        // Deferred: circuits must be adopted (bandwidth reserved) first --
+        // a consistent checkpoint has no live circuit over a failed link,
+        // but the fabric cannot know that until the reservations exist.
+        failed_links.push_back(id);
+      }
+    }
+
+    const std::uint64_t n_rec = bin::get_u64(is);
+    std::size_t restored_live = 0;
+    for (std::uint64_t r = 0; r < n_rec; ++r) {
+      const std::uint32_t idx = bin::get_u32(is);
+      VmState st;
+      st.vm.id = VmId{bin::get_u32(is)};
+      st.vm.cores = bin::get_i64(is);
+      st.vm.ram_mb = bin::get_i64(is);
+      st.vm.storage_mb = bin::get_i64(is);
+      st.vm.arrival = bin::get_f64(is);
+      st.vm.lifetime = bin::get_f64(is);
+      st.attempts = bin::get_u32(is);
+      st.epoch = bin::get_u32(is);
+      st.place_time = bin::get_f64(is);
+      st.expected_hold = bin::get_f64(is);
+      st.holding_power = bin::get_f64(is);
+      st.live = bin::get_u8(is);
+      st.ever_placed = bin::get_u8(is);
+      if (st.live) {
+        ++restored_live;
+        core::Placement p;
+        p.vm = VmId{bin::get_u32(is)};
+        for (ResourceType t : kAllResources) {
+          topo::BoxAllocation& a = p.compute[index(t)];
+          a.box = BoxId{bin::get_u32(is)};
+          a.type = static_cast<ResourceType>(bin::get_u8(is));
+          a.units = bin::get_i64(is);
+          const std::uint64_t n_slices = bin::get_u64(is);
+          a.slices.clear();
+          for (std::uint64_t si = 0; si < n_slices; ++si) {
+            const std::uint32_t brick = bin::get_u32(is);
+            const Units u = bin::get_i64(is);
+            a.slices.push_back(topo::BrickSlice{brick, u});
+          }
+        }
+        for (ResourceType t : kAllResources) {
+          p.racks[index(t)] = RackId{bin::get_u32(is)};
+        }
+        for (ResourceType t : kAllResources) p.units[t] = bin::get_i64(is);
+        p.demand.cpu_ram = bin::get_i64(is);
+        p.demand.ram_sto = bin::get_i64(is);
+        p.inter_rack = bin::get_u8(is) != 0;
+        p.used_fallback = bin::get_u8(is) != 0;
+        // Slot numbering is internal (never observable through metrics or
+        // events), so ascending-record-order assignment here need not
+        // match the checkpointing run's interleaved acquire/free history.
+        st.slot = acquire_slot();
+        slot_pool_[st.slot] = std::move(p);
+        holding_power_w += st.holding_power;
+        const std::uint64_t n_circ = bin::get_u64(is);
+        for (std::uint64_t ci = 0; ci < n_circ; ++ci) {
+          net::Circuit c;
+          c.id = CircuitId{bin::get_u32(is)};
+          c.vm = VmId{bin::get_u32(is)};
+          c.flow = static_cast<net::FlowKind>(bin::get_u8(is));
+          c.bandwidth = bin::get_i64(is);
+          const std::uint64_t nl = bin::get_u64(is);
+          for (std::uint64_t li = 0; li < nl; ++li) {
+            c.path.links.push_back(LinkId{bin::get_u32(is)});
+          }
+          const std::uint64_t ns = bin::get_u64(is);
+          for (std::uint64_t si = 0; si < ns; ++si) {
+            c.path.switches.push_back(SwitchId{bin::get_u32(is)});
+          }
+          c.path.inter_rack = bin::get_u8(is) != 0;
+          circuits_->adopt(std::move(c));
+        }
+      }
+      vms_.find_or_insert(idx) = std::move(st);
+    }
+    if (restored_live != live_count) {
+      throw std::runtime_error("checkpoint: live record count mismatch");
+    }
+    circuits_->set_next_id(bin::get_u32(is));
+    for (const std::uint32_t id : failed_links) {
+      fabric_->set_link_failed(LinkId{id}, true);
+    }
+
+    {  // injected-event calendar
+      const std::uint64_t next_seq = bin::get_u64(is);
+      const std::uint64_t n_entries = bin::get_u64(is);
+      std::vector<decltype(events_)::Entry> entries;
+      entries.reserve(n_entries);
+      for (std::uint64_t k = 0; k < n_entries; ++k) {
+        decltype(events_)::Entry e;
+        e.time = bin::get_f64(is);
+        e.seq = bin::get_u64(is);
+        const std::uint8_t kind = bin::get_u8(is);
+        if (kind > static_cast<std::uint8_t>(LifecycleKind::Migrate)) {
+          throw std::runtime_error("checkpoint: bad event kind");
+        }
+        e.payload.kind = static_cast<LifecycleKind>(kind);
+        e.payload.subject = bin::get_u32(is);
+        e.payload.epoch = bin::get_u32(is);
+        entries.push_back(e);
+      }
+      events_.restore(std::move(entries), next_seq);
+    }
+
+    Xoshiro256::State rng_state;
+    for (std::uint64_t& w : rng_state) w = bin::get_u64(is);
+    fault_rng.generator().set_state(rng_state);
+    allocator_->restore_state(is);
+    source.restore_position(is);
+  };
+  if (resume != nullptr) {
+    restore(*resume);
+  } else {
+    sample_signals(0.0);
+  }
+  std::uint64_t last_ckpt_executed = executed;
+  auto maybe_checkpoint = [&] {
+    if (ckpt == nullptr || ckpt->every_events == 0 || !ckpt->emit) return;
+    if (executed - last_ckpt_executed < ckpt->every_events) return;
+    last_ckpt_executed = executed;
+    std::ostringstream os(std::ios::out | std::ios::binary);
+    serialize(os);
+    ckpt->emit(os.str());
+  };
+
+  // The merged event loop.  Next event = min over the arrival ring head
   // (time = arrival, seq = index) and the injected-event heap top; at
   // equal times the arrival's smaller seq wins, so the comparison reduces
   // to arrival_time <= injected_time.
-  while (cursor < n || !events_.empty()) {
+  while (true) {
+    if (ring_pos >= ring_len && !source_done) {
+      // Chunk boundary: every pulled arrival is fully settled, so this is
+      // the checkpoint safe point -- snapshot (if due), then refill.
+      maybe_checkpoint();
+      refill_ring();
+    }
+    const bool have_arrival = ring_pos < ring_len;
+    if (!have_arrival && events_.empty()) break;
     const bool take_arrival =
-        cursor < n &&
+        have_arrival &&
         (events_.empty() ||
-         workload[arrival_order_[cursor]].arrival <= events_.next_time());
+         arrival_ring_[ring_pos].vm.arrival <= events_.next_time());
 
     if (take_arrival) {
-      const std::uint32_t vm_index = arrival_order_[cursor++];
-      const wl::VmRequest& vm = workload[vm_index];
+      const wl::ArrivalItem& item = arrival_ring_[ring_pos++];
+      const std::uint32_t vm_index = item.index;
+      const wl::VmRequest& vm = item.vm;
       now = vm.arrival;
       if (lifecycle) note_time(now);
       ++executed;
+      ++m.total_vms;
 
-      if (!admit(vm_index, vm.lifetime)) {
-        if (!lifecycle || !requeue(vm_index)) {
+      if (!admit(vm_index, vm, vm.lifetime)) {
+        bool queued = false;
+        if (lifecycle && plan.retry.max_attempts > 0) {
+          // First requeue of a never-admitted VM creates its record (the
+          // retry path needs the request after the ring moves on).
+          VmState& st = vms_.find_or_insert(vm_index);
+          st.vm = vm;
+          queued = requeue(vm_index, st);
+          if (!queued) vms_.erase(vm_index);
+        }
+        if (!queued) {
           ++m.dropped;
           count_drop();
         }
@@ -646,8 +1180,9 @@ SimMetrics Engine::run(const wl::Workload& workload,
       switch (e.payload.kind) {
         case LifecycleKind::Departure: {
           std::uint32_t vm_index = e.payload.subject;
-          if (!live_[vm_index] ||
-              (lifecycle && e.payload.epoch != place_epoch_[vm_index])) {
+          VmState* st = vms_.find(vm_index);
+          if (st == nullptr || !st->live ||
+              (lifecycle && e.payload.epoch != st->epoch)) {
             if (!lifecycle) {
               throw std::logic_error("Engine: departure for unknown placement");
             }
@@ -667,14 +1202,14 @@ SimMetrics Engine::run(const wl::Workload& workload,
           cluster_->begin_release_batch();
           for (;;) {
             ++executed;
-            allocator_->release_batched(slot_pool_[slot_of_[vm_index]]);
-            free_slots_.push_back(slot_of_[vm_index]);
-            live_[vm_index] = 0;
+            allocator_->release_batched(slot_pool_[st->slot]);
+            free_slots_.push_back(st->slot);
             --live_count;
-            if (timeline_ != nullptr) {
-              holding_power_w -= holding_power_by_vm_[vm_index];
-              holding_power_by_vm_[vm_index] = 0.0;
-            }
+            if (timeline_ != nullptr) holding_power_w -= st->holding_power;
+            // The departure is the VM's final event: erase its record
+            // (erase relocates neighbors, so `st` dies here).
+            vms_.erase(vm_index);
+            st = nullptr;
             sample_signals(now);
             record_timeline(now);
 
@@ -683,8 +1218,9 @@ SimMetrics Engine::run(const wl::Workload& workload,
                    events_.top().payload.kind == LifecycleKind::Departure) {
               const auto d = events_.pop();
               const std::uint32_t cand = d.payload.subject;
-              if (!live_[cand] ||
-                  (lifecycle && d.payload.epoch != place_epoch_[cand])) {
+              VmState* cst = vms_.find(cand);
+              if (cst == nullptr || !cst->live ||
+                  (lifecycle && d.payload.epoch != cst->epoch)) {
                 if (!lifecycle) {
                   throw std::logic_error(
                       "Engine: departure for unknown placement");
@@ -692,6 +1228,7 @@ SimMetrics Engine::run(const wl::Workload& workload,
                 continue;  // tombstone inside the batch
               }
               vm_index = cand;
+              st = cst;
               more = true;
               break;
             }
@@ -716,14 +1253,18 @@ SimMetrics Engine::run(const wl::Workload& workload,
           // A sweep landing after the run's real work (no pending arrivals,
           // nothing live, no retries in flight) is skipped like a
           // tombstone: it neither advances the horizon nor reschedules, so
-          // periodic plans terminate.
-          if (cursor >= n && live_count == 0 && pending_retries == 0) break;
+          // periodic plans terminate.  `ring_pos >= ring_len` here implies
+          // the source is exhausted (see the refill invariant above).
+          if (ring_pos >= ring_len && live_count == 0 &&
+              pending_retries == 0) {
+            break;
+          }
           now = e.time;
           note_time(now);
           ++executed;
           run_migration_sweep();
           if (migration_budget > 0 &&
-              (cursor < n || live_count > 0 || pending_retries > 0)) {
+              (ring_pos < ring_len || live_count > 0 || pending_retries > 0)) {
             events_.push(now + mig.period_tu,
                          LifecycleEvent{LifecycleKind::Migrate,
                                         e.payload.subject + 1, 0});
@@ -736,18 +1277,28 @@ SimMetrics Engine::run(const wl::Workload& workload,
           now = e.time;
           note_time(now);
           ++executed;
-          const double expected = ever_placed_[vm_index]
-                                      ? expected_hold_[vm_index]
-                                      : workload[vm_index].lifetime;
-          if (admit(vm_index, expected)) {
+          VmState* st = vms_.find(vm_index);
+          if (st == nullptr) {
+            throw std::logic_error("Engine: retry for unknown VM");
+          }
+          // Copied out of the record: a successful admit re-enters the
+          // table (find_or_insert may rehash) and invalidates `st`.
+          const wl::VmRequest vm = st->vm;
+          const bool was_placed = st->ever_placed != 0;
+          const double expected = was_placed ? st->expected_hold : vm.lifetime;
+          if (admit(vm_index, vm, expected)) {
             ++m.retry_placed;
             fire_admission_triggers();
-          } else if (!requeue(vm_index) && !ever_placed_[vm_index]) {
-            // Retry budget exhausted for a VM that never ran: a final drop
-            // (killed VMs already count in `placed`; their lost remainder
-            // is visible through `killed` and the settled energy).
-            ++m.dropped;
-            count_drop();
+          } else if (!requeue(vm_index, *st)) {
+            // Retry budget exhausted: the VM's final event, so the record
+            // goes.  A VM that never ran is a final drop (killed VMs
+            // already count in `placed`; their lost remainder is visible
+            // through `killed` and the settled energy).
+            if (!was_placed) {
+              ++m.dropped;
+              count_drop();
+            }
+            vms_.erase(vm_index);
           }
           break;
         }
@@ -783,6 +1334,9 @@ SimMetrics Engine::run(const wl::Workload& workload,
   if (live_count != 0) {
     throw std::logic_error("Engine: placements leaked past their departure");
   }
+  if (!vms_.empty()) {
+    throw std::logic_error("Engine: VM records leaked past the run end");
+  }
   cluster_->check_invariants();
   fabric_->check_invariants();
 
@@ -790,6 +1344,7 @@ SimMetrics Engine::run(const wl::Workload& workload,
   // metrics.  Both clocks bracket the same span, so seconds-per-tick is
   // exact up to scheduling noise; a zero-tick span (degenerate workload on
   // the steady_clock fallback) reports zero scheduler time rather than NaN.
+  // A resumed run's wall metrics cover only the resumed segment.
   const std::uint64_t run_ticks = CycleClock::now() - run_ticks0;
   m.sim_wall_seconds =
       std::chrono::duration<double>(Clock::now() - run_t0).count();
@@ -797,12 +1352,13 @@ SimMetrics Engine::run(const wl::Workload& workload,
       run_ticks > 0 ? m.sim_wall_seconds / static_cast<double>(run_ticks) : 0.0;
   m.scheduler_exec_seconds =
       static_cast<double>(sched_ticks) * seconds_per_tick;
+  const double ns_per_tick = seconds_per_tick * 1e9;
   if (latency_sink_ != nullptr) {
-    const double ns_per_tick = seconds_per_tick * 1e9;
     for (std::size_t i = latency_base; i < latency_sink_->size(); ++i) {
       (*latency_sink_)[i] *= ns_per_tick;
     }
   }
+  if (latency_hist_ != nullptr) latency_hist_->set_value_scale(ns_per_tick);
   return m;
 }
 

@@ -24,20 +24,31 @@
 // After every event the time-weighted utilization integrals advance.
 //
 // The event loop is typed and allocation-free in steady state (DESIGN.md
-// §7-§8): the workload's arrivals stream from a cursor sorted by
-// (arrival, index) while every *injected* event -- departures, scripted
-// faults/repairs, retries -- lives in one 4-ary POD min-heap of
-// des::LifecycleEvent, and the two streams are merged on (time, seq).
-// Arrivals carry seq 0..N-1 (their workload index) and injected events
-// number from N, which preserves the historical closure-calendar FIFO
-// order exactly: with an empty FaultPlan the metrics are bit-identical to
-// the generic des::Simulator replaying the same workload.
+// §7-§8): arrivals are PULLED in chunks from a wl::ArrivalSource (DESIGN.md
+// §11) while every *injected* event -- departures, scripted faults/repairs,
+// retries -- lives in one 4-ary POD min-heap of des::LifecycleEvent, and
+// the two streams are merged on (time, seq).  Arrivals carry seq 0..N-1
+// (their workload index) and injected events number from N, which preserves
+// the historical closure-calendar FIFO order exactly: with an empty
+// FaultPlan the metrics are bit-identical to the generic des::Simulator
+// replaying the same workload, and a streaming run is bit-identical to the
+// materialized run over the same requests.
+//
+// Memory is bounded by the live census, not the stream length: per-VM state
+// lives in a flat hash table of VmState records created at admission (or
+// first requeue) and erased at the VM's final event, so a 10M+-VM streaming
+// run holds only the resident VMs plus one refill chunk.
 #pragma once
 
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/histogram.hpp"
+#include "common/u32_map.hpp"
 #include "core/allocator.hpp"
 #include "core/registry.hpp"
 #include "des/calendar.hpp"
@@ -47,9 +58,25 @@
 #include "sim/metrics.hpp"
 #include "sim/scenario.hpp"
 #include "sim/timeline.hpp"
+#include "workload/arrival_source.hpp"
 #include "workload/vm.hpp"
 
 namespace risa::sim {
+
+/// Periodic checkpointing for streaming runs.  When attached to run_stream
+/// / resume_stream, the engine serializes its complete mid-run state every
+/// `every_events` executed events -- at the next arrival-chunk boundary,
+/// the loop's safe point (DESIGN.md §11) -- and hands the bytes to `emit`.
+/// A run resumed from any emitted checkpoint (Engine::resume_stream)
+/// continues bit-identically.  Wall-clock metrics (sim_wall_seconds,
+/// scheduler_exec_seconds) and the optional latency sinks restart at the
+/// resume point; every deterministic metric continues exactly.
+struct CheckpointPolicy {
+  /// Checkpoint cadence in executed events; 0 disables checkpointing.
+  std::uint64_t every_events = 0;
+  /// Receives each serialized checkpoint (opaque bytes; write to a file).
+  std::function<void(const std::string&)> emit;
+};
 
 class Engine {
  public:
@@ -65,8 +92,33 @@ class Engine {
   /// engine produces bit-identical results to a freshly constructed one.
   /// The workload need not be sorted by arrival time: the engine orders
   /// arrivals by (arrival, index) itself, matching calendar FIFO order.
+  /// Implemented as a wl::WorkloadSource adapter over run_stream's loop,
+  /// so both front ends execute the identical event sequence.
   [[nodiscard]] SimMetrics run(const wl::Workload& workload,
                                const std::string& workload_label);
+
+  /// Replay a pull-based arrival stream (rewound first, so a reused source
+  /// behaves like a fresh one).  The source must satisfy the ArrivalSource
+  /// ordering contract -- nondecreasing arrival, strictly increasing index
+  /// within equal arrivals -- which the engine validates per chunk,
+  /// throwing std::invalid_argument on violation.  Peak memory is bounded
+  /// by the live census, independent of the stream length.  `checkpoint`
+  /// optionally snapshots the run periodically (see CheckpointPolicy).
+  [[nodiscard]] SimMetrics run_stream(
+      wl::ArrivalSource& source, const std::string& workload_label,
+      const CheckpointPolicy* checkpoint = nullptr);
+
+  /// Continue a run from a serialized checkpoint: restores every
+  /// deterministic component (cluster occupancy, circuits, calendar,
+  /// metrics accumulators, allocator cursors, fault RNG, source position)
+  /// and resumes the merged event loop bit-identically.  `source` must be
+  /// constructed over the same stream the checkpointing run used; the
+  /// engine must run the same algorithm (validated, std::runtime_error on
+  /// mismatch).  `policy` re-arms periodic checkpointing for the resumed
+  /// segment.
+  [[nodiscard]] SimMetrics resume_stream(
+      std::istream& checkpoint, wl::ArrivalSource& source,
+      const CheckpointPolicy* policy = nullptr);
 
   /// Swap the scheduling algorithm without rebuilding the topology stack.
   /// Only the allocator is reconstructed (a few hundred bytes), and only
@@ -118,6 +170,18 @@ class Engine {
     latency_sink_ = sink;
   }
 
+  /// Bounded-memory alternative to the vector sink for streaming-scale
+  /// runs: per-placement latencies land in a log-scale histogram instead
+  /// of one double per placement.  Samples are added as raw ticks; at the
+  /// end of the run the engine installs the ticks-to-nanoseconds scale via
+  /// Log2Histogram::set_value_scale, so percentiles read out in ns.  The
+  /// histogram must outlive the run and is NOT cleared between runs (nor
+  /// serialized into checkpoints -- latency is wall-clock state); pass
+  /// nullptr to disable.  Both sinks may be active at once.
+  void set_latency_histogram(Log2Histogram* sink) noexcept {
+    latency_hist_ = sink;
+  }
+
   // Component access for tests and examples.
   [[nodiscard]] topo::Cluster& cluster() noexcept { return *cluster_; }
   [[nodiscard]] net::Fabric& fabric() noexcept { return *fabric_; }
@@ -125,6 +189,15 @@ class Engine {
 
  private:
   [[nodiscard]] core::AllocContext context() noexcept;
+
+  /// The shared merged event loop behind run/run_stream/resume_stream.
+  /// When `resume` is non-null, the serialized state it holds replaces the
+  /// fresh-run initialization (including `workload_label`, which the
+  /// checkpoint carries).
+  [[nodiscard]] SimMetrics run_impl(wl::ArrivalSource& source,
+                                    const std::string& workload_label,
+                                    const CheckpointPolicy* ckpt,
+                                    std::istream* resume);
 
   Scenario scenario_;
   std::string algorithm_;
@@ -135,6 +208,7 @@ class Engine {
   std::unique_ptr<core::Allocator> allocator_;
   Timeline* timeline_ = nullptr;
   std::vector<double>* latency_sink_ = nullptr;
+  Log2Histogram* latency_hist_ = nullptr;
   const FaultPlan* fault_plan_ = nullptr;  ///< non-owning per-run override
   const MigrationPlan* migration_plan_ = nullptr;  ///< same, migration axis
 
@@ -142,40 +216,51 @@ class Engine {
   /// Injected-event calendar: POD {time, seq, LifecycleEvent} entries
   /// (departures + scripted faults/repairs + retries).  Its size is
   /// bounded by live VMs + pending injections, not the event count; seq
-  /// numbering starts at the workload size each run (arrivals own seq
-  /// 0..N-1).
+  /// numbering starts at the source's size hint each run (arrivals own
+  /// seq 0..N-1; an unknown hint of 0 is behaviorally identical because
+  /// arrivals win every merge tie structurally -- DESIGN.md §11).
   des::BasicCalendar<des::LifecycleEvent, 4> events_;
-  /// Workload indices in (arrival, index) order -- the arrival cursor.
-  std::vector<std::uint32_t> arrival_order_;
+
+  /// Per-VM state, keyed by workload index.  A record is created when a VM
+  /// is admitted (or first requeued) and erased at its final event
+  /// (departure, kill without requeue, or last failed retry), so the table
+  /// holds the live census plus pending retries -- bounded by the cluster,
+  /// never by the stream length.  Replaces the PR 3 workload-length dense
+  /// vectors (live/slot/epoch/hold/attempt arrays), whose O(N) footprint
+  /// and per-run O(N) clears were the last scaling wall to 10M+ VMs.
+  struct VmState {
+    wl::VmRequest vm{};          ///< the request (streams are not replayable)
+    std::uint32_t slot = 0;      ///< slot_pool_ index, meaningful iff live
+    std::uint32_t attempts = 0;  ///< retry attempts consumed
+    std::uint32_t epoch = 0;     ///< placement epoch (departure tombstones)
+    SimTime place_time = 0.0;    ///< when the current placement opened
+    double expected_hold = 0.0;  ///< prepaid hold (remaining hold after kill)
+    double holding_power = 0.0;  ///< instantaneous optical W (timeline only)
+    std::uint8_t live = 0;
+    std::uint8_t ever_placed = 0;
+  };
+  U32Map<VmState> vms_;
+
   /// Live-placement slot pool.  A Placement is ~600 bytes, so sizing the
   /// table by workload length made run() O(N) in *memory* (3 GB at the
   /// 5M-VM bench row) for a cluster that can only host a few thousand VMs
-  /// at once.  Instead slot_of_[vm] (meaningful iff live_[vm]) indexes
-  /// into slot_pool_, which grows to the peak number of concurrently live
-  /// VMs and is recycled through free_slots_ -- bounded by the cluster,
-  /// not the workload.
+  /// at once.  Instead VmState::slot indexes into slot_pool_, which grows
+  /// to the peak number of concurrently live VMs and is recycled through
+  /// free_slots_ -- bounded by the cluster, not the workload.
   std::vector<core::Placement> slot_pool_;
-  std::vector<std::uint32_t> slot_of_;
   std::vector<std::uint32_t> free_slots_;
-  std::vector<std::uint8_t> live_;
-  /// Per-VM instantaneous optical holding power; sized only when a
-  /// timeline is recording.
-  std::vector<double> holding_power_by_vm_;
+
+  /// Arrival refill chunk: the engine pulls the source in batches of this
+  /// ring's size.  Chunk boundaries (ring empty, top of the merge loop)
+  /// are the checkpoint safe points.
+  std::vector<wl::ArrivalItem> arrival_ring_;
+
+  /// Deterministic-scan scratch: the record table iterates in hash order,
+  /// so victim scans and checkpoint serialization collect VM indices here
+  /// and sort ascending before acting (the historical scan order).
+  std::vector<std::uint32_t> scan_scratch_;
 
   // --- Lifecycle state, sized only when the run's FaultPlan is nonempty --
-  /// Placement epoch per VM: bumped on every successful placement, carried
-  /// by departure events to tombstone departures of killed placements.
-  std::vector<std::uint32_t> place_epoch_;
-  /// Time the current placement opened, and its expected hold (the prepaid
-  /// charging interval; rewritten to the remaining hold when a kill
-  /// requeues the VM).
-  std::vector<SimTime> place_time_;
-  std::vector<double> expected_hold_;
-  /// Retry attempts consumed per VM (bounded by RetryPolicy::max_attempts).
-  std::vector<std::uint32_t> attempts_;
-  /// Whether the VM was ever successfully placed (final-outcome
-  /// accounting: placed/dropped stay per-VM even under requeue).
-  std::vector<std::uint8_t> ever_placed_;
   /// Admission-count-triggered action indices, sorted by threshold.
   std::vector<std::uint32_t> admission_actions_;
   /// Migration-sweep candidate arena: packed (spread score, VM index) keys

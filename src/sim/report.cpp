@@ -390,7 +390,12 @@ std::vector<SchedulerBenchEntry> scheduler_bench_entries(
     e.sim_s = r.metrics.sim_wall_seconds;
     e.events_per_sec = r.metrics.events_per_sec();
     if (!r.latency_ns.empty()) {
-      const Histogram h = Histogram::from_data(r.latency_ns, 1000);
+      // Log-scale bins: resolution is relative (~1/16 of an octave), so the
+      // percentiles stay meaningful no matter how many samples pile into
+      // the distribution's tail (the old fixed-width 1000-bin histogram
+      // degenerated to p50 == p99 once 5M+ samples shared one bin).
+      Log2Histogram h;
+      for (double ns : r.latency_ns) h.add(ns);
       e.p50_ns = h.percentile(50.0);
       e.p99_ns = h.percentile(99.0);
     }
@@ -414,8 +419,14 @@ std::string scheduler_bench_json(const std::string& benchmark,
        << strformat("%.6f", e.sim_s) << ", \"events_per_sec\": "
        << strformat("%.0f", e.events_per_sec) << ", \"p50_ns\": "
        << strformat("%.0f", e.p50_ns) << ", \"p99_ns\": "
-       << strformat("%.0f", e.p99_ns) << "}" << (i + 1 < entries.size() ? "," : "")
-       << "\n";
+       << strformat("%.0f", e.p99_ns);
+    if (e.source_s >= 0.0) {
+      os << ", \"source_s\": " << strformat("%.6f", e.source_s);
+    }
+    if (e.peak_rss_mb >= 0.0) {
+      os << ", \"peak_rss_mb\": " << strformat("%.1f", e.peak_rss_mb);
+    }
+    os << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
   return os.str();

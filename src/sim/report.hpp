@@ -73,7 +73,10 @@ bool write_sweep_csv(const std::string& path,
 // The fig11/fig12 bench binaries emit a machine-readable baseline so every
 // future change can be diffed against the committed numbers: per-algorithm
 // total scheduler time, placement throughput, and per-placement latency
-// percentiles (p50/p99 via the common 1000-bin histogram).
+// percentiles (p50/p99 via the bounded-memory Log2Histogram, whose
+// log-scale bins keep sub-microsecond resolution even when millions of
+// samples share a tail -- the fixed 1000-bin linear histogram collapsed
+// p50 and p99 into one bin at 5M+ VMs).
 
 /// One (workload, algorithm) row of the baseline.
 struct SchedulerBenchEntry {
@@ -89,6 +92,14 @@ struct SchedulerBenchEntry {
   double events_per_sec = 0.0;      ///< DES events / sim_s
   double p50_ns = 0.0;              ///< median per-placement latency
   double p99_ns = 0.0;
+  /// Streaming rows only: the source's standalone synthesis seconds (the
+  /// stream drained without an engine).  sim_s *includes* this -- a pull
+  /// run generates arrivals inside the timed window, which a materialized
+  /// row pays before its timer starts -- so the engine-only throughput
+  /// comparable with materialized rows is events / (sim_s - source_s).
+  /// <0 = not recorded (materialized rows).
+  double source_s = -1.0;
+  double peak_rss_mb = -1.0;        ///< VmHWM when measured; <0 = not recorded
 };
 
 /// Distill baseline entries from a latency-recording sweep (the unified

@@ -24,6 +24,11 @@ WorkloadSpec WorkloadSpec::synthetic(std::size_t count) {
     if (count > 0) config.count = count;
     return wl::generate_synthetic(config, seed);
   };
+  spec.make_source = [count](std::uint64_t seed) {
+    wl::SyntheticConfig config;
+    if (count > 0) config.count = count;
+    return std::make_unique<wl::SyntheticStreamSource>(config, seed);
+  };
   return spec;
 }
 
@@ -35,6 +40,9 @@ WorkloadSpec WorkloadSpec::azure(const std::string& subset) {
     spec.label = azure.label;
     spec.generate = [azure](std::uint64_t seed) {
       return wl::generate_azure(azure, seed);
+    };
+    spec.make_source = [azure](std::uint64_t seed) {
+      return std::make_unique<wl::AzureStreamSource>(azure, seed);
     };
     return spec;
   }
@@ -49,6 +57,9 @@ std::vector<WorkloadSpec> WorkloadSpec::azure_all() {
     spec.label = azure.label;
     spec.generate = [azure](std::uint64_t seed) {
       return wl::generate_azure(azure, seed);
+    };
+    spec.make_source = [azure](std::uint64_t seed) {
+      return std::make_unique<wl::AzureStreamSource>(azure, seed);
     };
     out.push_back(std::move(spec));
   }
@@ -125,6 +136,9 @@ std::vector<SweepResult> SweepRunner::run(const SweepSpec& spec) const {
   pool.run_indexed(pairs, [&](std::size_t, std::size_t i) {
     const std::size_t w = i / spec.seeds.size();
     const std::size_t s = i % spec.seeds.size();
+    // Streaming cells pull arrivals on demand; skipping materialization
+    // here is what actually bounds the sweep's RSS.
+    if (spec.streaming && spec.workloads[w].make_source) return;
     workloads[i] = spec.workloads[w].generate(spec.seeds[s]);
   });
 
@@ -182,14 +196,23 @@ std::vector<SweepResult> SweepRunner::run(const SweepSpec& spec) const {
                                    ? nullptr
                                    : &spec.migration_plans[g].second);
     engine->set_timeline(spec.record_timeline ? &r.timeline : nullptr);
+    const bool stream_cell = spec.streaming && spec.workloads[w].make_source;
     if (spec.record_latency) {
-      r.latency_ns.reserve(workloads[w * spec.seeds.size() + s].size());
+      if (!stream_cell) {
+        r.latency_ns.reserve(workloads[w * spec.seeds.size() + s].size());
+      }
       engine->set_placement_latency_sink(&r.latency_ns);
     } else {
       engine->set_placement_latency_sink(nullptr);
     }
-    r.metrics = engine->run(workloads[w * spec.seeds.size() + s],
-                            spec.workloads[w].label);
+    if (stream_cell) {
+      const std::unique_ptr<wl::ArrivalSource> source =
+          spec.workloads[w].make_source(spec.seeds[s]);
+      r.metrics = engine->run_stream(*source, spec.workloads[w].label);
+    } else {
+      r.metrics = engine->run(workloads[w * spec.seeds.size() + s],
+                              spec.workloads[w].label);
+    }
     engine->set_timeline(nullptr);
     engine->set_placement_latency_sink(nullptr);
     engine->set_fault_plan(nullptr);

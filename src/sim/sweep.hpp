@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -32,6 +33,7 @@
 #include "sim/metrics.hpp"
 #include "sim/scenario.hpp"
 #include "sim/timeline.hpp"
+#include "workload/arrival_source.hpp"
 #include "workload/vm.hpp"
 
 namespace risa::sim {
@@ -42,6 +44,13 @@ namespace risa::sim {
 struct WorkloadSpec {
   std::string label;
   std::function<wl::Workload(std::uint64_t seed)> generate;
+  /// Optional streaming twin of `generate`: builds a pull-based
+  /// ArrivalSource that yields the identical request sequence without
+  /// materializing the workload.  Honored when SweepSpec::streaming is
+  /// set; cells fall back to `generate` when absent (e.g. fixed()).  Must
+  /// be a pure function of the seed, like `generate`.
+  std::function<std::unique_ptr<wl::ArrivalSource>(std::uint64_t seed)>
+      make_source;
 
   /// The paper's 2500-VM synthetic random workload (§5.1); `count`
   /// overrides the VM count when positive.
@@ -81,6 +90,12 @@ struct SweepSpec {
   std::vector<std::pair<std::string, MigrationPlan>> migration_plans;
   bool record_timeline = false;  ///< fill SweepResult::timeline per cell
   bool record_latency = false;   ///< fill SweepResult::latency_ns per cell
+  /// Run cells through Engine::run_stream using each workload's
+  /// make_source factory (bounded RSS: no (workload, seed) pair is
+  /// materialized).  Streaming runs are bit-identical to materialized ones
+  /// (DESIGN.md §11), so this only changes memory behavior.  Workloads
+  /// without a make_source factory still materialize.
+  bool streaming = false;
 
   void validate() const;
 

@@ -96,6 +96,22 @@ void Box::release(const BoxAllocation& allocation) {
   allocated_ -= total;
 }
 
+void Box::restore_bricks(const std::vector<Units>& available) {
+  if (available.size() != brick_capacity_.size()) {
+    throw std::invalid_argument("Box::restore_bricks: brick count mismatch");
+  }
+  for (std::size_t b = 0; b < available.size(); ++b) {
+    if (available[b] < 0 || available[b] > brick_capacity_[b]) {
+      throw std::invalid_argument("Box::restore_bricks: bad availability");
+    }
+  }
+  allocated_ = 0;
+  for (std::size_t b = 0; b < available.size(); ++b) {
+    brick_allocated_[b] = brick_capacity_[b] - available[b];
+    allocated_ += brick_allocated_[b];
+  }
+}
+
 std::vector<Units> Box::available_by_brick() const {
   std::vector<Units> out(brick_capacity_.size());
   for (std::size_t b = 0; b < out.size(); ++b) {

@@ -95,6 +95,15 @@ class Box {
   /// Test/bench hook: snapshot of per-brick availability.
   [[nodiscard]] std::vector<Units> available_by_brick() const;
 
+  /// Overwrite the per-brick occupancy in place from a snapshot of
+  /// AVAILABLE units per brick (Cluster::restore, engine checkpoints).
+  /// Unlike replaying first-fit allocate() calls, this reproduces hole
+  /// patterns exactly: a brick sequence like [4 free, 0 free] restores as
+  /// recorded instead of first-fit compacting the occupancy into brick 0.
+  /// The offline flag is untouched.  Throws std::invalid_argument on a
+  /// shape or range mismatch.
+  void restore_bricks(const std::vector<Units>& available);
+
   /// Restore the pristine state (all bricks free, online) in place -- the
   /// engine-reuse path; no storage is reallocated.
   void reset() noexcept {

@@ -390,36 +390,13 @@ void Cluster::restore(const ClusterSnapshot& snap) {
   offline_boxes_ = 0;  // snapshots carry occupancy only; rebuilt boxes are online
   for (std::size_t i = 0; i < boxes_.size(); ++i) {
     Box& b = boxes_[i];
-    const auto& avail = snap.brick_available[i];
-    if (avail.size() != b.brick_count()) {
-      throw std::invalid_argument("Cluster::restore: brick count mismatch");
-    }
-    // Rebuild the box in place with the snapshot occupancy.
-    std::vector<Units> caps(b.brick_count());
-    for (std::uint32_t br = 0; br < b.brick_count(); ++br) {
-      caps[br] = b.brick_capacity(br);
-      if (avail[br] < 0 || avail[br] > caps[br]) {
-        throw std::invalid_argument("Cluster::restore: bad availability");
-      }
-    }
-    Box rebuilt(b.id(), b.rack(), b.type(), b.index_in_type(), caps);
-    for (std::uint32_t br = 0; br < rebuilt.brick_count(); ++br) {
-      const Units used = caps[br] - avail[br];
-      if (used > 0) {
-        // Bricks fill front-to-back; allocating per brick reconstructs the
-        // exact occupancy.
-        BoxAllocation tmp;
-        tmp.box = rebuilt.id();
-        tmp.type = rebuilt.type();
-        tmp.units = used;
-        // Direct brick targeting: allocate() is first-fit, and we walk
-        // bricks in order with exact amounts, so placement is exact.
-        auto r = rebuilt.allocate(used);
-        (void)r.value();
-      }
-    }
-    boxes_[i] = std::move(rebuilt);
-    total_available_[boxes_[i].type()] += boxes_[i].available_units();
+    // Direct per-brick restore: replaying first-fit allocate() calls here
+    // would compact hole patterns (a later brick's occupancy can land in an
+    // earlier brick's free space), silently corrupting snapshots taken
+    // after releases.  restore_bricks writes the recorded occupancy.
+    b.restore_bricks(snap.brick_available[i]);
+    b.set_offline(false);
+    total_available_[b.type()] += b.available_units();
   }
   for (std::uint32_t r = 0; r < config_.racks; ++r) {
     for (ResourceType t : kAllResources) {

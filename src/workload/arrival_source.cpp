@@ -1,0 +1,384 @@
+#include "workload/arrival_source.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+#include "common/binio.hpp"
+#include "workload/trace_io.hpp"
+
+namespace risa::wl {
+
+// ---- WorkloadSource --------------------------------------------------------
+
+WorkloadSource::WorkloadSource(const Workload& workload)
+    : workload_(&workload) {
+  const std::size_t n = workload.size();
+  order_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    order_[i] = static_cast<std::uint32_t>(i);
+  }
+  // Same cursor the engine historically built: identity when the workload
+  // is already arrival-sorted (every generated workload), else sorted by
+  // (arrival, original index) -- ties keep generation order.
+  const bool sorted = std::is_sorted(
+      workload.begin(), workload.end(),
+      [](const VmRequest& a, const VmRequest& b) { return a.arrival < b.arrival; });
+  if (!sorted) {
+    std::sort(order_.begin(), order_.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                if (workload[a].arrival != workload[b].arrival) {
+                  return workload[a].arrival < workload[b].arrival;
+                }
+                return a < b;
+              });
+  }
+}
+
+std::size_t WorkloadSource::next_batch(std::span<ArrivalItem> out) {
+  const std::size_t n =
+      std::min(out.size(), order_.size() - cursor_);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t idx = order_[cursor_ + i];
+    out[i].vm = (*workload_)[idx];
+    out[i].index = idx;
+  }
+  cursor_ += n;
+  return n;
+}
+
+void WorkloadSource::save_position(std::ostream& os) const {
+  bin::put_u64(os, cursor_);
+}
+
+void WorkloadSource::restore_position(std::istream& is) {
+  const std::uint64_t cursor = bin::get_u64(is);
+  if (cursor > order_.size()) {
+    throw std::runtime_error("WorkloadSource: position beyond workload");
+  }
+  cursor_ = static_cast<std::size_t>(cursor);
+}
+
+// ---- SyntheticStreamSource -------------------------------------------------
+
+SyntheticStreamSource::SyntheticStreamSource(SyntheticConfig config,
+                                             std::uint64_t seed)
+    : config_(std::move(config)), seed_(seed), attr_rng_(seed), arr_rng_(seed) {
+  config_.validate();
+  rewind();
+}
+
+void SyntheticStreamSource::rewind() {
+  attr_rng_ = Rng(seed_);
+  arr_rng_ = Rng(seed_);
+  // Advance the arrival generator past the 2N attribute draws
+  // generate_synthetic performs first.  Lemire rejection consumes a
+  // data-dependent number of raw words per draw, so the only way to land
+  // on the identical stream position is to replay the calls.
+  for (std::size_t i = 0; i < config_.count; ++i) {
+    (void)arr_rng_.uniform_int(config_.min_cores, config_.max_cores);
+    (void)arr_rng_.uniform_int(static_cast<std::int64_t>(config_.min_ram_gb),
+                               static_cast<std::int64_t>(config_.max_ram_gb));
+  }
+  t_ = 0.0;
+  index_ = 0;
+}
+
+std::size_t SyntheticStreamSource::next_batch(std::span<ArrivalItem> out) {
+  const std::size_t n = std::min(out.size(), config_.count - index_);
+  for (std::size_t i = 0; i < n; ++i) {
+    VmRequest& vm = out[i].vm;
+    vm.id = VmId{static_cast<std::uint32_t>(index_)};
+    vm.cores = attr_rng_.uniform_int(config_.min_cores, config_.max_cores);
+    vm.ram_mb = gb(static_cast<double>(attr_rng_.uniform_int(
+        static_cast<std::int64_t>(config_.min_ram_gb),
+        static_cast<std::int64_t>(config_.max_ram_gb))));
+    vm.storage_mb = gb(config_.storage_gb);
+    t_ += arr_rng_.exponential(config_.arrivals.mean_interarrival_tu);
+    vm.arrival = t_;
+    vm.lifetime = config_.arrivals.lifetime(index_);
+    out[i].index = static_cast<std::uint32_t>(index_);
+    ++index_;
+  }
+  return n;
+}
+
+void SyntheticStreamSource::save_position(std::ostream& os) const {
+  bin::put_u64(os, index_);
+  bin::put_f64(os, t_);
+  for (std::uint64_t w : attr_rng_.generator().state()) bin::put_u64(os, w);
+  for (std::uint64_t w : arr_rng_.generator().state()) bin::put_u64(os, w);
+}
+
+void SyntheticStreamSource::restore_position(std::istream& is) {
+  index_ = static_cast<std::size_t>(bin::get_u64(is));
+  if (index_ > config_.count) {
+    throw std::runtime_error("SyntheticStreamSource: position beyond count");
+  }
+  t_ = bin::get_f64(is);
+  Xoshiro256::State s;
+  for (auto& w : s) w = bin::get_u64(is);
+  attr_rng_.generator().set_state(s);
+  for (auto& w : s) w = bin::get_u64(is);
+  arr_rng_.generator().set_state(s);
+}
+
+// ---- AzureStreamSource -----------------------------------------------------
+
+AzureStreamSource::AzureStreamSource(AzureSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)), seed_(seed) {
+  spec_.validate();
+  const auto n = static_cast<std::size_t>(spec_.total_vms());
+
+  // Same expansion + rank coupling as generate_azure.
+  std::vector<std::int64_t> cores;
+  cores.reserve(n);
+  for (const auto& [c, count] : spec_.cpu_marginal) {
+    cores.insert(cores.end(), static_cast<std::size_t>(count), c);
+  }
+  std::vector<double> ram_gb;
+  ram_gb.reserve(n);
+  for (const auto& [r, count] : spec_.ram_marginal) {
+    ram_gb.insert(ram_gb.end(), static_cast<std::size_t>(count), r);
+  }
+  std::sort(cores.begin(), cores.end());
+  std::sort(ram_gb.begin(), ram_gb.end());
+
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  Rng rng(seed);
+  rng.shuffle(order);
+
+  cores_.resize(n);
+  ram_mb_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cores_[i] = cores[order[i]];
+    ram_mb_[i] = gb(ram_gb[order[i]]);
+  }
+  post_shuffle_ = rng.generator().state();
+  rng_ = rng;
+  // stamp_arrivals validates the model before drawing; match that here so
+  // a bad ArrivalModel fails at construction, not mid-stream.
+  spec_.arrivals.validate();
+}
+
+void AzureStreamSource::rewind() {
+  rng_.generator().set_state(post_shuffle_);
+  t_ = 0.0;
+  index_ = 0;
+}
+
+std::size_t AzureStreamSource::next_batch(std::span<ArrivalItem> out) {
+  const std::size_t n = std::min(out.size(), cores_.size() - index_);
+  for (std::size_t i = 0; i < n; ++i) {
+    VmRequest& vm = out[i].vm;
+    vm.id = VmId{static_cast<std::uint32_t>(index_)};
+    vm.cores = cores_[index_];
+    vm.ram_mb = ram_mb_[index_];
+    vm.storage_mb = gb(spec_.storage_gb);
+    t_ += rng_.exponential(spec_.arrivals.mean_interarrival_tu);
+    vm.arrival = t_;
+    vm.lifetime = spec_.arrivals.lifetime(index_);
+    out[i].index = static_cast<std::uint32_t>(index_);
+    ++index_;
+  }
+  return n;
+}
+
+void AzureStreamSource::save_position(std::ostream& os) const {
+  bin::put_u64(os, index_);
+  bin::put_f64(os, t_);
+  for (std::uint64_t w : rng_.generator().state()) bin::put_u64(os, w);
+}
+
+void AzureStreamSource::restore_position(std::istream& is) {
+  index_ = static_cast<std::size_t>(bin::get_u64(is));
+  if (index_ > cores_.size()) {
+    throw std::runtime_error("AzureStreamSource: position beyond count");
+  }
+  t_ = bin::get_f64(is);
+  Xoshiro256::State s;
+  for (auto& w : s) w = bin::get_u64(is);
+  rng_.generator().set_state(s);
+}
+
+// ---- TraceStreamSource -----------------------------------------------------
+
+struct TraceStreamSource::Impl {
+  std::string path;
+  std::ifstream file;
+  TraceReader reader;
+  std::uint32_t index = 0;
+  SimTime last_arrival = -std::numeric_limits<SimTime>::infinity();
+
+  explicit Impl(const std::string& p) : path(p), file(open(p)), reader(file) {}
+
+  static std::ifstream open(const std::string& p) {
+    std::ifstream is(p);
+    if (!is) throw std::runtime_error("trace: cannot open for read: " + p);
+    return is;
+  }
+};
+
+TraceStreamSource::TraceStreamSource(const std::string& path)
+    : impl_(std::make_unique<Impl>(path)) {}
+
+TraceStreamSource::~TraceStreamSource() = default;
+
+std::size_t TraceStreamSource::next_batch(std::span<ArrivalItem> out) {
+  std::size_t n = 0;
+  VmRequest vm;
+  while (n < out.size() && impl_->reader.next(vm)) {
+    if (vm.arrival < impl_->last_arrival) {
+      throw std::runtime_error(
+          "trace: line " + std::to_string(impl_->reader.line_number()) +
+          " is out of arrival order (a streaming source cannot sort; use "
+          "read_trace for unsorted traces)");
+    }
+    impl_->last_arrival = vm.arrival;
+    out[n].vm = vm;
+    out[n].index = impl_->index++;
+    ++n;
+  }
+  return n;
+}
+
+void TraceStreamSource::rewind() {
+  impl_ = std::make_unique<Impl>(impl_->path);
+}
+
+void TraceStreamSource::save_position(std::ostream& os) const {
+  const auto pos = impl_->reader.tell();
+  if (pos == std::streampos(-1)) {
+    throw std::runtime_error("trace: stream position unavailable");
+  }
+  bin::put_i64(os, static_cast<std::int64_t>(pos));
+  bin::put_u64(os, impl_->reader.line_number());
+  bin::put_u64(os, impl_->index);
+  bin::put_f64(os, impl_->last_arrival);
+}
+
+void TraceStreamSource::restore_position(std::istream& is) {
+  const auto pos = static_cast<std::streamoff>(bin::get_i64(is));
+  const auto line = static_cast<std::size_t>(bin::get_u64(is));
+  const auto index = static_cast<std::uint32_t>(bin::get_u64(is));
+  const SimTime last_arrival = bin::get_f64(is);
+  impl_ = std::make_unique<Impl>(impl_->path);
+  impl_->reader.seek(pos, line);
+  impl_->index = index;
+  impl_->last_arrival = last_arrival;
+}
+
+// ---- MergeSource -----------------------------------------------------------
+
+MergeSource::MergeSource(std::vector<std::unique_ptr<ArrivalSource>> children) {
+  if (children.empty()) {
+    throw std::invalid_argument("MergeSource: no children");
+  }
+  children_.reserve(children.size());
+  for (auto& c : children) {
+    if (c == nullptr) throw std::invalid_argument("MergeSource: null child");
+    children_.push_back(Child{std::move(c)});
+    prime(children_.back());
+  }
+}
+
+void MergeSource::prime(Child& c) {
+  if (c.exhausted) return;
+  ArrivalItem item;
+  if (c.source->next_batch(std::span<ArrivalItem>(&item, 1)) == 1) {
+    c.pending = item;
+    c.has_pending = true;
+  } else {
+    c.has_pending = false;
+    c.exhausted = true;
+  }
+}
+
+std::size_t MergeSource::next_batch(std::span<ArrivalItem> out) {
+  std::size_t n = 0;
+  while (n < out.size()) {
+    std::size_t best = children_.size();
+    for (std::size_t i = 0; i < children_.size(); ++i) {
+      if (!children_[i].has_pending) continue;
+      if (best == children_.size() ||
+          children_[i].pending.vm.arrival < children_[best].pending.vm.arrival) {
+        best = i;  // ties keep the earliest child (constructor order)
+      }
+    }
+    if (best == children_.size()) break;
+    out[n] = children_[best].pending;
+    // Renumber: children's original indices collide across tenants, and
+    // the engine's determinism contract keys off a single global index
+    // space (DESIGN.md §11).  Merge order IS the new generation order.
+    out[n].index = next_index_;
+    out[n].vm.id = VmId{next_index_};
+    ++next_index_;
+    ++n;
+    prime(children_[best]);
+  }
+  return n;
+}
+
+void MergeSource::rewind() {
+  for (Child& c : children_) {
+    c.source->rewind();
+    c.has_pending = false;
+    c.exhausted = false;
+    prime(c);
+  }
+  next_index_ = 0;
+}
+
+std::uint64_t MergeSource::size_hint() const noexcept {
+  std::uint64_t total = 0;
+  for (const Child& c : children_) {
+    const std::uint64_t hint = c.source->size_hint();
+    if (hint == 0) return 0;  // any unknown child makes the total unknown
+    total += hint;
+  }
+  return total;
+}
+
+void MergeSource::save_position(std::ostream& os) const {
+  bin::put_u32(os, next_index_);
+  bin::put_u64(os, children_.size());
+  for (const Child& c : children_) {
+    bin::put_u8(os, c.exhausted ? 1 : 0);
+    bin::put_u8(os, c.has_pending ? 1 : 0);
+    if (c.has_pending) {
+      bin::put_u32(os, c.pending.vm.id.value());
+      bin::put_i64(os, c.pending.vm.cores);
+      bin::put_i64(os, c.pending.vm.ram_mb);
+      bin::put_i64(os, c.pending.vm.storage_mb);
+      bin::put_f64(os, c.pending.vm.arrival);
+      bin::put_f64(os, c.pending.vm.lifetime);
+      bin::put_u32(os, c.pending.index);
+    }
+    c.source->save_position(os);
+  }
+}
+
+void MergeSource::restore_position(std::istream& is) {
+  next_index_ = bin::get_u32(is);
+  if (bin::get_u64(is) != children_.size()) {
+    throw std::runtime_error("MergeSource: checkpoint child count mismatch");
+  }
+  for (Child& c : children_) {
+    c.exhausted = bin::get_u8(is) != 0;
+    c.has_pending = bin::get_u8(is) != 0;
+    if (c.has_pending) {
+      c.pending.vm.id = VmId{bin::get_u32(is)};
+      c.pending.vm.cores = bin::get_i64(is);
+      c.pending.vm.ram_mb = bin::get_i64(is);
+      c.pending.vm.storage_mb = bin::get_i64(is);
+      c.pending.vm.arrival = bin::get_f64(is);
+      c.pending.vm.lifetime = bin::get_f64(is);
+      c.pending.index = bin::get_u32(is);
+    }
+    c.source->restore_position(is);
+  }
+}
+
+}  // namespace risa::wl

@@ -1,6 +1,7 @@
 #include "workload/trace_io.hpp"
 
 #include <fstream>
+#include <istream>
 #include <sstream>
 #include <stdexcept>
 
@@ -31,34 +32,64 @@ void write_trace(std::ostream& os, const Workload& vms) {
   }
 }
 
+TraceReader::TraceReader(std::istream& is) : is_(&is) {
+  if (!next_row()) throw std::runtime_error("trace: empty file");
+  bool header_ok = cells_.size() == kColumns;
+  for (std::size_t c = 0; header_ok && c < kColumns; ++c) {
+    header_ok = cells_[c] == kHeader[c];
+  }
+  if (!header_ok) {
+    throw std::runtime_error("trace: bad header at line " +
+                             std::to_string(line_));
+  }
+}
+
+bool TraceReader::next_row() {
+  while (std::getline(*is_, linebuf_)) {
+    ++line_;
+    if (linebuf_.empty() || (linebuf_.size() == 1 && linebuf_[0] == '\r')) {
+      continue;
+    }
+    cells_ = CsvReader::parse_line(linebuf_);
+    return true;
+  }
+  return false;
+}
+
+bool TraceReader::next(VmRequest& out) {
+  if (!next_row()) return false;
+  if (cells_.size() != kColumns) {
+    throw std::runtime_error("trace: line " + std::to_string(line_) +
+                             " has wrong column count");
+  }
+  out.id = VmId{static_cast<std::uint32_t>(parse_i64(cells_[0]))};
+  out.cores = parse_i64(cells_[1]);
+  out.ram_mb = parse_i64(cells_[2]);
+  out.storage_mb = parse_i64(cells_[3]);
+  out.arrival = parse_f64(cells_[4]);
+  out.lifetime = parse_f64(cells_[5]);
+  if (out.cores <= 0 || out.ram_mb <= 0 || out.storage_mb <= 0 ||
+      out.arrival < 0 || out.lifetime <= 0) {
+    throw std::runtime_error("trace: line " + std::to_string(line_) +
+                             " has out-of-range values");
+  }
+  return true;
+}
+
+std::streampos TraceReader::tell() const { return is_->tellg(); }
+
+void TraceReader::seek(std::streampos pos, std::size_t line) {
+  is_->clear();
+  is_->seekg(pos);
+  if (!*is_) throw std::runtime_error("trace: seek failed");
+  line_ = line;
+}
+
 Workload read_trace(std::istream& is) {
-  const auto rows = CsvReader::read_all(is);
-  if (rows.empty()) throw std::runtime_error("trace: empty file");
-  if (rows.front().size() != kColumns || rows.front()[0] != kHeader[0]) {
-    throw std::runtime_error("trace: bad header");
-  }
+  TraceReader reader(is);
   Workload vms;
-  vms.reserve(rows.size() - 1);
-  for (std::size_t i = 1; i < rows.size(); ++i) {
-    const auto& row = rows[i];
-    if (row.size() != kColumns) {
-      throw std::runtime_error("trace: row " + std::to_string(i) +
-                               " has wrong column count");
-    }
-    VmRequest vm;
-    vm.id = VmId{static_cast<std::uint32_t>(parse_i64(row[0]))};
-    vm.cores = parse_i64(row[1]);
-    vm.ram_mb = parse_i64(row[2]);
-    vm.storage_mb = parse_i64(row[3]);
-    vm.arrival = parse_f64(row[4]);
-    vm.lifetime = parse_f64(row[5]);
-    if (vm.cores <= 0 || vm.ram_mb <= 0 || vm.storage_mb <= 0 ||
-        vm.arrival < 0 || vm.lifetime <= 0) {
-      throw std::runtime_error("trace: row " + std::to_string(i) +
-                               " has out-of-range values");
-    }
-    vms.push_back(vm);
-  }
+  VmRequest vm;
+  while (reader.next(vm)) vms.push_back(vm);
   return vms;
 }
 
