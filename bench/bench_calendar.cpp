@@ -1,0 +1,214 @@
+// Calendar microbench: the reference BasicCalendar 4-ary heap against the
+// engine's LadderCalendar (des/ladder_calendar.hpp) under the classic
+// hold model -- a steady-state census of N pending events where each
+// operation pops the minimum and pushes a successor at popped.time +
+// delta.  That is exactly the engine's churn regime (DESIGN.md §7/§12):
+// the heap pays O(log N) per hold, the ladder O(1) amortized.
+//
+// Three delta distributions bracket the engine's workloads:
+//   churny    -- uniform holds (the synthetic stream's steady state)
+//   tie_heavy -- 70% zero deltas: long equal-time runs (settlement windows)
+//   bimodal   -- 80% short / 20% epoch-length holds (rung + top traffic)
+//
+// Driver mode: `--emit_json[=path]` writes the committed BENCH_calendar.json
+// (structure x distribution x census grid, best-of-3 timed hold loops).
+// Interactive mode runs the same grid through google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/string_util.hpp"
+#include "des/calendar.hpp"
+#include "des/ladder_calendar.hpp"
+#include "sim/report.hpp"
+
+namespace {
+
+using Heap = risa::des::BasicCalendar<std::uint32_t, 4>;
+using Ladder = risa::des::LadderCalendar<std::uint32_t>;
+
+enum class Dist { Churny, TieHeavy, Bimodal };
+
+const char* dist_name(Dist d) {
+  switch (d) {
+    case Dist::Churny: return "churny";
+    case Dist::TieHeavy: return "tie_heavy";
+    default: return "bimodal";
+  }
+}
+
+double next_delta(Dist d, risa::Rng& rng) {
+  switch (d) {
+    case Dist::Churny:
+      return static_cast<double>(rng.uniform_int(0, 200));
+    case Dist::TieHeavy:
+      return rng.uniform_int(0, 9) < 7
+                 ? 0.0
+                 : static_cast<double>(rng.uniform_int(1, 8));
+    default:  // Bimodal
+      return rng.uniform_int(0, 9) < 8
+                 ? static_cast<double>(rng.uniform_int(0, 50))
+                 : static_cast<double>(rng.uniform_int(50'000, 200'000));
+  }
+}
+
+/// Fill `cal` to a steady-state census, then run `ops` hold operations.
+/// Returns a checksum so the work cannot be optimized away.
+template <typename Calendar>
+std::uint64_t hold_loop(Calendar& cal, Dist d, std::size_t census,
+                        std::size_t ops, std::uint64_t seed) {
+  risa::Rng rng(seed);
+  cal.reset();
+  for (std::size_t i = 0; i < census; ++i) {
+    cal.push(next_delta(d, rng), static_cast<std::uint32_t>(i));
+  }
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < ops; ++i) {
+    const auto e = cal.pop();
+    sum += e.seq;
+    cal.push(e.time + next_delta(d, rng), e.payload);
+  }
+  while (!cal.empty()) sum += cal.pop().seq;
+  return sum;
+}
+
+template <typename Calendar>
+void run_hold(benchmark::State& state, Dist d) {
+  const auto census = static_cast<std::size_t>(state.range(0));
+  Calendar cal;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hold_loop(cal, d, census, census * 4, 42));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(census * 4));
+}
+
+void BM_Heap_Churny(benchmark::State& s) { run_hold<Heap>(s, Dist::Churny); }
+void BM_Ladder_Churny(benchmark::State& s) { run_hold<Ladder>(s, Dist::Churny); }
+void BM_Heap_TieHeavy(benchmark::State& s) { run_hold<Heap>(s, Dist::TieHeavy); }
+void BM_Ladder_TieHeavy(benchmark::State& s) {
+  run_hold<Ladder>(s, Dist::TieHeavy);
+}
+void BM_Heap_Bimodal(benchmark::State& s) { run_hold<Heap>(s, Dist::Bimodal); }
+void BM_Ladder_Bimodal(benchmark::State& s) {
+  run_hold<Ladder>(s, Dist::Bimodal);
+}
+
+void census_args(benchmark::internal::Benchmark* b) {
+  b->Arg(1'000)->Arg(10'000)->Arg(100'000)->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_Heap_Churny)->Apply(census_args);
+BENCHMARK(BM_Ladder_Churny)->Apply(census_args);
+BENCHMARK(BM_Heap_TieHeavy)->Apply(census_args);
+BENCHMARK(BM_Ladder_TieHeavy)->Apply(census_args);
+BENCHMARK(BM_Heap_Bimodal)->Apply(census_args);
+BENCHMARK(BM_Ladder_Bimodal)->Apply(census_args);
+
+/// One driver-mode row: best-of-3 timed hold loops, and a differential
+/// checksum (heap and ladder must agree on every grid point -- the bench
+/// doubles as a cheap order-identity witness at scales the unit tests
+/// do not reach).
+struct Row {
+  std::string structure;
+  std::string distribution;
+  std::size_t census = 0;
+  std::size_t ops = 0;
+  double seconds = 0.0;
+};
+
+template <typename Calendar>
+Row measure(const char* structure, Dist d, std::size_t census) {
+  Row r;
+  r.structure = structure;
+  r.distribution = dist_name(d);
+  r.census = census;
+  r.ops = census * 20;
+  Calendar cal;
+  (void)hold_loop(cal, d, census, r.ops, 42);  // warmup
+  double best = -1.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(hold_loop(cal, d, census, r.ops, 42));
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (best < 0.0 || s < best) best = s;
+  }
+  r.seconds = best;
+  return r;
+}
+
+std::string rows_json(const std::vector<Row>& rows) {
+  std::ostringstream os;
+  os << "{\n  \"benchmark\": \"calendar_hold\",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    os << "    {\"structure\": \"" << r.structure << "\", \"distribution\": \""
+       << r.distribution << "\", \"census\": " << r.census
+       << ", \"ops\": " << r.ops << ", \"seconds\": "
+       << risa::strformat("%.6f", r.seconds) << ", \"ops_per_sec\": "
+       << risa::strformat("%.0f",
+                          static_cast<double>(r.ops) / r.seconds)
+       << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path =
+      risa::sim::consume_emit_json_flag(argc, argv, "BENCH_calendar.json");
+  if (!json_path.empty()) {
+    std::vector<Row> rows;
+    for (const Dist d : {Dist::Churny, Dist::TieHeavy, Dist::Bimodal}) {
+      for (const std::size_t census : {std::size_t{1'000}, std::size_t{10'000},
+                                       std::size_t{100'000}}) {
+        // Same seed, same schedule: the checksums must match exactly or
+        // the two structures disagreed on pop order.
+        Heap heap;
+        Ladder ladder;
+        if (hold_loop(heap, d, census, census * 4, 42) !=
+            hold_loop(ladder, d, census, census * 4, 42)) {
+          std::cerr << "bench_calendar: heap/ladder divergence at "
+                    << dist_name(d) << "/" << census << "\n";
+          return 1;
+        }
+        rows.push_back(measure<Heap>("heap", d, census));
+        rows.push_back(measure<Ladder>("ladder", d, census));
+        const Row& h = rows[rows.size() - 2];
+        const Row& l = rows.back();
+        std::cout << dist_name(d) << " census=" << census << ": heap "
+                  << static_cast<std::uint64_t>(
+                         static_cast<double>(h.ops) / h.seconds)
+                  << " ops/s, ladder "
+                  << static_cast<std::uint64_t>(
+                         static_cast<double>(l.ops) / l.seconds)
+                  << " ops/s (" << risa::strformat("%.2f", h.seconds / l.seconds)
+                  << "x)\n";
+      }
+    }
+    std::ofstream out(json_path);
+    out << rows_json(rows);
+    if (!out) {
+      std::cerr << "bench_calendar: write to " << json_path << " failed\n";
+      return 1;
+    }
+    std::cout << "wrote calendar baseline: " << json_path << "\n";
+    return 0;
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

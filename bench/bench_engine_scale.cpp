@@ -189,8 +189,10 @@ double read_peak_rss_mb() {
 /// generator with the bounded Log2Histogram as the latency sink (a vector
 /// sink would itself be O(N) memory and defeat the measurement).
 risa::sim::SchedulerBenchEntry run_streaming_row(const std::string& algo,
-                                                 std::size_t count) {
+                                                 std::size_t count,
+                                                 bool profile) {
   risa::sim::Engine engine(risa::sim::Scenario::paper_defaults(), algo);
+  engine.set_profiling(profile);
   risa::wl::SyntheticConfig cfg;
   {
     // Unmeasured warmup at 100k: pools and calendars reach their
@@ -232,6 +234,7 @@ risa::sim::SchedulerBenchEntry run_streaming_row(const std::string& algo,
     e.p50_ns = latency.percentile(50.0);
     e.p99_ns = latency.percentile(99.0);
   }
+  e.profile = m.profile;  // from the kept (faster) run; empty when not asked
   // The generator's own synthesis cost, measured by draining the same
   // stream without the engine.  sim_s above *includes* it (a pull run
   // synthesizes arrivals inside the timed window; a materialized row pays
@@ -261,13 +264,13 @@ risa::sim::SchedulerBenchEntry run_streaming_row(const std::string& algo,
 /// headline `big_count` row, per algorithm (workload outer, algorithm
 /// inner, matching the baseline's row order).
 std::vector<risa::sim::SchedulerBenchEntry> run_streaming_rows(
-    std::size_t big_count) {
+    std::size_t big_count, bool profile) {
   std::vector<risa::sim::SchedulerBenchEntry> rows;
   std::vector<std::size_t> counts = {500'000};
   if (big_count != 500'000) counts.push_back(big_count);
   for (std::size_t count : counts) {
     for (const std::string& algo : risa::core::algorithm_names()) {
-      rows.push_back(run_streaming_row(algo, count));
+      rows.push_back(run_streaming_row(algo, count, profile));
       const risa::sim::SchedulerBenchEntry& e = rows.back();
       // engine_only backs the synthesis seconds out of the timed window,
       // making the figure comparable with the materialized grid (which
@@ -280,6 +283,15 @@ std::vector<risa::sim::SchedulerBenchEntry> run_streaming_rows(
                                               engine_s)
                 << " sim_s=" << e.sim_s << " source_s=" << e.source_s
                 << " peak_rss_mb=" << e.peak_rss_mb << "\n";
+      if (e.profile.recorded) {
+        std::cout << "  profile:";
+        for (std::size_t p = 0; p < risa::sim::kNumPhases; ++p) {
+          std::cout << " " << risa::sim::kPhaseNames[p] << "="
+                    << e.profile.seconds[p];
+        }
+        std::cout << " (sum=" << e.profile.total() << " of sim_s=" << e.sim_s
+                  << ")\n";
+      }
     }
   }
   return rows;
@@ -296,20 +308,62 @@ int main(int argc, char** argv) {
   const std::int64_t rss_limit_mb =
       consume_i64_flag(argc, argv, "--rss_limit_mb", -1, -1);
   const bool report_rss = consume_i64_flag(argc, argv, "--rss", 0, 1) != 0;
+  const bool profile = consume_i64_flag(argc, argv, "--profile", 0, 1) != 0;
+  const std::int64_t events_floor =
+      consume_i64_flag(argc, argv, "--events_floor", -1, -1);
 
   // Streaming rows first: VmHWM is process-wide and monotone, so they must
   // run before the interactive grid / baseline sweep materializes anything.
   std::vector<risa::sim::SchedulerBenchEntry> streaming_rows;
   if (streaming_count > 0) {
-    streaming_rows = run_streaming_rows(static_cast<std::size_t>(streaming_count));
+    streaming_rows = run_streaming_rows(static_cast<std::size_t>(streaming_count),
+                                        profile);
     const double peak = read_peak_rss_mb();
     if (rss_limit_mb > 0 && !(peak >= 0.0 && peak <= static_cast<double>(rss_limit_mb))) {
       std::cerr << "bench_engine_scale: streaming peak RSS " << peak
                 << " MB exceeds limit " << rss_limit_mb << " MB\n";
       return 1;
     }
-  } else if (rss_limit_mb > 0) {
-    std::cerr << "bench_engine_scale: --rss_limit_mb requires --streaming\n";
+    if (profile) {
+      // CI smoke contract: a recorded profile with any negative phase or a
+      // phase sum past the measured wall time means the span accounting
+      // broke (the spans are exclusive, so sum <= sim_s by construction).
+      for (const risa::sim::SchedulerBenchEntry& e : streaming_rows) {
+        if (!e.profile.recorded) {
+          std::cerr << "bench_engine_scale: --profile row missing profile\n";
+          return 1;
+        }
+        for (double s : e.profile.seconds) {
+          if (!(s >= 0.0)) {
+            std::cerr << "bench_engine_scale: negative profile phase\n";
+            return 1;
+          }
+        }
+        if (e.profile.total() > e.sim_s * 1.001) {
+          std::cerr << "bench_engine_scale: profile sum " << e.profile.total()
+                    << " exceeds sim_s " << e.sim_s << "\n";
+          return 1;
+        }
+      }
+    }
+    if (events_floor > 0) {
+      // Throughput floor over the headline-count rows (the 10M churn smoke
+      // in CI): a regression past the floor fails the job.
+      const std::string headline =
+          scale_label(static_cast<std::size_t>(streaming_count)) + "-stream";
+      for (const risa::sim::SchedulerBenchEntry& e : streaming_rows) {
+        if (e.workload != headline) continue;
+        if (e.events_per_sec < static_cast<double>(events_floor)) {
+          std::cerr << "bench_engine_scale: " << e.workload << " "
+                    << e.algorithm << " events_per_sec " << e.events_per_sec
+                    << " below floor " << events_floor << "\n";
+          return 1;
+        }
+      }
+    }
+  } else if (rss_limit_mb > 0 || events_floor > 0) {
+    std::cerr << "bench_engine_scale: --rss_limit_mb/--events_floor require "
+                 "--streaming\n";
     return 1;
   }
 
@@ -334,6 +388,7 @@ int main(int argc, char** argv) {
     spec.seeds = {risa::sim::kDefaultSeed};
     spec.algorithms = risa::core::algorithm_names();
     spec.record_latency = true;
+    spec.record_profile = profile;
 
     // Warmup sweep (unrecorded), then best-of-N recorded sweeps.  Counts
     // must be byte-identical across repeats -- only the wall-clock fields

@@ -72,6 +72,9 @@ int main(int argc, char** argv) {
   flags.define("resume", "",
                "Resume a streaming run from this checkpoint file (implies "
                "--streaming; pass the original workload/seed flags)");
+  flags.define("profile", "false",
+               "Print the phase-attributed wall-time breakdown of the run "
+               "(sim/phase_profiler.hpp); metrics are unchanged");
   if (!flags.parse_or_usage(argc, argv)) return 1;
 
   try {
@@ -184,6 +187,7 @@ int main(int argc, char** argv) {
 
     // 3. Simulate.
     sim::Engine engine(scenario, flags.str("algorithm"));
+    engine.set_profiling(flags.b("profile"));
     sim::Timeline timeline;
     if (!flags.str("timeline-csv").empty()) {
       engine.set_timeline(&timeline);
@@ -249,6 +253,18 @@ int main(int argc, char** argv) {
         std::cout << "  " << reason << "=" << count;
       }
       std::cout << '\n';
+    }
+
+    if (m.profile.recorded) {
+      std::cout << "phase profile (seconds; exclusive spans, sum <= sim_s="
+                << TextTable::num(m.sim_wall_seconds, 4) << "):\n";
+      for (std::size_t p = 0; p < sim::kNumPhases; ++p) {
+        std::cout << "  " << sim::kPhaseNames[p] << ": "
+                  << TextTable::num(m.profile.seconds[p], 4) << '\n';
+      }
+      std::cout << "  (unattributed: "
+                << TextTable::num(m.sim_wall_seconds - m.profile.total(), 4)
+                << ")\n";
     }
 
     if (!flags.str("timeline-csv").empty()) {

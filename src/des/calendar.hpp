@@ -95,17 +95,24 @@ class BasicCalendar {
     return a.seq < b.seq;
   }
 
+  // Both sifts percolate a hole: the moving entry is lifted out once and
+  // displaced entries shift into the hole (one move per level instead of
+  // std::swap's three), with a single placement at the final position.
+
   void sift_up(std::size_t i) {
+    Entry e = std::move(heap_[i]);
     while (i > 0) {
       const std::size_t parent = (i - 1) / Arity;
-      if (!before(heap_[i], heap_[parent])) break;
-      std::swap(heap_[i], heap_[parent]);
+      if (!before(e, heap_[parent])) break;
+      heap_[i] = std::move(heap_[parent]);
       i = parent;
     }
+    heap_[i] = std::move(e);
   }
 
   void sift_down(std::size_t i) {
     const std::size_t n = heap_.size();
+    Entry e = std::move(heap_[i]);
     while (true) {
       const std::size_t first_child = i * Arity + 1;
       if (first_child >= n) break;
@@ -114,10 +121,11 @@ class BasicCalendar {
       for (std::size_t c = first_child + 1; c < end_child; ++c) {
         if (before(heap_[c], heap_[best])) best = c;
       }
-      if (!before(heap_[best], heap_[i])) break;
-      std::swap(heap_[i], heap_[best]);
+      if (!before(heap_[best], e)) break;
+      heap_[i] = std::move(heap_[best]);
       i = best;
     }
+    heap_[i] = std::move(e);
   }
 
   std::vector<Entry> heap_;

@@ -1,0 +1,331 @@
+// LadderCalendar: an O(1)-amortized bucketed priority queue keyed on
+// (time, seq), with a pop order provably identical to BasicCalendar's
+// d-ary heap (DESIGN.md §12).
+//
+// Three tiers, earliest times lowest:
+//
+//   bottom  -- a fully sorted run of imminent events (ascending storage
+//              with a dequeue cursor, so pop() is a cursor bump); drained
+//              before any bucket is read.
+//   rungs   -- up to kMaxRungs arrays of time buckets.  Rung i+1 is spawned
+//              lazily on dequeue by re-bucketing rung i's current bucket at
+//              a finer width; small or degenerate (all-equal-time) buckets
+//              are sorted straight into bottom instead.
+//   top     -- an unsorted epoch of far-future events.  When every lower
+//              tier is empty, the whole epoch is bucketed into a fresh rung
+//              (or sorted into bottom when small) and `top_start_` advances
+//              to the epoch's max time, so later pushes split cleanly.
+//
+// Pushes append to top when time >= top_start_, else land in the first
+// (coarsest) rung whose bucketing function maps the time at or past the
+// rung's dequeue cursor, else insertion-sort into bottom.  Every tier move
+// sorts by (time, seq), so ties pop FIFO exactly like the heap.
+//
+// Order-identity argument (the differential test in tests/test_des.cpp pins
+// it): within a rung, the bucket index idx(t) = clamp(floor((t - start) /
+// width)) is a deterministic nondecreasing function of t -- so bucket a's
+// times never exceed bucket b's for a < b, and equal times always share a
+// bucket (never split across a tier boundary).  An entry is routed below a
+// rung's cursor -- to a finer rung or to bottom -- only when idx(t) < cur,
+// the same test every resident of those lower tiers once passed, so lower
+// tiers hold strictly earlier times.  Draining bottom, then rungs finest to
+// coarsest bucket by bucket, then top therefore emits a globally sorted
+// (time, seq) sequence.  The comparisons use only idx(t) itself (never a
+// separately computed bucket boundary), which keeps the argument exact
+// under floating-point rounding: monotonicity of idx is all that is needed.
+//
+// Like BasicCalendar, the structure never schedules into the past: pushes
+// at or after the last popped (time, seq) are the engine's contract, and
+// equal-time pushes during a drain insert into bottom behind their already
+// popped predecessors (their seq is larger, so FIFO order is preserved).
+//
+// Checkpointing serializes the *sorted* entry sequence (sorted_entries());
+// restore() accepts entries in any order -- it reloads them as a fresh top
+// epoch with top_start_ = -inf, which is exactly the state of a calendar
+// whose every entry was pushed and none popped, so a v1 checkpoint's
+// verbatim heap array restores bit-identically too (DESIGN.md §12).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "des/event.hpp"
+
+namespace risa::des {
+
+template <typename Payload>
+class LadderCalendar {
+ public:
+  struct Entry {
+    SimTime time = 0.0;
+    std::uint64_t seq = 0;
+    Payload payload{};
+  };
+
+  void push(SimTime time, Payload payload) {
+    Entry e{time, next_seq_++, std::move(payload)};
+    ++size_;
+    if (e.time >= top_start_) {
+      top_min_ = std::min(top_min_, e.time);
+      top_max_ = std::max(top_max_, e.time);
+      top_.push_back(std::move(e));
+      return;
+    }
+    for (std::size_t i = 0; i < nrungs_; ++i) {
+      Rung& r = rungs_[i];
+      const std::size_t idx = r.bucket_index(e.time);
+      if (idx >= r.cur) {
+        r.buckets[idx].push_back(std::move(e));
+        ++r.count;
+        return;
+      }
+    }
+    // Earlier than every pending bucket: insertion-sort into the sorted
+    // bottom run, behind its dequeue cursor.  Ascending storage makes the
+    // hot tie-storm case -- a push at the current minimum time, which
+    // carries the largest seq of its equal-time run -- an append at (or
+    // near) the end, not an O(run) front shift.
+    const auto pos = std::upper_bound(
+        bottom_.begin() + static_cast<std::ptrdiff_t>(bottom_pos_),
+        bottom_.end(), e, before);
+    bottom_.insert(pos, std::move(e));
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Earliest pending (time, seq) entry.  May surface a bucket into the
+  /// sorted bottom tier first, hence non-const (amortized into pop cost).
+  [[nodiscard]] SimTime next_time() {
+    if (bottom_pos_ >= bottom_.size()) surface();
+    return bottom_[bottom_pos_].time;
+  }
+  [[nodiscard]] const Entry& top() {
+    if (bottom_pos_ >= bottom_.size()) surface();
+    return bottom_[bottom_pos_];
+  }
+
+  /// Remove and return the earliest event (moved out, never copied).
+  [[nodiscard]] Entry pop() {
+    assert(size_ > 0);
+    if (bottom_pos_ >= bottom_.size()) surface();
+    Entry out = std::move(bottom_[bottom_pos_++]);
+    if (bottom_pos_ >= bottom_.size()) {
+      bottom_.clear();  // capacity retained
+      bottom_pos_ = 0;
+    }
+    if (--size_ == 0) {
+      // Fully drained: discard exhausted rung shells so the next epoch
+      // starts clean, and reopen top as the universal push catchment.
+      for (std::size_t i = 0; i < nrungs_; ++i) rungs_[i].clear();
+      nrungs_ = 0;
+      rearm_empty();
+    }
+    return out;
+  }
+
+  /// Drop every entry and restart sequence numbering at `first_seq`; all
+  /// backing storage capacity is retained (the engine-reuse path).
+  void reset(std::uint64_t first_seq = 0) noexcept {
+    bottom_.clear();
+    bottom_pos_ = 0;
+    top_.clear();
+    for (std::size_t i = 0; i < nrungs_; ++i) rungs_[i].clear();
+    nrungs_ = 0;
+    size_ = 0;
+    rearm_empty();
+    next_seq_ = first_seq;
+  }
+
+  void reserve(std::size_t capacity) {
+    top_.reserve(capacity);
+    bottom_.reserve(std::min<std::size_t>(capacity, kBottomThreshold * 4));
+  }
+
+  [[nodiscard]] std::uint64_t scheduled_total() const noexcept {
+    return next_seq_;
+  }
+
+  /// Every pending entry in ascending (time, seq) order -- the canonical
+  /// checkpoint serialization (tier structure is an implementation detail;
+  /// DESIGN.md §12).
+  [[nodiscard]] std::vector<Entry> sorted_entries() const {
+    std::vector<Entry> out;
+    out.reserve(size_);
+    out.insert(out.end(),
+               bottom_.begin() + static_cast<std::ptrdiff_t>(bottom_pos_),
+               bottom_.end());
+    for (std::size_t i = 0; i < nrungs_; ++i) {
+      const Rung& r = rungs_[i];
+      for (std::size_t b = r.cur; b < r.nbuckets; ++b) {
+        out.insert(out.end(), r.buckets[b].begin(), r.buckets[b].end());
+      }
+    }
+    out.insert(out.end(), top_.begin(), top_.end());
+    std::sort(out.begin(), out.end(),
+              [](const Entry& a, const Entry& b) { return before(a, b); });
+    return out;
+  }
+
+  /// Reload from serialized entries (any order: sorted canonical form or a
+  /// v1 checkpoint's verbatim heap array) and continue numbering at
+  /// `next_seq`.  The entries become a fresh top epoch with top_start_ =
+  /// -inf -- the state of a calendar that pushed everything and popped
+  /// nothing -- so the continued pop order is identical by the general
+  /// order argument above.
+  void restore(std::vector<Entry> entries, std::uint64_t next_seq) {
+    reset(next_seq);
+    size_ = entries.size();
+    top_ = std::move(entries);
+    for (const Entry& e : top_) {
+      top_min_ = std::min(top_min_, e.time);
+      top_max_ = std::max(top_max_, e.time);
+    }
+  }
+
+ private:
+  /// Below this population a bucket (or top epoch) is sorted straight into
+  /// bottom instead of spawning a finer rung.
+  static constexpr std::size_t kBottomThreshold = 48;
+  static constexpr std::size_t kMaxRungs = 8;
+  static constexpr std::size_t kMinBuckets = 8;
+  static constexpr std::size_t kMaxBuckets = 4096;
+
+  [[nodiscard]] static bool before(const Entry& a, const Entry& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  struct Rung {
+    double start = 0.0;
+    double width = 1.0;
+    std::size_t cur = 0;       ///< dequeue cursor: buckets < cur are drained
+    std::size_t nbuckets = 0;  ///< buckets in use this spawn
+    std::size_t count = 0;     ///< entries resident in buckets >= cur
+    std::vector<std::vector<Entry>> buckets;  ///< capacity reused across spawns
+
+    /// clamp(floor((t - start) / width)): deterministic and nondecreasing
+    /// in t, the only property the order argument relies on.  The clamp is
+    /// computed in double so a far-future time cannot overflow the cast.
+    [[nodiscard]] std::size_t bucket_index(double t) const noexcept {
+      const double q = std::floor((t - start) / width);
+      if (!(q > 0.0)) return 0;
+      const double last = static_cast<double>(nbuckets - 1);
+      return q >= last ? nbuckets - 1 : static_cast<std::size_t>(q);
+    }
+
+    void clear() noexcept {
+      for (std::size_t b = 0; b < nbuckets; ++b) buckets[b].clear();
+      cur = 0;
+      nbuckets = 0;
+      count = 0;
+    }
+  };
+
+  void rearm_empty() noexcept {
+    // Everything drained: future pushes may carry any time, so reopen top
+    // as the universal catchment (cheapest tier to land in).
+    top_start_ = -std::numeric_limits<double>::infinity();
+    top_min_ = std::numeric_limits<double>::infinity();
+    top_max_ = -std::numeric_limits<double>::infinity();
+  }
+
+  /// Take `src` (unsorted) as the new bottom tier, sorted ascending with
+  /// the dequeue cursor at the minimum.
+  void sort_into_bottom(std::vector<Entry>& src) {
+    assert(bottom_pos_ >= bottom_.size());
+    bottom_.swap(src);
+    src.clear();
+    bottom_pos_ = 0;
+    std::sort(bottom_.begin(), bottom_.end(), before);
+  }
+
+  /// Spawn a fresh rung over `src`'s [lo, hi] span and distribute it.
+  void spawn_rung(std::vector<Entry>& src, double lo, double hi) {
+    assert(nrungs_ < kMaxRungs && lo < hi);
+    Rung& r = rungs_[nrungs_++];
+    const std::size_t want =
+        std::clamp(src.size(), kMinBuckets, kMaxBuckets);
+    if (r.buckets.size() < want) r.buckets.resize(want);
+    r.start = lo;
+    r.width = (hi - lo) / static_cast<double>(want);
+    if (!(r.width > 0.0)) {
+      // Underflowed span (hi - lo denormal-tiny): treat as degenerate.
+      --nrungs_;
+      sort_into_bottom(src);
+      return;
+    }
+    r.cur = 0;
+    r.nbuckets = want;
+    r.count = src.size();
+    for (Entry& e : src) {
+      r.buckets[r.bucket_index(e.time)].push_back(std::move(e));
+    }
+    src.clear();
+  }
+
+  /// Make bottom non-empty.  Precondition: size_ > 0, bottom drained.
+  void surface() {
+    assert(size_ > 0);
+    while (bottom_pos_ >= bottom_.size()) {
+      if (nrungs_ > 0) {
+        Rung& r = rungs_[nrungs_ - 1];
+        while (r.cur < r.nbuckets && r.buckets[r.cur].empty()) ++r.cur;
+        if (r.cur >= r.nbuckets) {
+          assert(r.count == 0);
+          r.clear();
+          --nrungs_;
+          continue;
+        }
+        std::vector<Entry>& b = r.buckets[r.cur];
+        r.count -= b.size();
+        ++r.cur;  // residents of this bucket move down, never back
+        if (b.size() <= kBottomThreshold || nrungs_ >= kMaxRungs) {
+          sort_into_bottom(b);
+          continue;
+        }
+        double lo = b.front().time, hi = b.front().time;
+        for (const Entry& e : b) {
+          lo = std::min(lo, e.time);
+          hi = std::max(hi, e.time);
+        }
+        if (lo == hi) {
+          sort_into_bottom(b);  // tie storm: a finer width cannot split it
+        } else {
+          spawn_rung(b, lo, hi);
+        }
+      } else {
+        // Lower tiers empty: the top epoch is everything pending.
+        assert(!top_.empty());
+        const double lo = top_min_, hi = top_max_;
+        top_start_ = hi;  // later pushes at >= hi start the next epoch
+        top_min_ = std::numeric_limits<double>::infinity();
+        top_max_ = -std::numeric_limits<double>::infinity();
+        if (top_.size() <= kBottomThreshold || lo == hi) {
+          sort_into_bottom(top_);
+        } else {
+          spawn_rung(top_, lo, hi);
+        }
+      }
+    }
+  }
+
+  std::vector<Entry> bottom_;   ///< sorted ascending from bottom_pos_
+  std::size_t bottom_pos_ = 0;  ///< dequeue cursor; [pos, size) is pending
+  std::array<Rung, kMaxRungs> rungs_;
+  std::size_t nrungs_ = 0;
+  std::vector<Entry> top_;
+  double top_start_ = -std::numeric_limits<double>::infinity();
+  double top_min_ = std::numeric_limits<double>::infinity();
+  double top_max_ = -std::numeric_limits<double>::infinity();
+  std::size_t size_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace risa::des

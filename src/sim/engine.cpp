@@ -12,6 +12,7 @@
 #include "common/cycle_clock.hpp"
 #include "common/rng.hpp"
 #include "sim/migration.hpp"
+#include "sim/phase_profiler.hpp"
 
 namespace risa::sim {
 
@@ -23,6 +24,10 @@ namespace {
 constexpr std::size_t kArrivalChunk = 1024;
 /// Checkpoint stream magic + format version ("RSK1").
 constexpr std::uint32_t kCheckpointMagic = 0x314B5352u;
+/// Upper bound on size_hint-driven pre-sizing (the record table, calendar
+/// and scan scratch are census-bounded, so reserving past any plausible
+/// live census only wastes RSS on streaming runs).
+constexpr std::uint64_t kCensusReserveCap = 1u << 16;
 }  // namespace
 
 Engine::Engine(const Scenario& scenario, const std::string& algorithm)
@@ -105,6 +110,14 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
   // steady_clock span the run measures anyway for sim_wall_seconds.
   const std::uint64_t run_ticks0 = CycleClock::now();
 
+  // Phase attribution (sim/phase_profiler.hpp): cycle-clock spans around
+  // the loop's phases, exclusive under nesting.  Disabled, every hook is a
+  // single predictable branch; ticks convert to seconds at the end of the
+  // run alongside sched_ticks.
+  PhaseTimer prof;
+  prof.reset();
+  prof.enable(profiling_);
+
   reset();
 
   SimMetrics m;
@@ -176,6 +189,20 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
   // seq preserves the heap's relative order and the base is behaviorally
   // unobservable (DESIGN.md §11).
   events_.reset(/*first_seq=*/source.size_hint());
+
+  // Pre-size the census-bounded containers from the source's size hint,
+  // capped by the cluster's own hosting bound (every VM holds >= 1 CPU
+  // unit) so a 10M-VM stream reserves for its possible live census, not
+  // its length -- and no rehash/regrow lands inside the measured loop.
+  if (const std::uint64_t hint = source.size_hint(); hint > 0) {
+    const auto cpu_units = static_cast<std::uint64_t>(
+        std::max<Units>(cluster_->total_capacity(ResourceType::Cpu), 0));
+    const std::uint64_t census = std::min(
+        hint, std::min(std::max<std::uint64_t>(cpu_units, 1), kCensusReserveCap));
+    vms_.reserve(static_cast<std::size_t>(census));
+    events_.reserve(static_cast<std::size_t>(census));
+    scan_scratch_.reserve(static_cast<std::size_t>(census));
+  }
 
   // Lifecycle state: compiled fault triggers + per-VM interval/retry
   // bookkeeping.  Time-triggered actions enter the calendar up front (in
@@ -279,6 +306,7 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
   std::uint32_t last_arrival_index = 0;
   bool seen_arrival = false;
   auto refill_ring = [&] {
+    const ScopedCycleSpan<PhaseTimer> span(prof, phase_slot(Phase::SourcePull));
     ring_len = source.next_batch(
         std::span<wl::ArrivalItem>(arrival_ring_.data(), kArrivalChunk));
     ring_pos = 0;
@@ -328,9 +356,15 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
   // holding a record pointer stays valid across a failed attempt.
   auto admit = [&](std::uint32_t vm_index, const wl::VmRequest& vm,
                    double expected) -> bool {
+    const ScopedCycleSpan<PhaseTimer> admission_span(
+        prof, phase_slot(Phase::Admission));
+    // Placement attribution is free: the run times every try_place for
+    // scheduler_exec_seconds anyway, so the same two reads are carved out
+    // of the admission span instead of paying two more.
     const std::uint64_t t0 = CycleClock::now();
     auto placed = allocator_->try_place(vm);
     const std::uint64_t t1 = CycleClock::now();
+    prof.carve(phase_slot(Phase::Placement), t1 - t0);
     sched_ticks += t1 - t0;
     if (latency_sink_ != nullptr) {
       latency_sink_->push_back(static_cast<double>(t1 - t0));
@@ -378,7 +412,11 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
         scenario_.latency.rtt_ns(cpu_ram_inter, cross_pod));
 
     // Open the photonic charging interval at its expected length (Eq. (1)
-    // prepay; a later kill settles the difference -- DESIGN.md §8).
+    // prepay; a later kill settles the difference -- DESIGN.md §8).  No
+    // ledger span here: the charge is a handful of adds per circuit, and a
+    // TSC pair around it would cost as much as the work it measures -- the
+    // per-arrival charge rides in `admission`; the Ledger phase attributes
+    // the lifecycle-path settlements (kill refunds, migration windows).
     ledger.charge_vm(*circuits_, vm.id, expected);
 
     if (timeline_ != nullptr) {
@@ -399,6 +437,9 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
       st.expected_hold = expected;
       epoch = ++st.epoch;
     }
+    // The push is the ladder's O(1) append path (DESIGN.md §12) -- cheaper
+    // than a TSC pair, so it rides in `admission` too; the Calendar phase
+    // attributes the dequeue side, where the surfacing work actually lives.
     events_.push(now + expected,
                  LifecycleEvent{LifecycleKind::Departure, vm_index, epoch});
     return true;
@@ -441,11 +482,16 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
   // erased (a stale Departure then tombstones on the missing record,
   // exactly like the old epoch mismatch).  The caller's `st` reference is
   // dead after this returns.
+  // Runs inside the caller's open release batch (execute_action brackets
+  // each teardown scan), so compute frees defer their aggregate refresh to
+  // the shared end_release_batch.
   auto kill_vm = [&](std::uint32_t vm_index, VmState& st) {
     const double held = now - st.place_time;
     const double unused = st.expected_hold - held;
+    prof.begin(phase_slot(Phase::Ledger));
     ledger.refund_vm_truncation(*circuits_, st.vm.id, unused);
-    allocator_->release(slot_pool_[st.slot]);
+    prof.end();
+    allocator_->release_batched(slot_pool_[st.slot]);
     free_slots_.push_back(st.slot);
     st.live = 0;
     --live_count;
@@ -496,8 +542,12 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
         fabric_->set_link_failed(victim, fail);
         if (!fail) continue;
         // Dead-link teardown: every live VM holding a circuit that
-        // traverses the failed link dies (in VM-index order).
+        // traverses the failed link dies (in VM-index order).  The whole
+        // scan is one settlement window: compute frees batch their
+        // per-(rack, type) aggregate refresh behind end_release_batch
+        // (no placement query can interleave with the scan).
         collect_live_sorted();
+        cluster_->begin_release_batch();
         for (const std::uint32_t i : scan_scratch_) {
           VmState* st = vms_.find(i);
           if (st == nullptr || !st->live) continue;
@@ -513,6 +563,7 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
               });
           if (hit) kill_vm(i, *st);
         }
+        cluster_->end_release_batch();
       }
     } else {
       const std::uint32_t draws =
@@ -528,7 +579,9 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
         cluster_->set_box_offline(victim, fail);
         if (!fail) continue;
         // Offline-box teardown: every resident VM dies with its circuits.
+        // One settlement window per scan, exactly like the link case.
         collect_live_sorted();
+        cluster_->begin_release_batch();
         for (const std::uint32_t i : scan_scratch_) {
           VmState* st = vms_.find(i);
           if (st == nullptr || !st->live) continue;
@@ -540,6 +593,7 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
             }
           }
         }
+        cluster_->end_release_batch();
       }
     }
     sample_signals(now);
@@ -593,11 +647,14 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
     if (mig.only_if_improves &&
         migration_spread_score(new_p, *fabric_) >= old_score) {
       // No improvement: roll the fresh placement back untouched.  Its
-      // circuits are exactly the suffix after the old placement's.
+      // circuits are exactly the suffix after the old placement's.  The
+      // three compute frees settle as one window (no query interleaves).
       circuits_->teardown_suffix(vm.id, k_old);
+      cluster_->begin_release_batch();
       for (ResourceType t : kAllResources) {
-        cluster_->release(new_p.compute[index(t)]);
+        cluster_->release_batched(new_p.compute[index(t)]);
       }
+      cluster_->end_release_batch();
       return false;
     }
 
@@ -605,6 +662,7 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
     // prefix, in establishment order) refund their tail beyond the cost
     // window; the new ones open an interval for the remaining hold.
     std::size_t pos = 0;
+    prof.begin(phase_slot(Phase::Ledger));
     circuits_->for_each_circuit_of(vm.id, [&](const net::Circuit& c) {
       if (pos < k_old) {
         ledger.refund_circuit_truncation(c, remaining - cost);
@@ -613,14 +671,18 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
       }
       ++pos;
     });
+    prof.end();
 
-    // Retire the old placement: circuits, then compute.
+    // Retire the old placement: circuits, then compute -- the compute
+    // frees batched as one settlement window.
     circuits_->teardown_prefix(vm.id, k_old);
     const bool was_inter =
         old_p.rack(ResourceType::Cpu) != old_p.rack(ResourceType::Ram);
+    cluster_->begin_release_batch();
     for (ResourceType t : kAllResources) {
-      cluster_->release(old_p.compute[index(t)]);
+      cluster_->release_batched(old_p.compute[index(t)]);
     }
+    cluster_->end_release_batch();
 
     const bool now_inter =
         new_p.rack(ResourceType::Cpu) != new_p.rack(ResourceType::Ram);
@@ -886,10 +948,13 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
     }
     bin::put_u32(os, circuits_->next_id());
 
-    // Injected-event calendar, verbatim heap array (restoring it verbatim
-    // reproduces the identical pop order).
+    // Injected-event calendar as the canonical sorted (time, seq) entry
+    // sequence -- the ladder's tier structure is an implementation detail
+    // (DESIGN.md §12).  Restore accepts any entry order, so v1 checkpoints
+    // (verbatim heap arrays) stay readable; note a sorted sequence is
+    // itself a valid heap array, so the format is compatible both ways.
     bin::put_u64(os, events_.scheduled_total());
-    const auto& entries = events_.entries();
+    const auto entries = events_.sorted_entries();
     bin::put_u64(os, entries.size());
     for (const auto& e : entries) {
       bin::put_f64(os, e.time);
@@ -1126,6 +1191,7 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
     if (ckpt == nullptr || ckpt->every_events == 0 || !ckpt->emit) return;
     if (executed - last_ckpt_executed < ckpt->every_events) return;
     last_ckpt_executed = executed;
+    const ScopedCycleSpan<PhaseTimer> span(prof, phase_slot(Phase::Checkpoint));
     std::ostringstream os(std::ios::out | std::ios::binary);
     serialize(os);
     ckpt->emit(os.str());
@@ -1144,12 +1210,17 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
     }
     const bool have_arrival = ring_pos < ring_len;
     if (!have_arrival && events_.empty()) break;
+    // The Calendar span brackets the merge query *and* the pop: the
+    // ladder's real dequeue work (lazy tier surfacing) runs inside
+    // next_time(), not inside the subsequent cursor-bump pop.
+    prof.begin(phase_slot(Phase::Calendar));
     const bool take_arrival =
         have_arrival &&
         (events_.empty() ||
          arrival_ring_[ring_pos].vm.arrival <= events_.next_time());
 
     if (take_arrival) {
+      prof.end();
       const wl::ArrivalItem& item = arrival_ring_[ring_pos++];
       const std::uint32_t vm_index = item.index;
       const wl::VmRequest& vm = item.vm;
@@ -1177,10 +1248,10 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
       if (lifecycle) fire_admission_triggers();
     } else {
       const auto e = events_.pop();
+      prof.end();
       switch (e.payload.kind) {
         case LifecycleKind::Departure: {
-          std::uint32_t vm_index = e.payload.subject;
-          VmState* st = vms_.find(vm_index);
+          VmState* st = vms_.find(e.payload.subject);
           if (st == nullptr || !st->live ||
               (lifecycle && e.payload.epoch != st->epoch)) {
             if (!lifecycle) {
@@ -1190,51 +1261,61 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
           }
           now = e.time;
           if (lifecycle) note_time(now);
-          // Same-timestamp departure run, settled as one batch: the
-          // per-rack aggregate/index refresh is deferred and deduplicated
-          // across the whole run (Cluster::release_batched), while box
-          // ledgers, cluster totals, circuits, signals and the timeline
-          // settle per event -- every sampled quantity stays exact.  No
-          // placement can interleave: equal-time arrivals were all
-          // consumed before this event (arrivals win every (time, seq)
-          // tie), and any other injected kind ends the batch since events
-          // leave the heap in (time, seq) order.
+          // Settlement window (DESIGN.md §12): the whole same-timestamp
+          // departure run is drained out of the calendar into a scratch
+          // batch first (ties are contiguous at the ladder's sorted bottom
+          // tier), then settled under one begin/end_release_batch bracket:
+          // the per-rack aggregate/index refresh is deferred and
+          // deduplicated across the run, box ledgers / cluster totals /
+          // circuits settle per event, and the time-weighted signals are
+          // sampled once per window -- bit-identical to per-event
+          // sampling, because equal-time samples add zero area and
+          // releases only lower utilization, so they can never set a peak
+          // (timeline runs keep per-event samples: the exported series is
+          // observable output).  No placement can interleave: equal-time
+          // arrivals were all consumed before this event (arrivals win
+          // every (time, seq) tie), and any other injected kind ends the
+          // run since events leave the calendar in (time, seq) order.
+          // One span for the whole window (drain + settle): batches are
+          // usually singletons, so a second TSC pair per batch would cost
+          // more than the drain it measures.  The drained pops are cursor
+          // bumps off the already-surfaced bottom tier; the Calendar phase
+          // attributes the main-loop pop, where surfacing actually runs.
+          prof.begin(phase_slot(Phase::Settlement));
+          batch_scratch_.clear();
+          batch_scratch_.push_back(e);
+          while (!events_.empty() && events_.next_time() == now &&
+                 events_.top().payload.kind == LifecycleKind::Departure) {
+            batch_scratch_.push_back(events_.pop());
+          }
           cluster_->begin_release_batch();
-          for (;;) {
-            ++executed;
-            allocator_->release_batched(slot_pool_[st->slot]);
-            free_slots_.push_back(st->slot);
-            --live_count;
-            if (timeline_ != nullptr) holding_power_w -= st->holding_power;
-            // The departure is the VM's final event: erase its record
-            // (erase relocates neighbors, so `st` dies here).
-            vms_.erase(vm_index);
-            st = nullptr;
-            sample_signals(now);
-            record_timeline(now);
-
-            bool more = false;
-            while (!events_.empty() && events_.next_time() == now &&
-                   events_.top().payload.kind == LifecycleKind::Departure) {
-              const auto d = events_.pop();
-              const std::uint32_t cand = d.payload.subject;
-              VmState* cst = vms_.find(cand);
-              if (cst == nullptr || !cst->live ||
-                  (lifecycle && d.payload.epoch != cst->epoch)) {
-                if (!lifecycle) {
-                  throw std::logic_error(
-                      "Engine: departure for unknown placement");
-                }
-                continue;  // tombstone inside the batch
+          for (const auto& d : batch_scratch_) {
+            const std::uint32_t vm_index = d.payload.subject;
+            VmState* dst = vms_.find(vm_index);
+            if (dst == nullptr || !dst->live ||
+                (lifecycle && d.payload.epoch != dst->epoch)) {
+              if (!lifecycle) {
+                throw std::logic_error(
+                    "Engine: departure for unknown placement");
               }
-              vm_index = cand;
-              st = cst;
-              more = true;
-              break;
+              continue;  // tombstone inside the window
             }
-            if (!more) break;
+            ++executed;
+            allocator_->release_batched(slot_pool_[dst->slot]);
+            free_slots_.push_back(dst->slot);
+            --live_count;
+            if (timeline_ != nullptr) {
+              holding_power_w -= dst->holding_power;
+              sample_signals(now);
+              record_timeline(now);
+            }
+            // The departure is the VM's final event: erase its record
+            // (erase relocates neighbors, so `dst` dies here).
+            vms_.erase(vm_index);
           }
           cluster_->end_release_batch();
+          if (timeline_ == nullptr) sample_signals(now);
+          prof.end();
           break;
         }
         case LifecycleKind::BoxFail:
@@ -1244,9 +1325,13 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
           now = e.time;
           note_time(now);
           ++executed;
-          execute_action(e.payload.subject,
-                         e.payload.kind == LifecycleKind::BoxFail ||
-                             e.payload.kind == LifecycleKind::LinkFail);
+          {
+            const ScopedCycleSpan<PhaseTimer> span(
+                prof, phase_slot(Phase::Settlement));
+            execute_action(e.payload.subject,
+                           e.payload.kind == LifecycleKind::BoxFail ||
+                               e.payload.kind == LifecycleKind::LinkFail);
+          }
           break;
         }
         case LifecycleKind::Migrate: {
@@ -1262,7 +1347,11 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
           now = e.time;
           note_time(now);
           ++executed;
-          run_migration_sweep();
+          {
+            const ScopedCycleSpan<PhaseTimer> span(
+                prof, phase_slot(Phase::Settlement));
+            run_migration_sweep();
+          }
           if (migration_budget > 0 &&
               (ring_pos < ring_len || live_count > 0 || pending_retries > 0)) {
             events_.push(now + mig.period_tu,
@@ -1352,6 +1441,7 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
       run_ticks > 0 ? m.sim_wall_seconds / static_cast<double>(run_ticks) : 0.0;
   m.scheduler_exec_seconds =
       static_cast<double>(sched_ticks) * seconds_per_tick;
+  if (prof.enabled()) profile_from_ticks(m.profile, prof, seconds_per_tick);
   const double ns_per_tick = seconds_per_tick * 1e9;
   if (latency_sink_ != nullptr) {
     for (std::size_t i = latency_base; i < latency_sink_->size(); ++i) {

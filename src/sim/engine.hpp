@@ -26,8 +26,10 @@
 // The event loop is typed and allocation-free in steady state (DESIGN.md
 // §7-§8): arrivals are PULLED in chunks from a wl::ArrivalSource (DESIGN.md
 // §11) while every *injected* event -- departures, scripted faults/repairs,
-// retries -- lives in one 4-ary POD min-heap of des::LifecycleEvent, and
-// the two streams are merged on (time, seq).  Arrivals carry seq 0..N-1
+// retries -- lives in one O(1)-amortized ladder-queue calendar of POD
+// des::LifecycleEvent entries (des::LadderCalendar, DESIGN.md §12; pop
+// order provably identical to the reference 4-ary heap's (time, seq)
+// order), and the two streams are merged on (time, seq).  Arrivals carry seq 0..N-1
 // (their workload index) and injected events number from N, which preserves
 // the historical closure-calendar FIFO order exactly: with an empty
 // FaultPlan the metrics are bit-identical to the generic des::Simulator
@@ -51,7 +53,7 @@
 #include "common/u32_map.hpp"
 #include "core/allocator.hpp"
 #include "core/registry.hpp"
-#include "des/calendar.hpp"
+#include "des/ladder_calendar.hpp"
 #include "des/lifecycle.hpp"
 #include "network/circuit.hpp"
 #include "photonics/power_ledger.hpp"
@@ -182,6 +184,14 @@ class Engine {
     latency_hist_ = sink;
   }
 
+  /// Per-run phase attribution (sim/phase_profiler.hpp): when enabled, the
+  /// engine brackets its event-loop phases with cycle-clock spans and
+  /// fills SimMetrics::profile (seconds per phase, exclusive nesting, sum
+  /// <= sim_wall_seconds).  Off by default: disabled hooks cost one
+  /// predictable branch each.  Sticky across runs until changed.
+  void set_profiling(bool on) noexcept { profiling_ = on; }
+  [[nodiscard]] bool profiling() const noexcept { return profiling_; }
+
   // Component access for tests and examples.
   [[nodiscard]] topo::Cluster& cluster() noexcept { return *cluster_; }
   [[nodiscard]] net::Fabric& fabric() noexcept { return *fabric_; }
@@ -209,6 +219,7 @@ class Engine {
   Timeline* timeline_ = nullptr;
   std::vector<double>* latency_sink_ = nullptr;
   Log2Histogram* latency_hist_ = nullptr;
+  bool profiling_ = false;  ///< fill SimMetrics::profile on each run
   const FaultPlan* fault_plan_ = nullptr;  ///< non-owning per-run override
   const MigrationPlan* migration_plan_ = nullptr;  ///< same, migration axis
 
@@ -219,7 +230,11 @@ class Engine {
   /// numbering starts at the source's size hint each run (arrivals own
   /// seq 0..N-1; an unknown hint of 0 is behaviorally identical because
   /// arrivals win every merge tie structurally -- DESIGN.md §11).
-  des::BasicCalendar<des::LifecycleEvent, 4> events_;
+  /// A ladder queue since PR 8: O(1) amortized push/pop with the exact
+  /// (time, seq) pop order of the reference BasicCalendar heap, pinned by
+  /// the differential tests in tests/test_ladder_calendar.cpp (DESIGN.md
+  /// §12).
+  des::LadderCalendar<des::LifecycleEvent> events_;
 
   /// Per-VM state, keyed by workload index.  A record is created when a VM
   /// is admitted (or first requeued) and erased at its final event
@@ -259,6 +274,11 @@ class Engine {
   /// so victim scans and checkpoint serialization collect VM indices here
   /// and sort ascending before acting (the historical scan order).
   std::vector<std::uint32_t> scan_scratch_;
+
+  /// Settlement-window scratch: the full equal-time departure run is
+  /// drained out of the calendar here first, then settled as one batch
+  /// inside a single begin/end_release_batch bracket (DESIGN.md §12).
+  std::vector<des::LadderCalendar<des::LifecycleEvent>::Entry> batch_scratch_;
 
   // --- Lifecycle state, sized only when the run's FaultPlan is nonempty --
   /// Admission-count-triggered action indices, sorted by threshold.

@@ -9,6 +9,7 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "photonics/power_ledger.hpp"
+#include "sim/phase_profiler.hpp"
 
 namespace risa::sim {
 
@@ -118,6 +119,12 @@ struct SimMetrics {
 
   // Simulated horizon (last event time), time units.
   double horizon_tu = 0.0;
+
+  // Phase-attributed wall-time breakdown (sim/phase_profiler.hpp), filled
+  // only when the run enabled profiling (Engine::set_profiling).
+  // Wall-clock measurement like sim_wall_seconds: never fingerprinted,
+  // never checkpointed.
+  PhaseProfile profile{};
 };
 
 }  // namespace risa::sim

@@ -295,6 +295,18 @@ const CellField kCellFields[] = {
          k == "fault_plan" || k == "migration_plan";
 }
 
+/// Render a recorded PhaseProfile as a JSON object keyed by phase name
+/// (sim/phase_profiler.hpp); the shared shape for sweep_json and
+/// scheduler_bench_json `profile` blocks.
+void append_profile_json(std::ostringstream& os, const PhaseProfile& p) {
+  os << "\"profile\": {";
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    if (i > 0) os << ", ";
+    os << '"' << kPhaseNames[i] << "\": " << strformat("%.6f", p.seconds[i]);
+  }
+  os << "}";
+}
+
 }  // namespace
 
 std::string sweep_json(const std::string& benchmark,
@@ -313,6 +325,12 @@ std::string sweep_json(const std::string& benchmark,
       } else {
         os << f.render(results[i]);
       }
+    }
+    // Phase attribution rides along only when the sweep asked for it
+    // (SweepSpec::record_profile), so existing documents are unchanged.
+    if (results[i].metrics.profile.recorded) {
+      os << ", ";
+      append_profile_json(os, results[i].metrics.profile);
     }
     os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
@@ -389,6 +407,7 @@ std::vector<SchedulerBenchEntry> scheduler_bench_entries(
             : 0.0;
     e.sim_s = r.metrics.sim_wall_seconds;
     e.events_per_sec = r.metrics.events_per_sec();
+    e.profile = r.metrics.profile;
     if (!r.latency_ns.empty()) {
       // Log-scale bins: resolution is relative (~1/16 of an octave), so the
       // percentiles stay meaningful no matter how many samples pile into
@@ -425,6 +444,10 @@ std::string scheduler_bench_json(const std::string& benchmark,
     }
     if (e.peak_rss_mb >= 0.0) {
       os << ", \"peak_rss_mb\": " << strformat("%.1f", e.peak_rss_mb);
+    }
+    if (e.profile.recorded) {
+      os << ", ";
+      append_profile_json(os, e.profile);
     }
     os << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
   }

@@ -100,6 +100,9 @@ struct SchedulerBenchEntry {
   /// <0 = not recorded (materialized rows).
   double source_s = -1.0;
   double peak_rss_mb = -1.0;        ///< VmHWM when measured; <0 = not recorded
+  /// Phase-attributed wall-time breakdown (sim/phase_profiler.hpp), emitted
+  /// as a `profile` block when the run enabled profiling.
+  PhaseProfile profile{};
 };
 
 /// Distill baseline entries from a latency-recording sweep (the unified

@@ -196,6 +196,7 @@ std::vector<SweepResult> SweepRunner::run(const SweepSpec& spec) const {
                                    ? nullptr
                                    : &spec.migration_plans[g].second);
     engine->set_timeline(spec.record_timeline ? &r.timeline : nullptr);
+    engine->set_profiling(spec.record_profile);
     const bool stream_cell = spec.streaming && spec.workloads[w].make_source;
     if (spec.record_latency) {
       if (!stream_cell) {

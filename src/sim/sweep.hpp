@@ -90,6 +90,12 @@ struct SweepSpec {
   std::vector<std::pair<std::string, MigrationPlan>> migration_plans;
   bool record_timeline = false;  ///< fill SweepResult::timeline per cell
   bool record_latency = false;   ///< fill SweepResult::latency_ns per cell
+  /// Enable the phase-attributed profiler (sim/phase_profiler.hpp) for
+  /// every cell: SimMetrics::profile reports where each run's wall time
+  /// went.  Wall-clock measurement only -- cell results stay bit-identical
+  /// with it on or off (the profile is excluded from metrics_fingerprint
+  /// like scheduler_exec_seconds).
+  bool record_profile = false;
   /// Run cells through Engine::run_stream using each workload's
   /// make_source factory (bounded RSS: no (workload, seed) pair is
   /// materialized).  Streaming runs are bit-identical to materialized ones

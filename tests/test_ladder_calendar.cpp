@@ -1,0 +1,271 @@
+// LadderCalendar (des/ladder_calendar.hpp): the engine's O(1)-amortized
+// event calendar must pop in *exactly* the (time, seq) order of the
+// reference BasicCalendar heap -- the differential tests here pin the
+// order-identity argument of DESIGN.md §12 -- plus checkpoint round-trips
+// with entries resident in every tier, and the phase-attributed profiler's
+// accounting bounds.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "des/calendar.hpp"
+#include "des/ladder_calendar.hpp"
+#include "sim/engine.hpp"
+#include "sim/experiments.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
+#include "workload/synthetic.hpp"
+
+namespace risa {
+namespace {
+
+using Heap = des::BasicCalendar<std::uint32_t, 4>;
+using Ladder = des::LadderCalendar<std::uint32_t>;
+
+/// Drive the heap and the ladder through one identical interleaved
+/// push/pop schedule and demand bit-identical pop streams.  `next_delta`
+/// yields the next push's offset from the last popped time (the engine's
+/// no-past-scheduling contract: every push lands at now + delta, delta >=
+/// 0).  Pops interleave with pushes so the ladder exercises mid-drain
+/// routing (pushes below top_start_ landing in live rungs and in bottom).
+template <typename DeltaFn>
+void expect_differential_identical(DeltaFn next_delta, int rounds,
+                                   int pushes_per_round, Rng& rng,
+                                   Heap& heap, Ladder& ladder) {
+  double now = 0.0;
+  std::uint32_t id = 0;
+  auto pop_both = [&] {
+    const auto h = heap.pop();
+    const auto l = ladder.pop();
+    ASSERT_EQ(l.time, h.time);
+    ASSERT_EQ(l.seq, h.seq);
+    ASSERT_EQ(l.payload, h.payload);
+    now = h.time;
+  };
+  for (int round = 0; round < rounds; ++round) {
+    for (int i = 0; i < pushes_per_round; ++i) {
+      const double t = now + next_delta();
+      heap.push(t, id);
+      ladder.push(t, id);
+      ++id;
+    }
+    const int drain = static_cast<int>(rng.uniform_int(0, 6));
+    for (int i = 0; i < drain && !heap.empty(); ++i) pop_both();
+    ASSERT_EQ(ladder.size(), heap.size());
+  }
+  while (!heap.empty()) pop_both();
+  EXPECT_TRUE(ladder.empty());
+  EXPECT_EQ(ladder.scheduled_total(), heap.scheduled_total());
+}
+
+TEST(LadderCalendar, ChurnyUniformMatchesHeap) {
+  Rng rng(101);
+  Heap heap;
+  Ladder ladder;
+  Rng deltas(7);
+  expect_differential_identical(
+      [&] { return static_cast<double>(deltas.uniform_int(0, 50)); },
+      /*rounds=*/400, /*pushes_per_round=*/8, rng, heap, ladder);
+}
+
+TEST(LadderCalendar, TieStormsMatchHeapFifo) {
+  // Integer deltas with a heavy mass at zero: long equal-time runs that
+  // must pop FIFO by seq, including runs larger than any bucket/bottom
+  // threshold (a tie storm cannot be split by a finer rung width).
+  Rng rng(202);
+  Heap heap;
+  Ladder ladder;
+  Rng deltas(13);
+  expect_differential_identical(
+      [&] {
+        return deltas.uniform_int(0, 9) < 7
+                   ? 0.0
+                   : static_cast<double>(deltas.uniform_int(1, 4));
+      },
+      /*rounds=*/200, /*pushes_per_round=*/16, rng, heap, ladder);
+}
+
+TEST(LadderCalendar, BimodalHoldTimesMatchHeap) {
+  // The engine's real shape: most departures land near now (short holds),
+  // a tail lands epochs away (long holds), so pushes straddle every tier.
+  Rng rng(303);
+  Heap heap;
+  Ladder ladder;
+  Rng deltas(17);
+  expect_differential_identical(
+      [&] {
+        return deltas.uniform_int(0, 9) < 8
+                   ? static_cast<double>(deltas.uniform_int(0, 30))
+                   : static_cast<double>(deltas.uniform_int(5'000, 20'000));
+      },
+      /*rounds=*/300, /*pushes_per_round=*/12, rng, heap, ladder);
+}
+
+TEST(LadderCalendar, FractionalTimesMatchHeap) {
+  // Continuous times (no manufactured ties): exercises the floating-point
+  // bucket-index routing over irregular spans.
+  Rng rng(404);
+  Heap heap;
+  Ladder ladder;
+  Rng deltas(29);
+  expect_differential_identical(
+      [&] { return deltas.uniform(0.0, 37.5); },
+      /*rounds=*/400, /*pushes_per_round=*/8, rng, heap, ladder);
+}
+
+TEST(LadderCalendar, ResetAndReuseMatchesHeap) {
+  // The engine-reuse path: a drained calendar is reset (with a nonzero
+  // first_seq, like the departure calendar seeded at the arrival count)
+  // and must behave exactly like a fresh one, schedule after schedule.
+  Rng rng(505);
+  Heap heap;
+  Ladder ladder;
+  for (std::uint64_t round = 0; round < 4; ++round) {
+    const std::uint64_t first_seq = round * 10'000;
+    heap.reset(first_seq);
+    ladder.reset(first_seq);
+    Rng deltas(31 + round);
+    expect_differential_identical(
+        [&] { return static_cast<double>(deltas.uniform_int(0, 25)); },
+        /*rounds=*/120, /*pushes_per_round=*/10, rng, heap, ladder);
+  }
+}
+
+TEST(LadderCalendar, SortedEntriesIsAscendingAndCoversEveryTier) {
+  // Build a calendar with entries provably resident in all three tiers:
+  // 500 spread entries + one pop forces a surface (spawns a rung and fills
+  // bottom: 500 > the bottom threshold); pushes below top_start_ then land
+  // in rung buckets or bottom, and pushes at/after top_start_ land in the
+  // reopened top epoch.
+  Rng rng(606);
+  Ladder ladder;
+  std::uint32_t id = 0;
+  for (int i = 0; i < 500; ++i) {
+    ladder.push(rng.uniform(0.0, 1000.0), id++);
+  }
+  const auto first = ladder.pop();  // surfaces: bottom + rungs live
+  ladder.push(first.time + 1.0, id++);      // below top_start_: rung/bottom
+  ladder.push(first.time + 2000.0, id++);   // at/after top_start_: top epoch
+  const auto entries = ladder.sorted_entries();
+  ASSERT_EQ(entries.size(), ladder.size());
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    const bool ascending =
+        entries[i - 1].time < entries[i].time ||
+        (entries[i - 1].time == entries[i].time &&
+         entries[i - 1].seq < entries[i].seq);
+    ASSERT_TRUE(ascending) << "entry " << i << " out of order";
+  }
+
+  // Round-trip: a fresh ladder restored from the snapshot must continue
+  // exactly like the original, including pushes made after the restore.
+  Ladder restored;
+  restored.restore(entries, ladder.scheduled_total());
+  EXPECT_EQ(restored.size(), ladder.size());
+  double now = first.time;
+  Rng deltas(37);
+  while (!ladder.empty()) {
+    if (deltas.uniform_int(0, 3) == 0) {
+      const double t = now + static_cast<double>(deltas.uniform_int(0, 500));
+      ladder.push(t, id);
+      restored.push(t, id);
+      ++id;
+    }
+    const auto a = ladder.pop();
+    const auto b = restored.pop();
+    ASSERT_EQ(b.time, a.time);
+    ASSERT_EQ(b.seq, a.seq);
+    ASSERT_EQ(b.payload, a.payload);
+    now = a.time;
+  }
+  EXPECT_TRUE(restored.empty());
+}
+
+TEST(LadderCalendar, RestoresV1HeapArrayBitIdentically) {
+  // Back-compat: a v1 checkpoint serialized BasicCalendar's raw heap
+  // array.  restore() must accept that order (it reloads any permutation
+  // as a fresh pushed-everything-popped-nothing top epoch) and continue
+  // with the identical pop stream.
+  Rng rng(707);
+  Heap heap;
+  std::uint32_t id = 0;
+  for (int i = 0; i < 300; ++i) {
+    heap.push(static_cast<double>(rng.uniform_int(0, 120)), id++);
+  }
+  Ladder ladder;
+  std::vector<Ladder::Entry> v1;
+  v1.reserve(heap.entries().size());
+  for (const Heap::Entry& e : heap.entries()) {
+    v1.push_back(Ladder::Entry{e.time, e.seq, e.payload});
+  }
+  ladder.restore(std::move(v1), heap.scheduled_total());
+  double now = 0.0;
+  Rng deltas(41);
+  while (!heap.empty()) {
+    if (deltas.uniform_int(0, 2) == 0) {
+      const double t = now + static_cast<double>(deltas.uniform_int(0, 60));
+      heap.push(t, id);
+      ladder.push(t, id);
+      ++id;
+    }
+    const auto h = heap.pop();
+    const auto l = ladder.pop();
+    ASSERT_EQ(l.time, h.time);
+    ASSERT_EQ(l.seq, h.seq);
+    ASSERT_EQ(l.payload, h.payload);
+    now = h.time;
+  }
+  EXPECT_TRUE(ladder.empty());
+}
+
+// Ladder::Entry and Heap::Entry must stay layout-compatible: the engine's
+// checkpoint reader deserializes either generation's array into
+// decltype(events_)::Entry fields.
+static_assert(sizeof(Ladder::Entry) == sizeof(Heap::Entry));
+
+// --- Phase-attributed profiler (sim/phase_profiler.hpp) ----------------------
+
+TEST(PhaseProfiler, RecordedPhasesAreNonNegativeAndBoundedByWall) {
+  wl::SyntheticConfig cfg;
+  cfg.count = 4000;
+  wl::SyntheticStreamSource source(cfg, sim::kDefaultSeed);
+  sim::Engine engine(sim::Scenario::paper_defaults(), "RISA");
+  engine.set_profiling(true);
+  const sim::SimMetrics m = engine.run_stream(source, "profiled");
+  ASSERT_TRUE(m.profile.recorded);
+  for (std::size_t p = 0; p < sim::kNumPhases; ++p) {
+    EXPECT_GE(m.profile.seconds[p], 0.0) << sim::kPhaseNames[p];
+  }
+  // The spans are exclusive under nesting, so their sum can never exceed
+  // the wall clock that brackets them (small epsilon for the calibration's
+  // two distinct clock reads).
+  EXPECT_LE(m.profile.total(), m.sim_wall_seconds * 1.001);
+  // A 4000-VM run spends real time placing and pulling arrivals.
+  EXPECT_GT(m.profile[sim::Phase::Placement], 0.0);
+  EXPECT_GT(m.profile[sim::Phase::SourcePull], 0.0);
+}
+
+TEST(PhaseProfiler, DisabledRunRecordsNothingAndMetricsMatch) {
+  wl::SyntheticConfig cfg;
+  cfg.count = 4000;
+  sim::Engine engine(sim::Scenario::paper_defaults(), "RISA");
+
+  wl::SyntheticStreamSource plain_src(cfg, sim::kDefaultSeed);
+  const sim::SimMetrics plain = engine.run_stream(plain_src, "w");
+  EXPECT_FALSE(plain.profile.recorded);
+  EXPECT_EQ(plain.profile.total(), 0.0);
+
+  engine.set_profiling(true);
+  wl::SyntheticStreamSource profiled_src(cfg, sim::kDefaultSeed);
+  const sim::SimMetrics profiled = engine.run_stream(profiled_src, "w");
+  EXPECT_TRUE(profiled.profile.recorded);
+
+  // Profiling is measurement, not simulation: every deterministic output
+  // is bit-identical with it on or off.
+  EXPECT_EQ(sim::metrics_fingerprint(plain), sim::metrics_fingerprint(profiled));
+}
+
+}  // namespace
+}  // namespace risa
