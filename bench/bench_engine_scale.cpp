@@ -48,6 +48,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <map>
 #include <stdexcept>
 #include <string>
@@ -171,6 +172,108 @@ std::int64_t consume_i64_flag(int& argc, char** argv, std::string_view name,
   return absent;
 }
 
+/// Consume `--baseline[=PATH]` (same contract as consume_emit_json_flag):
+/// the committed JSON to diff profiled rows against.  Bare form and absence
+/// both mean the committed default -- the diff is best-effort and prints
+/// nothing when the file is missing.
+std::string consume_baseline_flag(int& argc, char** argv) {
+  std::string path = "BENCH_engine.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.rfind("--baseline", 0) != 0) continue;
+    const std::string_view rest = arg.substr(10);
+    if (!rest.empty() && rest[0] != '=') continue;
+    if (!rest.empty()) path.assign(rest.substr(1));
+    for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+    --argc;
+    break;
+  }
+  return path;
+}
+
+/// One committed row's wall-clock figures, hand-extracted from the pretty-
+/// printed baseline JSON (one key per line; see write_scheduler_bench_json).
+struct BaselineRow {
+  bool found = false;
+  double sim_s = 0.0;
+  double events_per_sec = 0.0;
+  std::array<double, risa::sim::kNumPhases> phase_s{};
+  std::array<bool, risa::sim::kNumPhases> phase_present{};
+};
+
+/// First number after `"key":` within `region`, or `fallback`.
+double extract_number(std::string_view region, const std::string& key,
+                      double fallback) {
+  const std::size_t at = region.find("\"" + key + "\":");
+  if (at == std::string_view::npos) return fallback;
+  return std::atof(region.data() + at + key.size() + 3);
+}
+
+/// Find the (workload, algorithm) entry in the committed baseline.  The
+/// emitter writes entries workload-outer/algorithm-inner with one
+/// "workload" key each, so entry regions are delimited by that key.
+BaselineRow find_baseline_row(const std::string& json,
+                              const std::string& workload,
+                              const std::string& algo) {
+  BaselineRow row;
+  const std::string workload_key = "\"workload\": \"" + workload + "\"";
+  const std::string algo_key = "\"algorithm\": \"" + algo + "\"";
+  std::size_t at = 0;
+  while ((at = json.find(workload_key, at)) != std::string::npos) {
+    std::size_t end = json.find("\"workload\"", at + workload_key.size());
+    if (end == std::string::npos) end = json.size();
+    const std::string_view region(json.data() + at, end - at);
+    at = end;
+    if (region.find(algo_key) == std::string_view::npos) continue;
+    row.found = true;
+    row.sim_s = extract_number(region, "sim_s", 0.0);
+    row.events_per_sec = extract_number(region, "events_per_sec", 0.0);
+    const std::size_t prof = region.find("\"profile\"");
+    if (prof != std::string_view::npos) {
+      const std::string_view prof_region = region.substr(prof);
+      for (std::size_t p = 0; p < risa::sim::kNumPhases; ++p) {
+        const std::string name(risa::sim::kPhaseNames[p]);
+        row.phase_present[p] =
+            prof_region.find("\"" + name + "\":") != std::string_view::npos;
+        if (row.phase_present[p]) {
+          row.phase_s[p] = extract_number(prof_region, name, 0.0);
+        }
+      }
+    }
+    return row;
+  }
+  return row;
+}
+
+/// The --profile rider: per-phase wall-time delta of a freshly measured
+/// row against the committed baseline, so a perf PR's attribution shift is
+/// visible in the bench output itself (phases the baseline predates --
+/// e.g. `merge` before §13 -- are marked "new").
+void print_profile_delta(const risa::sim::SchedulerBenchEntry& e,
+                         const std::string& baseline_json,
+                         const std::string& baseline_path) {
+  const BaselineRow base =
+      find_baseline_row(baseline_json, e.workload, e.algorithm);
+  if (!base.found) return;
+  std::cout << "  delta vs " << baseline_path << ":";
+  for (std::size_t p = 0; p < risa::sim::kNumPhases; ++p) {
+    std::cout << " " << risa::sim::kPhaseNames[p] << "=";
+    if (base.phase_present[p]) {
+      const double d = e.profile.seconds[p] - base.phase_s[p];
+      std::cout << (d >= 0.0 ? "+" : "") << d;
+    } else {
+      std::cout << "+" << e.profile.seconds[p] << "(new)";
+    }
+  }
+  std::cout << " | sim_s " << base.sim_s << "->" << e.sim_s;
+  if (base.events_per_sec > 0.0) {
+    const double pct =
+        100.0 * (e.events_per_sec / base.events_per_sec - 1.0);
+    std::cout << " events_per_sec " << (pct >= 0.0 ? "+" : "") << pct << "%";
+  }
+  std::cout << "\n";
+}
+
 /// Process-wide peak resident set (VmHWM) in MB, or -1 when unreadable.
 /// Monotone over the process lifetime -- which is exactly why the streaming
 /// rows run before anything materializes a workload.
@@ -264,7 +367,8 @@ risa::sim::SchedulerBenchEntry run_streaming_row(const std::string& algo,
 /// headline `big_count` row, per algorithm (workload outer, algorithm
 /// inner, matching the baseline's row order).
 std::vector<risa::sim::SchedulerBenchEntry> run_streaming_rows(
-    std::size_t big_count, bool profile) {
+    std::size_t big_count, bool profile, const std::string& baseline_json,
+    const std::string& baseline_path) {
   std::vector<risa::sim::SchedulerBenchEntry> rows;
   std::vector<std::size_t> counts = {500'000};
   if (big_count != 500'000) counts.push_back(big_count);
@@ -291,6 +395,9 @@ std::vector<risa::sim::SchedulerBenchEntry> run_streaming_rows(
         }
         std::cout << " (sum=" << e.profile.total() << " of sim_s=" << e.sim_s
                   << ")\n";
+        if (!baseline_json.empty()) {
+          print_profile_delta(e, baseline_json, baseline_path);
+        }
       }
     }
   }
@@ -311,13 +418,26 @@ int main(int argc, char** argv) {
   const bool profile = consume_i64_flag(argc, argv, "--profile", 0, 1) != 0;
   const std::int64_t events_floor =
       consume_i64_flag(argc, argv, "--events_floor", -1, -1);
+  const std::string baseline_path = consume_baseline_flag(argc, argv);
+
+  // Load the committed baseline once for the --profile delta rider; a
+  // missing file just disables the diff (fresh clones, renamed baselines).
+  std::string baseline_json;
+  if (profile) {
+    std::ifstream in(baseline_path);
+    if (in.good()) {
+      baseline_json.assign(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+    }
+  }
 
   // Streaming rows first: VmHWM is process-wide and monotone, so they must
   // run before the interactive grid / baseline sweep materializes anything.
   std::vector<risa::sim::SchedulerBenchEntry> streaming_rows;
   if (streaming_count > 0) {
-    streaming_rows = run_streaming_rows(static_cast<std::size_t>(streaming_count),
-                                        profile);
+    streaming_rows = run_streaming_rows(
+        static_cast<std::size_t>(streaming_count), profile, baseline_json,
+        baseline_path);
     const double peak = read_peak_rss_mb();
     if (rss_limit_mb > 0 && !(peak >= 0.0 && peak <= static_cast<double>(rss_limit_mb))) {
       std::cerr << "bench_engine_scale: streaming peak RSS " << peak
@@ -328,6 +448,12 @@ int main(int argc, char** argv) {
       // CI smoke contract: a recorded profile with any negative phase or a
       // phase sum past the measured wall time means the span accounting
       // broke (the spans are exclusive, so sum <= sim_s by construction).
+      // On the headline rows the sum must also cover >= 90% of sim_s with
+      // the merge phase present -- the honest-attribution floor: §13's
+      // Merge span exists precisely so the loop's residual scaffolding is
+      // measured instead of vanishing into the sum-vs-wall gap.
+      const std::string headline =
+          scale_label(static_cast<std::size_t>(streaming_count)) + "-stream";
       for (const risa::sim::SchedulerBenchEntry& e : streaming_rows) {
         if (!e.profile.recorded) {
           std::cerr << "bench_engine_scale: --profile row missing profile\n";
@@ -342,6 +468,18 @@ int main(int argc, char** argv) {
         if (e.profile.total() > e.sim_s * 1.001) {
           std::cerr << "bench_engine_scale: profile sum " << e.profile.total()
                     << " exceeds sim_s " << e.sim_s << "\n";
+          return 1;
+        }
+        if (e.workload != headline) continue;
+        if (!(e.profile[risa::sim::Phase::Merge] > 0.0)) {
+          std::cerr << "bench_engine_scale: " << e.workload << " "
+                    << e.algorithm << " recorded no merge-phase time\n";
+          return 1;
+        }
+        if (e.profile.total() < 0.90 * e.sim_s) {
+          std::cerr << "bench_engine_scale: " << e.workload << " "
+                    << e.algorithm << " attributed only " << e.profile.total()
+                    << " of sim_s " << e.sim_s << " (< 90%)\n";
           return 1;
         }
       }

@@ -13,6 +13,16 @@
 // hash is a Fibonacci multiplier taking the top bits, which spreads the
 // dense sequential VM ids the workloads produce.
 //
+// REFERENCE STABILITY HAZARD: references and pointers into the table are
+// invalidated by find_or_insert (a growth rehash moves every *resident*
+// entry, not just the new one) and by erase (backward-shift deletion
+// relocates probe-cluster neighbors).  Callers that must hold a record
+// across insertions belong on common/slot_arena.hpp instead, whose
+// find_or_insert hands out slab-stable references -- the engine's per-VM
+// record table moved there for exactly this reason (DESIGN.md §13), and
+// tests/test_common_slot_arena.cpp asserts the arena's stability contract
+// differentially against this map.
+//
 // Key restriction: 0xFFFFFFFF is reserved as the empty-slot sentinel.
 #pragma once
 

@@ -4,6 +4,7 @@
 #include <array>
 #include <chrono>
 #include <istream>
+#include <limits>
 #include <span>
 #include <sstream>
 #include <stdexcept>
@@ -352,12 +353,23 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
   };
   std::size_t pending_retries = 0;
   // `vm` is passed in (not read from the record) because arrivals have no
-  // record yet; admit's failure path never touches the table, so a caller
-  // holding a record pointer stays valid across a failed attempt.
+  // record yet; record references stay valid across the whole call either
+  // way -- the SlotArena hands out slab-stable references, so even the
+  // success path's insert cannot move a resident record (self-assignment
+  // of a trivially copyable VmRequest through an aliasing `vm` is fine).
+  //
+  // The caller holds the Admission profiler span open: one span per
+  // admission window (or per retry attempt), not one per VM -- the span's
+  // two TSC reads amortize across the window (DESIGN.md §13).
+  //
+  // `defer_push` (plan-free windows only): the departure is staged in
+  // arrival_push_scratch_ instead of pushed, and the caller bulk-flushes
+  // at window close -- seq-identical because no other push interleaves.
+  // `defer_sample` (windows without a timeline): the signal sample is the
+  // caller's job, so equal-time admission runs sample once.
   auto admit = [&](std::uint32_t vm_index, const wl::VmRequest& vm,
-                   double expected) -> bool {
-    const ScopedCycleSpan<PhaseTimer> admission_span(
-        prof, phase_slot(Phase::Admission));
+                   double expected, bool defer_push,
+                   bool defer_sample) -> bool {
     // Placement attribution is free: the run times every try_place for
     // scheduler_exec_seconds anyway, so the same two reads are carved out
     // of the admission span instead of paying two more.
@@ -380,8 +392,8 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
     const std::uint32_t slot = acquire_slot();
     core::Placement& p = slot_pool_[slot];
     p = std::move(placed.value());
-    // find_or_insert may rehash even for a resident key, so the record
-    // reference is (re)taken here and nothing below re-enters the table.
+    // Arena insert: direct paged index, and the reference is slab-stable
+    // (a resident key's record never moves -- DESIGN.md §13).
     VmState& st = vms_.find_or_insert(vm_index);
     st.vm = vm;
     st.slot = slot;
@@ -429,8 +441,10 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
       st.holding_power = vm_power;
     }
 
-    sample_signals(now);
-    record_timeline(now);
+    if (!defer_sample) {
+      sample_signals(now);
+      record_timeline(now);
+    }
     std::uint32_t epoch = 0;
     if (lifecycle) {
       st.place_time = now;
@@ -440,8 +454,14 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
     // The push is the ladder's O(1) append path (DESIGN.md §12) -- cheaper
     // than a TSC pair, so it rides in `admission` too; the Calendar phase
     // attributes the dequeue side, where the surfacing work actually lives.
-    events_.push(now + expected,
-                 LifecycleEvent{LifecycleKind::Departure, vm_index, epoch});
+    if (defer_push) {
+      arrival_push_scratch_.emplace_back(
+          now + expected,
+          LifecycleEvent{LifecycleKind::Departure, vm_index, epoch});
+    } else {
+      events_.push(now + expected,
+                   LifecycleEvent{LifecycleKind::Departure, vm_index, epoch});
+    }
     return true;
   };
   // Inject admission-triggered fault actions whose threshold the latest
@@ -508,12 +528,12 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
     if (!retained) vms_.erase(vm_index);
   };
 
-  // Deterministic victim scan: the record table iterates in hash order, so
-  // live VM indices are collected and sorted ascending before any kill
-  // fires -- kills (and their requeues) then happen in exactly the
-  // historical dense-scan order.  kill_vm only mutates (or erases) the
-  // victim's own record, so collect-then-kill is equivalent to the old
-  // interleaved scan over 0..n.
+  // Deterministic victim scan: the record arena iterates in slot order
+  // (reuse-dependent), so live VM indices are collected and sorted
+  // ascending before any kill fires -- kills (and their requeues) then
+  // happen in exactly the historical dense-scan order.  kill_vm only
+  // mutates (or erases) the victim's own record, so collect-then-kill is
+  // equivalent to the old interleaved scan over 0..n.
   auto collect_live_sorted = [&] {
     scan_scratch_.clear();
     vms_.for_each([&](std::uint32_t idx, const VmState& st) {
@@ -713,7 +733,7 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
 
   // One defragmentation sweep at `now`: gather the spread live VMs whose
   // remaining hold outlasts their migration cost, rank them worst-first,
-  // and attempt up to the per-sweep budget.  Hash-order iteration is safe
+  // and attempt up to the per-sweep budget.  Slot-order iteration is safe
   // here: the live/spread counters are order-independent sums, candidate
   // keys are unique (the packed key embeds the VM index), and
   // rank_worst_spread totally orders them -- so the ranked sequence is
@@ -885,10 +905,12 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
       }
     }
 
-    // VM records in ascending index order (the table iterates in hash
+    // VM records in ascending index order (the arena iterates in slot
     // order); live records carry their placement and circuits, the latter
     // in establishment order so adopt() replays for_each_circuit_of
-    // identically.
+    // identically.  Ascending-index order is also what keeps format v1
+    // stable across the U32Map -> SlotArena move: the bytes depend only
+    // on the record set, never the container (DESIGN.md §13).
     scan_scratch_.clear();
     vms_.for_each([&](std::uint32_t idx, const VmState&) {
       scan_scratch_.push_back(idx);
@@ -1201,6 +1223,14 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
   // (time = arrival, seq = index) and the injected-event heap top; at
   // equal times the arrival's smaller seq wins, so the comparison reduces
   // to arrival_time <= injected_time.
+  //
+  // The whole loop runs under the Merge span: every other phase span nests
+  // inside it, and with exclusive attribution (CycleSpanStack) the Merge
+  // slot collects exactly the loop's residual scaffolding -- ring
+  // bookkeeping, the window condition, event dispatch -- which PR 8 left
+  // as the unattributed sum-vs-wall gap (DESIGN.md §13).
+  constexpr SimTime kNeverTime = std::numeric_limits<SimTime>::infinity();
+  prof.begin(phase_slot(Phase::Merge));
   while (true) {
     if (ring_pos >= ring_len && !source_done) {
       // Chunk boundary: every pulled arrival is fully settled, so this is
@@ -1214,38 +1244,106 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
     // ladder's real dequeue work (lazy tier surfacing) runs inside
     // next_time(), not inside the subsequent cursor-bump pop.
     prof.begin(phase_slot(Phase::Calendar));
+    SimTime limit = events_.empty() ? kNeverTime : events_.next_time();
     const bool take_arrival =
-        have_arrival &&
-        (events_.empty() ||
-         arrival_ring_[ring_pos].vm.arrival <= events_.next_time());
+        have_arrival && arrival_ring_[ring_pos].vm.arrival <= limit;
 
     if (take_arrival) {
       prof.end();
-      const wl::ArrivalItem& item = arrival_ring_[ring_pos++];
-      const std::uint32_t vm_index = item.index;
-      const wl::VmRequest& vm = item.vm;
-      now = vm.arrival;
-      if (lifecycle) note_time(now);
-      ++executed;
-      ++m.total_vms;
-
-      if (!admit(vm_index, vm, vm.lifetime)) {
-        bool queued = false;
-        if (lifecycle && plan.retry.max_attempts > 0) {
-          // First requeue of a never-admitted VM creates its record (the
-          // retry path needs the request after the ring moves on).
-          VmState& st = vms_.find_or_insert(vm_index);
-          st.vm = vm;
-          queued = requeue(vm_index, st);
-          if (!queued) vms_.erase(vm_index);
+      // ---- Admission window (DESIGN.md §13) --------------------------
+      // The maximal run of ring arrivals that sorts before the calendar
+      // head is admitted under one bracket: one Admission span, batched
+      // executed/total_vms counters, and the per-event branches hoisted
+      // to per-window checks.  `limit` makes the inner loop exact: it
+      // starts at the calendar head and is lowered by every push the
+      // window performs (a deferred departure at now+expected directly;
+      // any lifecycle push -- retry, trigger, departure -- by re-reading
+      // next_time()), so "arrival <= limit" is precisely the merge
+      // comparison the per-event loop would have made, ties included
+      // (arrivals win every equal-time tie structurally).  No injected
+      // event can execute inside a window, which is what licenses the
+      // hoists below:
+      //   - degraded: fault state only changes via events, so the
+      //     note_time() branch is per-window; when healthy, degraded_tu
+      //     accumulates nothing and last_event_t advances once at close.
+      //     When degraded, per-event note_time keeps the FP-exact
+      //     per-gap sum.
+      //   - defer_sample (no timeline attached): only admissions move
+      //     utilization inside a window and equal-time TWM samples add
+      //     zero area, so an equal-time admission run samples once, at
+      //     its last success -- value and area exact, and peak too
+      //     because utilization only rises across the run.  Samples at
+      //     distinct times still happen per event (the flush below runs
+      //     before the next placement can move utilization).
+      //   - defer_push (plan-free runs): departure pushes stage in
+      //     arrival_push_scratch_ and bulk-flush at window close with
+      //     identical seq assignment, since no retry/trigger push can
+      //     interleave without a plan.
+      const bool defer_push = admission_batching_ && !lifecycle;
+      const bool defer_sample = admission_batching_ && timeline_ == nullptr;
+      const bool degraded =
+          lifecycle && (cluster_->offline_box_count() > 0 ||
+                        fabric_->failed_link_count() > 0);
+      bool sample_pending = false;
+      SimTime sample_t = 0.0;
+      std::uint64_t window_events = 0;
+      if (defer_push) arrival_push_scratch_.clear();
+      prof.begin(phase_slot(Phase::Admission));
+      do {
+        const wl::ArrivalItem& item = arrival_ring_[ring_pos++];
+        const std::uint32_t vm_index = item.index;
+        now = item.vm.arrival;
+        if (degraded) note_time(now);
+        ++window_events;
+        if (sample_pending && now != sample_t) {
+          // Time advanced past a deferred equal-time sample: utilization
+          // has not moved since (only drops in between), so sampling the
+          // current state at sample_t is exact.
+          sample_signals(sample_t);
+          sample_pending = false;
         }
-        if (!queued) {
-          ++m.dropped;
-          count_drop();
+        if (admit(vm_index, item.vm, item.vm.lifetime, defer_push,
+                  defer_sample)) {
+          if (defer_sample) {
+            sample_pending = true;
+            sample_t = now;
+          }
+          if (defer_push) {
+            limit = std::min(limit, arrival_push_scratch_.back().first);
+          }
+          if (lifecycle) fire_admission_triggers();
+        } else {
+          bool queued = false;
+          if (lifecycle && plan.retry.max_attempts > 0) {
+            // First requeue of a never-admitted VM creates its record (the
+            // retry path needs the request after the ring moves on).
+            VmState& st = vms_.find_or_insert(vm_index);
+            st.vm = item.vm;
+            queued = requeue(vm_index, st);
+            if (!queued) vms_.erase(vm_index);
+          }
+          if (!queued) {
+            ++m.dropped;
+            count_drop();
+          }
         }
-        continue;
+        if (lifecycle) {
+          // Lifecycle pushes (retries, triggers, epoch-stamped
+          // departures) interleave with the window, so the head is
+          // re-read rather than tracked incrementally.
+          limit = events_.empty() ? kNeverTime : events_.next_time();
+        }
+        if (!admission_batching_) break;  // per-event reference mode
+      } while (ring_pos < ring_len &&
+               arrival_ring_[ring_pos].vm.arrival <= limit);
+      if (sample_pending) sample_signals(sample_t);
+      if (defer_push && !arrival_push_scratch_.empty()) {
+        events_.push_bulk(arrival_push_scratch_);
       }
-      if (lifecycle) fire_admission_triggers();
+      executed += window_events;
+      m.total_vms += window_events;
+      if (lifecycle && !degraded) last_event_t = now;
+      prof.end();
     } else {
       const auto e = events_.pop();
       prof.end();
@@ -1310,7 +1408,7 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
               record_timeline(now);
             }
             // The departure is the VM's final event: erase its record
-            // (erase relocates neighbors, so `dst` dies here).
+            // (the slot is recycled, so `dst` dies here).
             vms_.erase(vm_index);
           }
           cluster_->end_release_batch();
@@ -1370,12 +1468,18 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
           if (st == nullptr) {
             throw std::logic_error("Engine: retry for unknown VM");
           }
-          // Copied out of the record: a successful admit re-enters the
-          // table (find_or_insert may rehash) and invalidates `st`.
-          const wl::VmRequest vm = st->vm;
+          // `st` stays valid through the attempt either way: arena
+          // records are slab-stable, so a successful admit's re-insert of
+          // the same key cannot move it (DESIGN.md §13).
           const bool was_placed = st->ever_placed != 0;
-          const double expected = was_placed ? st->expected_hold : vm.lifetime;
-          if (admit(vm_index, vm, expected)) {
+          const double expected =
+              was_placed ? st->expected_hold : st->vm.lifetime;
+          prof.begin(phase_slot(Phase::Admission));
+          const bool readmitted = admit(vm_index, st->vm, expected,
+                                        /*defer_push=*/false,
+                                        /*defer_sample=*/false);
+          prof.end();
+          if (readmitted) {
             ++m.retry_placed;
             fire_admission_triggers();
           } else if (!requeue(vm_index, *st)) {
@@ -1396,6 +1500,7 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
       }
     }
   }
+  prof.end();  // Merge: the loop's residual scaffolding
 
   m.horizon_tu = now;
   if (m.horizon_tu <= 0.0) m.horizon_tu = 1.0;  // degenerate empty workload

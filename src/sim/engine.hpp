@@ -37,9 +37,11 @@
 // materialized run over the same requests.
 //
 // Memory is bounded by the live census, not the stream length: per-VM state
-// lives in a flat hash table of VmState records created at admission (or
-// first requeue) and erased at the VM's final event, so a 10M+-VM streaming
-// run holds only the resident VMs plus one refill chunk.
+// lives in a generation-stamped slot arena of VmState records created at
+// admission (or first requeue) and erased at the VM's final event, so a
+// 10M+-VM streaming run holds only the resident VMs plus one refill chunk
+// (the arena's paged directory recycles itself behind the sliding index
+// window -- DESIGN.md §13).
 #pragma once
 
 #include <cstdint>
@@ -47,10 +49,11 @@
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/histogram.hpp"
-#include "common/u32_map.hpp"
+#include "common/slot_arena.hpp"
 #include "core/allocator.hpp"
 #include "core/registry.hpp"
 #include "des/ladder_calendar.hpp"
@@ -192,6 +195,19 @@ class Engine {
   void set_profiling(bool on) noexcept { profiling_ = on; }
   [[nodiscard]] bool profiling() const noexcept { return profiling_; }
 
+  /// Admission windows (DESIGN.md §13): when enabled (the default), the
+  /// merge loop admits each maximal run of arrivals that sorts before the
+  /// calendar head under one bracket -- one profiler span, batched event
+  /// counters, same-timestamp signal samples coalesced, and (plan-free
+  /// runs) one bulk departure push per window.  Provably invisible: every
+  /// metric, fingerprint and checkpoint is bit-identical with windows on
+  /// or off.  The off switch exists for the differential tests that pin
+  /// that equivalence; sticky across runs until changed.
+  void set_admission_batching(bool on) noexcept { admission_batching_ = on; }
+  [[nodiscard]] bool admission_batching() const noexcept {
+    return admission_batching_;
+  }
+
   // Component access for tests and examples.
   [[nodiscard]] topo::Cluster& cluster() noexcept { return *cluster_; }
   [[nodiscard]] net::Fabric& fabric() noexcept { return *fabric_; }
@@ -220,6 +236,7 @@ class Engine {
   std::vector<double>* latency_sink_ = nullptr;
   Log2Histogram* latency_hist_ = nullptr;
   bool profiling_ = false;  ///< fill SimMetrics::profile on each run
+  bool admission_batching_ = true;  ///< admission windows (DESIGN.md §13)
   const FaultPlan* fault_plan_ = nullptr;  ///< non-owning per-run override
   const MigrationPlan* migration_plan_ = nullptr;  ///< same, migration axis
 
@@ -243,6 +260,13 @@ class Engine {
   /// never by the stream length.  Replaces the PR 3 workload-length dense
   /// vectors (live/slot/epoch/hold/attempt arrays), whose O(N) footprint
   /// and per-run O(N) clears were the last scaling wall to 10M+ VMs.
+  ///
+  /// A SlotArena since §13 (previously U32Map): every per-event lookup is
+  /// a direct paged index instead of a hash probe, and -- unlike the hash
+  /// table, whose find_or_insert could rehash *resident* records -- the
+  /// references it hands out are stable until the key is erased, which
+  /// retires the defensive copy-out/re-lookup dance the admission and
+  /// retry paths used to need.
   struct VmState {
     wl::VmRequest vm{};          ///< the request (streams are not replayable)
     std::uint32_t slot = 0;      ///< slot_pool_ index, meaningful iff live
@@ -254,7 +278,7 @@ class Engine {
     std::uint8_t live = 0;
     std::uint8_t ever_placed = 0;
   };
-  U32Map<VmState> vms_;
+  SlotArena<VmState> vms_;
 
   /// Live-placement slot pool.  A Placement is ~600 bytes, so sizing the
   /// table by workload length made run() O(N) in *memory* (3 GB at the
@@ -270,15 +294,23 @@ class Engine {
   /// are the checkpoint safe points.
   std::vector<wl::ArrivalItem> arrival_ring_;
 
-  /// Deterministic-scan scratch: the record table iterates in hash order,
-  /// so victim scans and checkpoint serialization collect VM indices here
-  /// and sort ascending before acting (the historical scan order).
+  /// Deterministic-scan scratch: the record arena iterates in slot order
+  /// (reuse-dependent), so victim scans and checkpoint serialization
+  /// collect VM indices here and sort ascending before acting (the
+  /// historical scan order).
   std::vector<std::uint32_t> scan_scratch_;
 
   /// Settlement-window scratch: the full equal-time departure run is
   /// drained out of the calendar here first, then settled as one batch
   /// inside a single begin/end_release_batch bracket (DESIGN.md §12).
   std::vector<des::LadderCalendar<des::LifecycleEvent>::Entry> batch_scratch_;
+
+  /// Admission-window scratch (DESIGN.md §13): on plan-free runs the
+  /// window's departure pushes are staged here and flushed as one
+  /// LadderCalendar::push_bulk when the window closes -- seq assignment is
+  /// identical because no other push can interleave (retries and triggers
+  /// need a nonempty plan).
+  std::vector<std::pair<SimTime, des::LifecycleEvent>> arrival_push_scratch_;
 
   // --- Lifecycle state, sized only when the run's FaultPlan is nonempty --
   /// Admission-count-triggered action indices, sorted by threshold.

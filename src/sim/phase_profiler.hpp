@@ -32,15 +32,16 @@ namespace risa::sim {
 /// The engine's instrumented event-loop phases.
 enum class Phase : std::size_t {
   SourcePull = 0,  ///< arrival intake: ArrivalSource::next_batch + validation
-  Admission,       ///< admit() bookkeeping: state updates, ledger charge, push
+  Admission,       ///< admission windows: try_place, state updates, ledger
   Placement,       ///< Allocator::try_place (carved; == scheduler_exec span)
-  Calendar,        ///< LadderCalendar dequeue: main-loop pop + tier surfacing
+  Calendar,        ///< LadderCalendar dequeue: merge query + tier surfacing
   Settlement,      ///< departure windows, fault kills, migration sweeps
   Ledger,          ///< PowerLedger lifecycle settlements (refunds, migrations)
   Checkpoint,      ///< checkpoint serialization + emit
+  Merge,           ///< merge-loop residual: ring bookkeeping, event dispatch
 };
 
-inline constexpr std::size_t kNumPhases = 7;
+inline constexpr std::size_t kNumPhases = 8;
 
 /// CycleSpanStack slot index for a phase.
 [[nodiscard]] inline constexpr std::size_t phase_slot(Phase p) noexcept {
@@ -49,7 +50,7 @@ inline constexpr std::size_t kNumPhases = 7;
 
 inline constexpr std::array<std::string_view, kNumPhases> kPhaseNames = {
     "source_pull", "admission",  "placement", "calendar",
-    "settlement",  "ledger",     "checkpoint"};
+    "settlement",  "ledger",     "checkpoint", "merge"};
 
 /// Per-phase wall seconds for one run.  `recorded` distinguishes "profiling
 /// was off" from an all-zero profile of a degenerate run.
@@ -68,8 +69,11 @@ struct PhaseProfile {
 };
 
 /// The engine's in-run accumulator: one slot per phase, nesting depth
-/// bounded by the deepest hook chain (settlement > calendar is depth 2;
-/// 8 leaves headroom).
+/// bounded by the deepest hook chain (merge > settlement > ledger is
+/// depth 3; 8 leaves headroom).  The Merge span wraps the whole event
+/// loop and every other span nests inside it, so with exclusive
+/// attribution Merge captures exactly the loop's residual scaffolding --
+/// the ring/dispatch bookkeeping that was unattributed before §13.
 using PhaseTimer = CycleSpanStack<kNumPhases, 8>;
 
 inline void profile_from_ticks(PhaseProfile& out, const PhaseTimer& timer,

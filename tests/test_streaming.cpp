@@ -448,6 +448,86 @@ TEST(StreamingCheckpoint, ResumeWithFaultsAndMigrations) {
   expect_resume_bit_identical(&faults, &migrations);
 }
 
+TEST(StreamingCheckpoint, PreArenaV1FixtureRestoresBitIdentically) {
+  // tests/data/prearena_v1.ckpt is a format-v1 "RSK1" checkpoint captured
+  // from the engine BEFORE the VM record table moved from U32Map to
+  // SlotArena (DESIGN.md §13), mid-run with boxes offline, a link down,
+  // retries pending, and migrations mid-schedule.  The arena swap must be
+  // checkpoint-transparent: serialization walks records in ascending-index
+  // order, so the bytes are container-independent both ways.  Resuming the
+  // committed file must reproduce the uninterrupted run's fingerprint --
+  // which is both re-derived live and pinned in the committed
+  // prearena_v1.fingerprint to catch drift in the run itself.
+  FaultPlan faults;
+  faults.seed = 5;
+  faults.retry.max_attempts = 2;
+  faults.retry.delay_tu = 3.0;
+  FaultAction fail;
+  fail.kind = FaultAction::Kind::Fail;
+  fail.at_time = 20000.0;
+  fail.random_boxes = 2;
+  faults.actions.push_back(fail);
+  FaultAction repair = fail;
+  repair.kind = FaultAction::Kind::Repair;
+  repair.at_time = 35000.0;
+  faults.actions.push_back(repair);
+  FaultAction link_fail;
+  link_fail.kind = FaultAction::Kind::LinkFail;
+  link_fail.at_time = 22000.0;
+  link_fail.random_links = 1;
+  faults.actions.push_back(link_fail);
+  FaultAction link_repair;
+  link_repair.kind = FaultAction::Kind::LinkRepair;
+  link_repair.at_time = 36000.0;
+  link_repair.random_links = 1;
+  faults.actions.push_back(link_repair);
+  faults.validate();
+
+  MigrationPlan migrations;
+  migrations.period_tu = 25.0;
+  migrations.per_sweep_budget = 4;
+  migrations.validate();
+
+  wl::SyntheticConfig cfg;
+  cfg.count = 4000;
+
+  // The uninterrupted run under today's engine.
+  Engine full_engine(Scenario::paper_defaults(), "RISA");
+  full_engine.set_fault_plan(&faults);
+  full_engine.set_migration_plan(&migrations);
+  wl::SyntheticStreamSource full_source(cfg, kDefaultSeed);
+  const SimMetrics full = full_engine.run_stream(full_source, "prearena");
+  const std::string want = metrics_fingerprint(full);
+
+  // The committed fingerprint pins the run configuration itself: if this
+  // fails, the engine's simulated behavior drifted (not the checkpoint).
+  std::ifstream fp_in(RISA_TEST_DATA_DIR "/prearena_v1.fingerprint");
+  ASSERT_TRUE(fp_in.good()) << "missing committed fingerprint fixture";
+  std::string committed;
+  std::getline(fp_in, committed);
+  ASSERT_EQ(want, committed);
+
+  // Resume the pre-arena bytes.
+  std::ifstream ckpt(RISA_TEST_DATA_DIR "/prearena_v1.ckpt",
+                     std::ios::binary);
+  ASSERT_TRUE(ckpt.good()) << "missing committed checkpoint fixture";
+  Engine resumed_engine(Scenario::paper_defaults(), "RISA");
+  resumed_engine.set_fault_plan(&faults);
+  resumed_engine.set_migration_plan(&migrations);
+  wl::SyntheticStreamSource restored(cfg, kDefaultSeed);
+  const SimMetrics resumed = resumed_engine.resume_stream(ckpt, restored);
+  EXPECT_EQ(metrics_fingerprint(resumed), want);
+  EXPECT_EQ(resumed.events_executed, full.events_executed);
+  EXPECT_EQ(resumed.placed, full.placed);
+  EXPECT_EQ(resumed.killed, full.killed);
+  EXPECT_EQ(resumed.migrated, full.migrated);
+  EXPECT_EQ(resumed.requeued, full.requeued);
+  // The fixture really did capture lifecycle machinery in flight.
+  EXPECT_GT(full.killed, 0u);
+  EXPECT_GT(full.migrated, 0u);
+  EXPECT_GT(full.requeued, 0u);
+}
+
 TEST(StreamingCheckpoint, ResumeRejectsAlgorithmMismatch) {
   wl::SyntheticConfig cfg;
   cfg.count = 2000;
