@@ -38,6 +38,11 @@
 // memory assertion), and `--rss` prints the final VmHWM for any mode.
 // With `--emit_json`, streaming rows are appended to the committed
 // baseline after the materialized grid.
+//
+// `--trace[=PATH]` (default bench_engine_trace.json) runs one extra
+// telemetry-armed 500k streaming row at the very end -- outside every
+// timed window, so the measured rows stay a fair disabled-path baseline
+// (the CI telemetry job compares a traced risa_cli run against them).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -61,6 +66,7 @@
 #include "sim/experiments.hpp"
 #include "sim/report.hpp"
 #include "sim/sweep.hpp"
+#include "sim/telemetry.hpp"
 #include "workload/arrival_source.hpp"
 #include "workload/synthetic.hpp"
 
@@ -184,6 +190,24 @@ std::string consume_baseline_flag(int& argc, char** argv) {
     const std::string_view rest = arg.substr(10);
     if (!rest.empty() && rest[0] != '=') continue;
     if (!rest.empty()) path.assign(rest.substr(1));
+    for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+    --argc;
+    break;
+  }
+  return path;
+}
+
+/// Consume `--trace[=PATH]` (same contract as consume_baseline_flag).
+/// Empty when absent; the bare form names the conventional output.
+std::string consume_trace_flag(int& argc, char** argv) {
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.rfind("--trace", 0) != 0) continue;
+    const std::string_view rest = arg.substr(7);
+    if (!rest.empty() && rest[0] != '=') continue;
+    path = rest.empty() ? "bench_engine_trace.json"
+                        : std::string(rest.substr(1));
     for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
     --argc;
     break;
@@ -419,6 +443,7 @@ int main(int argc, char** argv) {
   const std::int64_t events_floor =
       consume_i64_flag(argc, argv, "--events_floor", -1, -1);
   const std::string baseline_path = consume_baseline_flag(argc, argv);
+  const std::string trace_path = consume_trace_flag(argc, argv);
 
   // Load the committed baseline once for the --profile delta rider; a
   // missing file just disables the diff (fresh clones, renamed baselines).
@@ -557,6 +582,26 @@ int main(int argc, char** argv) {
     }
     std::cout << "\nwrote engine-scale baseline: " << json_path << " (best of "
               << repeats << ")\n";
+  }
+  if (!trace_path.empty()) {
+    // One telemetry-armed 500k streaming row, deliberately last: every
+    // timed measurement above ran with the disabled (null-pointer) path,
+    // so the trace costs nothing they could have absorbed.
+    risa::sim::TelemetryConfig cfg;
+    cfg.trace_path = trace_path;
+    risa::sim::Telemetry tel(cfg);
+    risa::sim::Engine engine(risa::sim::Scenario::paper_defaults(), "RISA");
+    engine.set_telemetry(&tel);
+    risa::wl::SyntheticConfig wcfg;
+    wcfg.count = 500'000;
+    risa::wl::SyntheticStreamSource source(wcfg, risa::sim::kDefaultSeed);
+    const auto m = engine.run_stream(source, scale_label(500'000) + "-stream");
+    engine.set_telemetry(nullptr);
+    tel.close();
+    std::cout << "traced run: " << m.events_executed << " sim events -> "
+              << trace_path << " (" << tel.writer().emitted()
+              << " trace events, " << tel.writer().dropped()
+              << " overflow-dropped)\n";
   }
   if (report_rss) {
     std::cout << "peak_rss_mb: " << read_peak_rss_mb() << "\n";

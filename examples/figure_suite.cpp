@@ -32,6 +32,12 @@ int main(int argc, char** argv) {
                "FaultPlan JSON file applied to every cell of the matrix");
   flags.define("migrations", "",
                "MigrationPlan JSON file applied to every cell of the matrix");
+  flags.define("trace-dir", "",
+               "Write a per-cell Perfetto trace into this directory "
+               "(must exist; observation only, results are unchanged)");
+  flags.define("trace-categories", "all",
+               "Trace categories for --trace-dir: csv of "
+               "lifecycle,placement,power,calendar | all | none");
   flags.define("verify", "false",
                "Re-run the matrix serially and compare bit-exact digests");
   define_threads_flag(flags);
@@ -56,6 +62,12 @@ int main(int argc, char** argv) {
     std::cout << "migration plan applied: period=" << plan.period_tu
               << " tu, per_sweep=" << plan.per_sweep_budget
               << ", total_budget=" << plan.total_budget << "\n\n";
+  }
+  if (!flags.str("trace-dir").empty()) {
+    spec.trace_dir = flags.str("trace-dir");
+    spec.telemetry.categories =
+        sim::parse_trace_categories(flags.str("trace-categories"));
+    std::cout << "per-cell traces: " << spec.trace_dir << "/cell<i>.*.json\n\n";
   }
   const sim::SweepRunner runner(thread_count(flags));
 

@@ -32,6 +32,7 @@
 #include "sim/report.hpp"
 #include "sim/scenario_io.hpp"
 #include "sim/sweep.hpp"
+#include "sim/telemetry.hpp"
 #include "sim/timeline.hpp"
 #include "workload/arrival_source.hpp"
 #include "workload/azure.hpp"
@@ -75,7 +76,37 @@ int main(int argc, char** argv) {
   flags.define("profile", "false",
                "Print the phase-attributed wall-time breakdown of the run "
                "(sim/phase_profiler.hpp); metrics are unchanged");
+  flags.define("trace", "",
+               "Write a Chrome-trace/Perfetto JSON of the run to this file "
+               "(sim/telemetry.hpp); metrics are unchanged");
+  flags.define("trace-categories", "all",
+               "Comma list of trace categories: "
+               "lifecycle,placement,power,calendar | all | none");
+  flags.define("trace-cadence", "0",
+               "Minimum sim-time units between counter-track samples "
+               "(0 = sample at every window boundary)");
+  flags.define("metrics-json", "",
+               "Export the run's MetricsRegistry snapshot (counters incl. "
+               "the drop-reason breakdown) as JSON to this file; requires "
+               "--trace or --trace-categories");
+  flags.define("trace-summary", "",
+               "Offline mode: summarize an existing trace file (top spans, "
+               "counter min/mean/max, drop counts) and exit; no simulation");
   if (!flags.parse_or_usage(argc, argv)) return 1;
+
+  // Offline trace inspection: parse + aggregate + well-formedness check.
+  // Exit 0 only for a parseable, well-formed trace (CI leans on this).
+  if (!flags.str("trace-summary").empty()) {
+    try {
+      const sim::TraceSummary summary =
+          sim::summarize_trace_file(flags.str("trace-summary"));
+      std::cout << format_trace_summary(summary);
+      return summary.well_formed() ? 0 : 1;
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << '\n';
+      return 1;
+    }
+  }
 
   try {
     // 1. Scenario.
@@ -192,6 +223,19 @@ int main(int argc, char** argv) {
     if (!flags.str("timeline-csv").empty()) {
       engine.set_timeline(&timeline);
     }
+    // Telemetry (DESIGN.md §14): armed by --trace (file output) or
+    // --metrics-json (registry-only).  Observation only -- the printed
+    // metrics and fingerprint are identical with or without it.
+    std::unique_ptr<sim::Telemetry> telemetry;
+    if (!flags.str("trace").empty() || !flags.str("metrics-json").empty()) {
+      sim::TelemetryConfig tcfg;
+      tcfg.trace_path = flags.str("trace");
+      tcfg.categories =
+          sim::parse_trace_categories(flags.str("trace-categories"));
+      tcfg.sample_cadence_tu = flags.f64("trace-cadence");
+      telemetry = std::make_unique<sim::Telemetry>(std::move(tcfg));
+      engine.set_telemetry(telemetry.get());
+    }
     sim::SimMetrics m;
     if (streaming) {
       const std::string ckpt_path = flags.str("checkpoint-out");
@@ -272,6 +316,25 @@ int main(int argc, char** argv) {
       std::cout << "timeline (" << timeline.size() << " points, peak "
                 << timeline.peak_active_vms() << " active VMs) written to "
                 << flags.str("timeline-csv") << '\n';
+    }
+    if (telemetry != nullptr) {
+      telemetry->close();
+      if (!flags.str("trace").empty()) {
+        std::cout << "trace (" << telemetry->writer().emitted()
+                  << " events, " << telemetry->writer().dropped()
+                  << " overflow-dropped) written to " << flags.str("trace")
+                  << '\n';
+      }
+      if (!flags.str("metrics-json").empty()) {
+        std::ofstream os(flags.str("metrics-json"), std::ios::trunc);
+        os << telemetry->registry().snapshot_json() << '\n';
+        if (!os) {
+          throw std::runtime_error("metrics JSON write failed: " +
+                                   flags.str("metrics-json"));
+        }
+        std::cout << "metrics registry written to "
+                  << flags.str("metrics-json") << '\n';
+      }
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -1,0 +1,79 @@
+// Named typed metric series with O(1) hot-path updates (DESIGN.md §14).
+//
+// Registration (`counter()` / `gauge()` / `histogram()`) is the cold
+// path: a linear name scan, find-or-create, returning a dense `Id`.
+// Callers register once per run and hold the ids; `add` / `set` /
+// `observe` are then a single array index -- no hashing, no string
+// compare, no allocation per event.
+//
+// `reset()` zeroes every value but keeps the registrations (and their
+// ids) alive, so a sweep lane can reuse one registry across cells the
+// same way the engine reuses its arenas.  `snapshot_json()` exports all
+// series in registration order -- deterministic given deterministic
+// registration, which the engine guarantees by registering everything
+// up front in `Telemetry::begin_run`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/histogram.hpp"
+
+namespace risa {
+
+class MetricsRegistry {
+ public:
+  using Id = std::uint32_t;
+  enum class Kind : std::uint8_t { Counter, Gauge, Histogram };
+
+  /// Find-or-create.  Re-registering the same name returns the same id;
+  /// registering one name under two kinds throws std::invalid_argument.
+  Id counter(std::string_view name);
+  Id gauge(std::string_view name);
+  Id histogram(std::string_view name);
+
+  void add(Id id, std::int64_t by = 1) noexcept { counters_[id] += by; }
+  void set(Id id, double value) noexcept { gauges_[id] = value; }
+  void observe(Id id, double sample) { hists_[id].add(sample); }
+
+  [[nodiscard]] std::int64_t counter_value(Id id) const noexcept {
+    return counters_[id];
+  }
+  [[nodiscard]] double gauge_value(Id id) const noexcept {
+    return gauges_[id];
+  }
+  [[nodiscard]] const Log2Histogram& histogram_value(Id id) const noexcept {
+    return hists_[id];
+  }
+
+  /// Name of a registered series, or "" if (name, kind) is absent.
+  [[nodiscard]] std::string_view name_of(Kind kind, Id id) const noexcept;
+  [[nodiscard]] std::size_t series_count() const noexcept {
+    return series_.size();
+  }
+
+  /// Zero all values; registrations and ids survive (sweep-lane reuse).
+  void reset();
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}} in
+  /// registration order.  Histograms export count/p50/p99/max.
+  [[nodiscard]] std::string snapshot_json() const;
+
+ private:
+  struct Series {
+    std::string name;
+    Kind kind;
+    Id slot;
+  };
+
+  Id find_or_register(std::string_view name, Kind kind);
+
+  std::vector<Series> series_;
+  std::vector<std::int64_t> counters_;
+  std::vector<double> gauges_;
+  std::vector<Log2Histogram> hists_;
+};
+
+}  // namespace risa

@@ -1,0 +1,117 @@
+// Buffered Chrome-trace / Perfetto JSON writer (DESIGN.md §14).
+//
+// Emits the "JSON object format" Perfetto still ingests natively: a
+// top-level object with a `traceEvents` array of duration (`ph:"X"`),
+// instant (`ph:"i"`), counter (`ph:"C"`) and metadata (`ph:"M"`)
+// events.  Three properties matter to the engine:
+//
+//   * Hot-path cost is one bounds check plus a POD store.  `span()` /
+//     `instant()` / `counter()` append a 48-byte record to a bounded
+//     in-memory ring; serialization (snprintf, stream writes) happens
+//     only at flush boundaries.  Event/category names must therefore be
+//     string literals (or otherwise outlive the writer) -- the ring
+//     stores the pointers, not copies.
+//
+//   * The output file is valid JSON after every flush.  Each flush
+//     seeks back over the previous footer, appends the new chunk, and
+//     rewrites the `],"overflowDropped":N,...}` footer.  A run that
+//     aborts between flushes loses at most one ring of events, never
+//     the file's parseability.
+//
+//   * The ring is bounded.  When it fills, either the writer flushes
+//     in place (`flush_on_full`, the default) or the *new* event is
+//     dropped and counted in `dropped()`, which also lands in the
+//     footer as `overflowDropped` -- so a post-hoc reader can tell a
+//     quiet run from a truncated one.
+//
+// Timestamps are microseconds (the Chrome trace contract).  The sim
+// layer maps 1 time-unit -> 1 us for sim-time tracks and wall seconds
+// -> us for the profiler track.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace risa {
+
+class TraceWriter {
+ public:
+  struct Options {
+    std::size_t ring_capacity = std::size_t{1} << 16;
+    /// On ring-full: true flushes in place (no loss, costs a write on
+    /// the hot path); false drops the new event and counts it.
+    bool flush_on_full = true;
+  };
+
+  /// Opens `path` for writing; `ok()` reports failure (the writer then
+  /// counts every event as dropped instead of crashing the run).
+  explicit TraceWriter(const std::string& path) : TraceWriter(path, Options()) {}
+  TraceWriter(const std::string& path, Options options);
+  /// Non-owning sink, for tests.  The stream must support seekp/tellp.
+  explicit TraceWriter(std::ostream& sink) : TraceWriter(sink, Options()) {}
+  TraceWriter(std::ostream& sink, Options options);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  [[nodiscard]] bool ok() const noexcept { return sink_ != nullptr && !failed_; }
+
+  /// Complete duration span on thread-track `tid`; `ts`/`dur` in us.
+  void span(const char* name, const char* cat, double ts_us, double dur_us,
+            std::uint32_t tid);
+  /// Thread-scoped instant event.
+  void instant(const char* name, const char* cat, double ts_us,
+               std::uint32_t tid);
+  /// Counter-track sample (Perfetto renders one track per name).
+  void counter(const char* name, const char* cat, double ts_us, double value);
+
+  /// Metadata (cold path -- serialized immediately into a side buffer,
+  /// emitted ahead of the next chunk).  Names are copied.
+  void process_name(std::string_view name);
+  void thread_name(std::uint32_t tid, std::string_view name);
+
+  /// Drains the ring into the sink and rewrites the footer, leaving the
+  /// file valid JSON.  No-op when closed or failed.
+  void flush();
+  /// Final flush + footer; further events count as dropped.
+  void close();
+
+  [[nodiscard]] std::uint64_t emitted() const noexcept { return emitted_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::size_t buffered() const noexcept { return ring_.size(); }
+
+ private:
+  struct Event {
+    const char* name;
+    const char* cat;
+    double ts;
+    double a;  // dur (X) or value (C); unused for i
+    std::uint32_t tid;
+    char ph;
+  };
+
+  void open_stream();
+  void push(const Event& e);
+  void serialize(const Event& e, std::string& out) const;
+  void write_footer();
+
+  Options opts_;
+  std::ofstream owned_;
+  std::ostream* sink_ = nullptr;
+  std::vector<Event> ring_;
+  std::string meta_;   // pre-serialized metadata events awaiting flush
+  std::string chunk_;  // serialization scratch, reused across flushes
+  std::uint64_t emitted_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::streampos body_end_{};
+  bool body_empty_ = true;  // no comma before the first event
+  bool closed_ = false;
+  bool failed_ = false;
+};
+
+}  // namespace risa

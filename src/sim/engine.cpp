@@ -14,6 +14,7 @@
 #include "common/rng.hpp"
 #include "sim/migration.hpp"
 #include "sim/phase_profiler.hpp"
+#include "sim/telemetry.hpp"
 
 namespace risa::sim {
 
@@ -120,6 +121,16 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
   prof.enable(profiling_);
 
   reset();
+
+  // Run telemetry (sim/telemetry.hpp, DESIGN.md §14): every hook below
+  // rides a branch the loop takes anyway behind `tel != nullptr` -- the
+  // disabled path costs this one pointer copy, no TSC reads, no stores.
+  // `track_power` widens the timeline-only holding-power maintenance to
+  // telemetry's power track; the value feeds observation only (never a
+  // metric), so fingerprints stay byte-identical either way.
+  Telemetry* const tel = telemetry_;
+  const bool track_power =
+      timeline_ != nullptr || (tel != nullptr && tel->category(kTracePower));
 
   SimMetrics m;
   m.algorithm = std::string(allocator_->name());
@@ -251,7 +262,8 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
   }
 
   // Instantaneous optical holding power, maintained incrementally for the
-  // timeline (per-VM deltas live in the VM records).
+  // timeline and telemetry's power track -- `track_power` above (per-VM
+  // deltas live in the VM records).
   double holding_power_w = 0.0;
   auto record_timeline = [&](SimTime t) {
     if (timeline_ == nullptr) return;
@@ -330,6 +342,19 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
       last_arrival_index = it.index;
       seen_arrival = true;
     }
+  };
+
+  // One telemetry counter-track sample at sim time `t` (only called with
+  // tel != nullptr; the cadence gate is the caller's sample_due check).
+  auto tel_sample = [&](SimTime t) {
+    Telemetry::CounterSample s;
+    s.live_vms = live_count;
+    s.offline_boxes = cluster_->offline_box_count();
+    s.failed_links = fabric_->failed_link_count();
+    s.arrival_ring_depth = ring_len - ring_pos;
+    s.calendar_events = events_.size();
+    s.holding_power_w = holding_power_w;
+    tel->sample(t, s);
   };
 
   // One placement attempt (arrival or retry) for `vm_index`, holding for
@@ -431,7 +456,7 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
     // the lifecycle-path settlements (kill refunds, migration windows).
     ledger.charge_vm(*circuits_, vm.id, expected);
 
-    if (timeline_ != nullptr) {
+    if (track_power) {
       double vm_power = 0.0;
       circuits_->for_each_circuit_of(vm.id, [&](const net::Circuit& c) {
         vm_power +=
@@ -491,6 +516,7 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
     ++st.attempts;
     ++m.requeued;
     ++pending_retries;
+    if (tel != nullptr) tel->requeue(now);
     events_.push(now + plan.retry.delay_tu,
                  LifecycleEvent{LifecycleKind::Retry, vm_index, 0});
     return true;
@@ -505,6 +531,7 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
   // Runs inside the caller's open release batch (execute_action brackets
   // each teardown scan), so compute frees defer their aggregate refresh to
   // the shared end_release_batch.
+  des::LifecycleKind kill_cause = LifecycleKind::BoxFail;  // set per scan
   auto kill_vm = [&](std::uint32_t vm_index, VmState& st) {
     const double held = now - st.place_time;
     const double unused = st.expected_hold - held;
@@ -516,7 +543,8 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
     st.live = 0;
     --live_count;
     ++m.killed;
-    if (timeline_ != nullptr) {
+    if (tel != nullptr) tel->kill(now, kill_cause);
+    if (track_power) {
       holding_power_w -= st.holding_power;
       st.holding_power = 0.0;
     }
@@ -549,6 +577,7 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
   auto execute_action = [&](std::uint32_t action_index, bool fail) {
     const FaultAction& a = plan.actions[action_index];
     if (a.targets_links()) {
+      kill_cause = LifecycleKind::LinkFail;
       const std::uint32_t draws =
           a.link != FaultAction::kNoLink ? 1 : a.random_links;
       for (std::uint32_t k = 0; k < draws; ++k) {
@@ -586,6 +615,7 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
         cluster_->end_release_batch();
       }
     } else {
+      kill_cause = LifecycleKind::BoxFail;
       const std::uint32_t draws =
           a.box != FaultAction::kNoBox ? 1 : a.random_boxes;
       for (std::uint32_t k = 0; k < draws; ++k) {
@@ -717,7 +747,7 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
     m.migration_tu += cost;
     if (was_inter && !now_inter) ++m.interrack_vms_recovered;
 
-    if (timeline_ != nullptr) {
+    if (track_power) {
       double vm_power = 0.0;
       circuits_->for_each_circuit_of(vm.id, [&](const net::Circuit& c) {
         vm_power +=
@@ -1208,6 +1238,13 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
   } else {
     sample_signals(0.0);
   }
+  if (tel != nullptr) {
+    // After restore: the sampler re-arms at the restored `now` (fresh
+    // runs at 0), so a resumed run's telemetry continues cleanly without
+    // any state having crossed the checkpoint.
+    tel->begin_run(algorithm_, m.workload, now);
+    tel_sample(now);
+  }
   std::uint64_t last_ckpt_executed = executed;
   auto maybe_checkpoint = [&] {
     if (ckpt == nullptr || ckpt->every_events == 0 || !ckpt->emit) return;
@@ -1287,6 +1324,9 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
       bool sample_pending = false;
       SimTime sample_t = 0.0;
       std::uint64_t window_events = 0;
+      const SimTime window_t0 =
+          tel != nullptr ? arrival_ring_[ring_pos].vm.arrival : SimTime{0};
+      const std::uint64_t placed_before = tel != nullptr ? m.placed : 0;
       if (defer_push) arrival_push_scratch_.clear();
       prof.begin(phase_slot(Phase::Admission));
       do {
@@ -1325,6 +1365,7 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
           if (!queued) {
             ++m.dropped;
             count_drop();
+            if (tel != nullptr) tel->drop(now, drop_reason);
           }
         }
         if (lifecycle) {
@@ -1344,6 +1385,11 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
       m.total_vms += window_events;
       if (lifecycle && !degraded) last_event_t = now;
       prof.end();
+      if (tel != nullptr) {
+        tel->admission_window(window_t0, now, window_events,
+                              m.placed - placed_before);
+        if (tel->sample_due(now)) tel_sample(now);
+      }
     } else {
       const auto e = events_.pop();
       prof.end();
@@ -1402,8 +1448,8 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
             allocator_->release_batched(slot_pool_[dst->slot]);
             free_slots_.push_back(dst->slot);
             --live_count;
+            if (track_power) holding_power_w -= dst->holding_power;
             if (timeline_ != nullptr) {
-              holding_power_w -= dst->holding_power;
               sample_signals(now);
               record_timeline(now);
             }
@@ -1414,6 +1460,10 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
           cluster_->end_release_batch();
           if (timeline_ == nullptr) sample_signals(now);
           prof.end();
+          if (tel != nullptr) {
+            tel->settlement_window(now, batch_scratch_.size());
+            if (tel->sample_due(now)) tel_sample(now);
+          }
           break;
         }
         case LifecycleKind::BoxFail:
@@ -1430,6 +1480,10 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
                            e.payload.kind == LifecycleKind::BoxFail ||
                                e.payload.kind == LifecycleKind::LinkFail);
           }
+          if (tel != nullptr) {
+            tel->fault(now, e.payload.kind);
+            if (tel->sample_due(now)) tel_sample(now);
+          }
           break;
         }
         case LifecycleKind::Migrate: {
@@ -1445,10 +1499,16 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
           now = e.time;
           note_time(now);
           ++executed;
+          const std::uint64_t migrated_before =
+              tel != nullptr ? m.migrated : 0;
           {
             const ScopedCycleSpan<PhaseTimer> span(
                 prof, phase_slot(Phase::Settlement));
             run_migration_sweep();
+          }
+          if (tel != nullptr) {
+            tel->migration_sweep(now, m.migrated - migrated_before);
+            if (tel->sample_due(now)) tel_sample(now);
           }
           if (migration_budget > 0 &&
               (ring_pos < ring_len || live_count > 0 || pending_retries > 0)) {
@@ -1490,9 +1550,11 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
             if (!was_placed) {
               ++m.dropped;
               count_drop();
+              if (tel != nullptr) tel->drop(now, drop_reason);
             }
             vms_.erase(vm_index);
           }
+          if (tel != nullptr) tel->retry(now, readmitted);
           break;
         }
         case LifecycleKind::Arrival:
@@ -1547,6 +1609,10 @@ SimMetrics Engine::run_impl(wl::ArrivalSource& source,
   m.scheduler_exec_seconds =
       static_cast<double>(sched_ticks) * seconds_per_tick;
   if (prof.enabled()) profile_from_ticks(m.profile, prof, seconds_per_tick);
+  if (tel != nullptr) {
+    tel_sample(now);  // closing sample: the run's final (empty) census
+    tel->finish_run(m.profile.recorded ? &m.profile : nullptr);
+  }
   const double ns_per_tick = seconds_per_tick * 1e9;
   if (latency_sink_ != nullptr) {
     for (std::size_t i = latency_base; i < latency_sink_->size(); ++i) {

@@ -68,6 +68,8 @@
 
 namespace risa::sim {
 
+class Telemetry;  // sim/telemetry.hpp (DESIGN.md §14)
+
 /// Periodic checkpointing for streaming runs.  When attached to run_stream
 /// / resume_stream, the engine serializes its complete mid-run state every
 /// `every_events` executed events -- at the next arrival-chunk boundary,
@@ -195,6 +197,18 @@ class Engine {
   void set_profiling(bool on) noexcept { profiling_ = on; }
   [[nodiscard]] bool profiling() const noexcept { return profiling_; }
 
+  /// Run telemetry (sim/telemetry.hpp, DESIGN.md §14): when set, the
+  /// event loop emits lifecycle spans/instants/counter tracks into the
+  /// telemetry's trace writer and accrues its MetricsRegistry series.
+  /// Every hook rides a branch the loop takes anyway, so nullptr (the
+  /// default) costs one pointer test per hook site -- no TSC reads, no
+  /// stores.  Telemetry is observation only: metrics fingerprints are
+  /// byte-identical with it on or off, and none of its state is
+  /// checkpointed (resume re-arms the sampler at the restored sim
+  /// time).  The object must outlive the runs; sticky until changed.
+  void set_telemetry(Telemetry* telemetry) noexcept { telemetry_ = telemetry; }
+  [[nodiscard]] Telemetry* telemetry() const noexcept { return telemetry_; }
+
   /// Admission windows (DESIGN.md §13): when enabled (the default), the
   /// merge loop admits each maximal run of arrivals that sorts before the
   /// calendar head under one bracket -- one profiler span, batched event
@@ -233,6 +247,7 @@ class Engine {
   std::unique_ptr<net::CircuitTable> circuits_;
   std::unique_ptr<core::Allocator> allocator_;
   Timeline* timeline_ = nullptr;
+  Telemetry* telemetry_ = nullptr;  ///< run telemetry hub (DESIGN.md §14)
   std::vector<double>* latency_sink_ = nullptr;
   Log2Histogram* latency_hist_ = nullptr;
   bool profiling_ = false;  ///< fill SimMetrics::profile on each run

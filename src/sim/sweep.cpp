@@ -16,6 +16,21 @@
 
 namespace risa::sim {
 
+namespace {
+/// Trace-file name component: labels can carry spaces/slashes ("Azure
+/// 3000"); anything outside [A-Za-z0-9_-] becomes '-'.
+std::string sanitize_label(std::string_view label) {
+  std::string out;
+  out.reserve(label.size());
+  for (const char c : label) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_';
+    out += keep ? c : '-';
+  }
+  return out;
+}
+}  // namespace
+
 WorkloadSpec WorkloadSpec::synthetic(std::size_t count) {
   WorkloadSpec spec;
   spec.label = "Synthetic";
@@ -206,6 +221,18 @@ std::vector<SweepResult> SweepRunner::run(const SweepSpec& spec) const {
     } else {
       engine->set_placement_latency_sink(nullptr);
     }
+    // Per-cell trace (DESIGN.md §14): a private Telemetry per cell keeps
+    // the lanes share-nothing, so traced sweeps stay deterministic at any
+    // thread count (the trace file is named by cell index, not lane).
+    std::unique_ptr<Telemetry> cell_tel;
+    if (!spec.trace_dir.empty()) {
+      TelemetryConfig cfg = spec.telemetry;
+      cfg.trace_path = spec.trace_dir + "/cell" + std::to_string(i) + "." +
+                       sanitize_label(spec.workloads[w].label) + "." +
+                       sanitize_label(spec.algorithms[a]) + ".trace.json";
+      cell_tel = std::make_unique<Telemetry>(std::move(cfg));
+      engine->set_telemetry(cell_tel.get());
+    }
     if (stream_cell) {
       const std::unique_ptr<wl::ArrivalSource> source =
           spec.workloads[w].make_source(spec.seeds[s]);
@@ -214,6 +241,7 @@ std::vector<SweepResult> SweepRunner::run(const SweepSpec& spec) const {
       r.metrics = engine->run(workloads[w * spec.seeds.size() + s],
                               spec.workloads[w].label);
     }
+    engine->set_telemetry(nullptr);
     engine->set_timeline(nullptr);
     engine->set_placement_latency_sink(nullptr);
     engine->set_fault_plan(nullptr);

@@ -32,6 +32,7 @@
 #include "sim/engine.hpp"
 #include "sim/metrics.hpp"
 #include "sim/scenario.hpp"
+#include "sim/telemetry.hpp"
 #include "sim/timeline.hpp"
 #include "workload/arrival_source.hpp"
 #include "workload/vm.hpp"
@@ -102,6 +103,16 @@ struct SweepSpec {
   /// (DESIGN.md §11), so this only changes memory behavior.  Workloads
   /// without a make_source factory still materialize.
   bool streaming = false;
+  /// Per-cell run traces (DESIGN.md §14).  When nonempty, every cell runs
+  /// with a private Telemetry writing
+  ///   <trace_dir>/cell<i>.<workload>.<algorithm>.trace.json
+  /// (labels sanitized to [A-Za-z0-9_-]).  The directory must exist.
+  /// Observation only: cell metrics and fingerprints are byte-identical
+  /// with tracing on or off, at any thread count.
+  std::string trace_dir;
+  /// Template config for per-cell telemetry (trace_path is overridden per
+  /// cell as above); used only when trace_dir is set.
+  TelemetryConfig telemetry;
 
   void validate() const;
 
